@@ -1,0 +1,90 @@
+package sslic
+
+import (
+	"sslic/internal/hw"
+)
+
+// AcceleratorConfig selects a hardware design point for the calibrated
+// 16nm accelerator model (paper §4-§7). The zero value is not valid; use
+// DefaultAcceleratorConfig.
+type AcceleratorConfig struct {
+	// Width, Height, K describe the workload.
+	Width, Height, K int
+	// BufferKB is the scratchpad size per channel in kilobytes (the
+	// paper's best HD design uses 4).
+	BufferKB int
+	// Passes is the number of cluster-update passes (paper: 9).
+	Passes int
+	// SubsampleRatio scales the pixels visited per pass.
+	SubsampleRatio float64
+	// ClockGHz overrides the 1.6 GHz synthesis target when nonzero
+	// (the paper scales the clock down at lower resolutions).
+	ClockGHz float64
+}
+
+// DefaultAcceleratorConfig is the paper's best full-HD design point.
+func DefaultAcceleratorConfig() AcceleratorConfig {
+	return AcceleratorConfig{
+		Width: 1920, Height: 1080, K: 5000,
+		BufferKB:       4,
+		Passes:         9,
+		SubsampleRatio: 1,
+	}
+}
+
+// AcceleratorReport summarizes one simulated frame.
+type AcceleratorReport struct {
+	// LatencyMS is the frame latency in milliseconds; FPS its inverse.
+	LatencyMS float64
+	FPS       float64
+	// RealTime reports whether the design sustains 30 fps.
+	RealTime bool
+	// AreaMM2, PowerMW and EnergyMJPerFrame are the physical estimates.
+	AreaMM2          float64
+	PowerMW          float64
+	EnergyMJPerFrame float64
+	// TrafficMB is the external memory traffic per frame.
+	TrafficMB float64
+}
+
+// SimulateAccelerator runs the calibrated cycle model for one frame.
+func SimulateAccelerator(cfg AcceleratorConfig) (*AcceleratorReport, error) {
+	// Zero-valued fields fall back to the paper's defaults; any other
+	// value (including invalid ones) passes through to hw.Config
+	// validation.
+	hc := hw.DefaultConfig()
+	if cfg.Width != 0 {
+		hc.Width = cfg.Width
+	}
+	if cfg.Height != 0 {
+		hc.Height = cfg.Height
+	}
+	if cfg.K != 0 {
+		hc.K = cfg.K
+	}
+	if cfg.BufferKB != 0 {
+		hc.BufferBytesPerChannel = cfg.BufferKB * 1024
+	}
+	if cfg.Passes != 0 {
+		hc.Passes = cfg.Passes
+	}
+	if cfg.SubsampleRatio != 0 {
+		hc.SubsampleRatio = cfg.SubsampleRatio
+	}
+	if cfg.ClockGHz != 0 {
+		hc.Tech.ClockHz = cfg.ClockGHz * 1e9
+	}
+	r, err := hw.Simulate(hc)
+	if err != nil {
+		return nil, err
+	}
+	return &AcceleratorReport{
+		LatencyMS:        r.TotalTime * 1e3,
+		FPS:              r.FPS,
+		RealTime:         r.RealTime,
+		AreaMM2:          r.AreaMM2,
+		PowerMW:          r.PowerWatts * 1e3,
+		EnergyMJPerFrame: r.EnergyPerFrame * 1e3,
+		TrafficMB:        float64(r.TrafficBytes) / 1e6,
+	}, nil
+}

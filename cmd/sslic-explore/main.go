@@ -1,0 +1,190 @@
+// Command sslic-explore runs the accelerator design-space exploration of
+// §6 interactively: sweep the Cluster Update Unit parallelism, the
+// channel buffer size, the core count, the resolution or the datapath
+// bit width, and print the resulting design points.
+//
+// Usage:
+//
+//	sslic-explore -sweep cluster
+//	sslic-explore -sweep buffer -w 1280 -h 720
+//	sslic-explore -sweep cores -buffer 8
+//	sslic-explore -sweep bitwidth -corpus 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sslic/internal/bench"
+	"sslic/internal/energy"
+	"sslic/internal/hdl"
+	"sslic/internal/hw"
+)
+
+func main() {
+	var (
+		sweep  = flag.String("sweep", "cluster", "what to sweep: cluster, buffer, cores, resolution or bitwidth")
+		w      = flag.Int("w", 1920, "image width")
+		h      = flag.Int("h", 1080, "image height")
+		k      = flag.Int("k", 5000, "superpixel count")
+		buffer = flag.Int("buffer", 4, "channel buffer size in kB")
+		passes = flag.Int("passes", 9, "cluster update passes")
+		corpus = flag.Int("corpus", 4, "corpus size (bitwidth sweep only)")
+		rtl    = flag.String("rtl", "", "emit Verilog for a cluster configuration (e.g. 9-9-6) and exit")
+		rtlOut = flag.String("rtl-out", "", "write the generated RTL here instead of stdout")
+	)
+	flag.Parse()
+
+	if *rtl != "" {
+		emitRTL(*rtl, *rtlOut)
+		return
+	}
+
+	base := hw.DefaultConfig()
+	base.Width, base.Height, base.K = *w, *h, *k
+	base.BufferBytesPerChannel = *buffer * 1024
+	base.Passes = *passes
+
+	switch *sweep {
+	case "cluster":
+		sweepCluster(base)
+	case "buffer":
+		sweepBuffer(base)
+	case "cores":
+		sweepCores(base)
+	case "resolution":
+		sweepResolution(base)
+	case "bitwidth":
+		r, ok := bench.Lookup("bitwidth")
+		if !ok {
+			fatal(fmt.Errorf("bitwidth experiment missing"))
+		}
+		tbl, err := r.Run(bench.Options{CorpusSize: *corpus, Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tbl.Render())
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+}
+
+func header() {
+	fmt.Printf("%-22s %10s %9s %9s %8s %10s %9s\n",
+		"design point", "area(mm²)", "power(mW)", "lat(ms)", "fps", "mJ/frame", "fps/mm²")
+}
+
+func row(name string, r *hw.Report) {
+	rt := " "
+	if r.RealTime {
+		rt = "*"
+	}
+	fmt.Printf("%-22s %10.4f %9.1f %9.2f %7.1f%s %10.2f %9.0f\n",
+		name, r.AreaMM2, r.PowerWatts*1e3, r.TotalTime*1e3, r.FPS, rt,
+		r.EnergyPerFrame*1e3, r.PerfPerArea)
+}
+
+func sweepCluster(base hw.Config) {
+	tech := energy.Default16nm()
+	fmt.Println("Cluster Update Unit sweep (unit-level, Table 3):")
+	fmt.Printf("%-8s %10s %9s %8s %10s %9s %11s\n",
+		"config", "area(mm²)", "power(mW)", "lat(cyc)", "tput", "time(ms)", "energy(µJ)")
+	n := base.Width * base.Height
+	for _, c := range hw.Table3Configs() {
+		fmt.Printf("%-8s %10.4f %9.1f %8d %10s %9.1f %11.1f\n",
+			c.String(), c.AreaMM2(), c.PowerWatts(tech)*1e3, c.LatencyCycles(),
+			fmt.Sprintf("1/%d px/cyc", c.InitiationInterval()),
+			c.IterationTime(tech, n)*1e3, c.IterationEnergy(tech, n)*1e6)
+	}
+	fmt.Println("\nSystem-level impact:")
+	header()
+	for _, c := range hw.Table3Configs() {
+		cfg := base
+		cfg.Cluster = c
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		row(c.String(), r)
+	}
+}
+
+func sweepBuffer(base hw.Config) {
+	fmt.Printf("Channel buffer sweep at %dx%d (Fig 6):\n", base.Width, base.Height)
+	header()
+	for _, kb := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := base
+		cfg.BufferBytesPerChannel = kb * 1024
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		row(fmt.Sprintf("%dkB/channel", kb), r)
+	}
+}
+
+func sweepCores(base hw.Config) {
+	fmt.Printf("Core count sweep at %dx%d:\n", base.Width, base.Height)
+	header()
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Cores = cores
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		row(fmt.Sprintf("%d core(s)", cores), r)
+	}
+}
+
+func sweepResolution(base hw.Config) {
+	fmt.Println("Resolution sweep (Table 4 design points):")
+	header()
+	for _, res := range []struct {
+		name    string
+		w, h    int
+		buf     int
+		clockHz float64
+	}{
+		{"1920x1080@1.6GHz", 1920, 1080, 4096, 1.6e9},
+		{"1280x768@1.25GHz", 1280, 768, 1024, 1.25e9},
+		{"640x480@0.9GHz", 640, 480, 1024, 0.9e9},
+	} {
+		cfg := base
+		cfg.Width, cfg.Height = res.w, res.h
+		cfg.BufferBytesPerChannel = res.buf
+		cfg.Tech.ClockHz = res.clockHz
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		row(res.name, r)
+	}
+}
+
+// emitRTL generates the Cluster Update Unit Verilog for a w-w-w
+// configuration string.
+func emitRTL(spec, out string) {
+	var d, m, a int
+	if _, err := fmt.Sscanf(spec, "%d-%d-%d", &d, &m, &a); err != nil {
+		fatal(fmt.Errorf("bad -rtl %q, want e.g. 9-9-6", spec))
+	}
+	src, err := hdl.Emit(hw.ClusterConfig{DistWays: d, MinWays: m, AdderWays: a}, hdl.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sslic-explore:", err)
+	os.Exit(1)
+}

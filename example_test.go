@@ -1,0 +1,123 @@
+package sslic_test
+
+// Runnable godoc examples for the public API. They double as executable
+// documentation: `go test` verifies the printed output.
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+
+	"sslic"
+)
+
+// quadrants builds a tiny four-color test image.
+func quadrants(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var c color.RGBA
+			switch {
+			case x < w/2 && y < h/2:
+				c = color.RGBA{230, 40, 40, 255}
+			case x >= w/2 && y < h/2:
+				c = color.RGBA{40, 230, 40, 255}
+			case x < w/2:
+				c = color.RGBA{40, 40, 230, 255}
+			default:
+				c = color.RGBA{230, 230, 40, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+// ExampleSegment shows the basic superpixel workflow.
+func ExampleSegment() {
+	img := quadrants(64, 64)
+	seg, err := sslic.Segment(img, sslic.DefaultOptions(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("labels cover %d pixels\n", len(seg.Labels))
+	fmt.Printf("every pixel labeled: %v\n", seg.Label(0, 0) >= 0 && seg.Label(63, 63) >= 0)
+	// Output:
+	// labels cover 4096 pixels
+	// every pixel labeled: true
+}
+
+// ExampleSegment_methods compares the three algorithms on one image.
+func ExampleSegment_methods() {
+	img := quadrants(48, 48)
+	for _, m := range []sslic.Method{sslic.SSLICPPA, sslic.SSLICCPA, sslic.SLIC} {
+		opt := sslic.DefaultOptions(4)
+		opt.Method = m
+		seg, err := sslic.Segment(img, opt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s: %v\n", m, seg.NumSegments == 4)
+	}
+	// Output:
+	// S-SLIC/PPA: true
+	// S-SLIC/CPA: true
+	// SLIC: true
+}
+
+// ExampleEvaluate scores a segmentation against ground truth.
+func ExampleEvaluate() {
+	img := quadrants(64, 64)
+	seg, err := sslic.Segment(img, sslic.DefaultOptions(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gtLabels := make([]int32, 64*64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			var v int32
+			if x >= 32 {
+				v = 1
+			}
+			if y >= 32 {
+				v += 2
+			}
+			gtLabels[y*64+x] = v
+		}
+	}
+	gt, err := sslic.NewGroundTruth(64, 64, gtLabels)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m, err := sslic.Evaluate(img, seg, gt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("clean quadrants nest perfectly: %v\n", m.UndersegmentationError < 0.05)
+	fmt.Printf("boundaries recovered: %v\n", m.BoundaryRecall > 0.9)
+	// Output:
+	// clean quadrants nest perfectly: true
+	// boundaries recovered: true
+}
+
+// ExampleSimulateAccelerator reproduces the paper's headline hardware
+// numbers from the calibrated model.
+func ExampleSimulateAccelerator() {
+	r, err := sslic.SimulateAccelerator(sslic.DefaultAcceleratorConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("real-time at 1080p: %v\n", r.RealTime)
+	fmt.Printf("power ≈ 49 mW: %v\n", r.PowerMW > 45 && r.PowerMW < 53)
+	fmt.Printf("energy ≈ 1.6 mJ/frame: %v\n", r.EnergyMJPerFrame > 1.5 && r.EnergyMJPerFrame < 1.7)
+	// Output:
+	// real-time at 1080p: true
+	// power ≈ 49 mW: true
+	// energy ≈ 1.6 mJ/frame: true
+}

@@ -1,0 +1,74 @@
+// Hardware exploration through the public API: search the accelerator
+// design space for the cheapest configuration that sustains 30 fps at
+// each resolution — the §6 exercise, automated.
+//
+//	go run ./examples/hwexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sslic"
+)
+
+func main() {
+	resolutions := []struct {
+		name string
+		w, h int
+	}{
+		{"1920x1080", 1920, 1080},
+		{"1280x768", 1280, 768},
+		{"640x480", 640, 480},
+	}
+	buffers := []int{1, 2, 4, 8, 16, 32}
+	clocks := []float64{0.8, 0.9, 1.0, 1.25, 1.6}
+
+	fmt.Println("cheapest real-time design per resolution (K=5000, 9 passes):")
+	for _, res := range resolutions {
+		best := struct {
+			report *sslic.AcceleratorReport
+			bufKB  int
+			ghz    float64
+		}{}
+		for _, buf := range buffers {
+			for _, ghz := range clocks {
+				cfg := sslic.AcceleratorConfig{
+					Width: res.w, Height: res.h,
+					BufferKB: buf,
+					ClockGHz: ghz,
+				}
+				r, err := sslic.SimulateAccelerator(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !r.RealTime {
+					continue
+				}
+				// Cheapest = lowest energy per frame; ties by area.
+				if best.report == nil ||
+					r.EnergyMJPerFrame < best.report.EnergyMJPerFrame ||
+					(r.EnergyMJPerFrame == best.report.EnergyMJPerFrame && r.AreaMM2 < best.report.AreaMM2) {
+					best.report, best.bufKB, best.ghz = r, buf, ghz
+				}
+			}
+		}
+		if best.report == nil {
+			fmt.Printf("  %-10s no real-time design in the sweep\n", res.name)
+			continue
+		}
+		fmt.Printf("  %-10s %dkB buffers @ %.2f GHz → %.1f fps, %.4f mm², %.1f mW, %.2f mJ/frame\n",
+			res.name, best.bufKB, best.ghz, best.report.FPS,
+			best.report.AreaMM2, best.report.PowerMW, best.report.EnergyMJPerFrame)
+	}
+
+	// The energy story of Table 5, in one line per platform.
+	fmt.Println("\nenergy per frame at 1080p (paper Table 5):")
+	accel, err := sslic.SimulateAccelerator(sslic.DefaultAcceleratorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Tesla K20 (normalized): ~867 mJ    Tegra K1 (normalized): ~407 mJ    this accelerator: %.1f mJ\n",
+		accel.EnergyMJPerFrame)
+	fmt.Printf("  → %.0f× more efficient than the mobile GPU\n", 407/accel.EnergyMJPerFrame)
+}

@@ -1,0 +1,99 @@
+// Mobile-vision pipeline: the use case from the paper's introduction —
+// superpixels as a preprocessing stage that "reduces the complexity of
+// image processing tasks later in the computer vision pipeline".
+//
+// The example segments a scene, extracts per-region features, builds the
+// weighted region adjacency graph and merges superpixels into object
+// proposals with the adaptive (Felzenszwalb-style) criterion — all on
+// ~900 graph nodes instead of ~154k pixels.
+//
+//	go run ./examples/mobilevision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sslic"
+	"sslic/internal/dataset"
+	"sslic/internal/imgio"
+	"sslic/internal/vision"
+)
+
+func main() {
+	sample, err := dataset.Generate(dataset.DefaultConfig(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := sample.Image.ToGoImage()
+
+	seg, err := sslic.Segment(img, sslic.DefaultOptions(900))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := seg.W * seg.H
+	fmt.Printf("pixels: %d → superpixels: %d (%.0f× data reduction for downstream stages)\n",
+		n, seg.NumSegments, float64(n)/float64(seg.NumSegments))
+
+	// Downstream stage on the superpixel graph.
+	im := imgio.FromGoImage(img)
+	lm := imgio.NewLabelMap(seg.W, seg.H)
+	copy(lm.Labels, seg.Labels)
+
+	feats, err := vision.ExtractFeatures(im, lm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := vision.BuildGraph(feats, lm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("region adjacency graph: %d nodes, %d edges\n", graph.NumRegions, len(graph.Edges))
+
+	merged, err := vision.GreedyMerge(graph, feats, vision.MergeParams{AdaptiveK: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposals, err := vision.ApplyMerge(lm, merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive merging: %d merges → %d object proposals\n",
+		merged.MergesApplied, merged.Num)
+
+	// How good was the superpixel stage against ground truth?
+	gt, err := sslic.NewGroundTruth(sample.GT.W, sample.GT.H, sample.GT.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sslic.Evaluate(img, seg, gt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("superpixel quality: USE %.4f, boundary recall %.4f\n",
+		m.UndersegmentationError, m.BoundaryRecall)
+
+	// The biggest proposals, with their features.
+	sizes := proposals.RegionSizes()
+	var biggest int32
+	for lbl, sz := range sizes {
+		if sz > sizes[biggest] {
+			biggest = lbl
+		}
+	}
+	pFeats, err := vision.ExtractFeatures(im, proposals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := pFeats[biggest]
+	fmt.Printf("largest proposal: %d px, mean color (%.0f,%.0f,%.0f), bbox [%d,%d]-[%d,%d]\n",
+		f.Area, f.MeanColor[0], f.MeanColor[1], f.MeanColor[2], f.MinX, f.MinY, f.MaxX, f.MaxY)
+
+	if err := imgio.WritePPMFile("mobilevision_proposals.ppm", imgio.LabelColors(proposals)); err != nil {
+		log.Fatal(err)
+	}
+	if err := imgio.WritePPMFile("mobilevision_abstract.ppm", imgio.MeanColor(im, proposals)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote mobilevision_proposals.ppm, mobilevision_abstract.ppm")
+}

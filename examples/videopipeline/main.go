@@ -1,0 +1,138 @@
+// Video pipeline: a 30 fps stream through both halves of the
+// reproduction. The software half segments a synthetic panning scene
+// frame by frame, warm-starting each frame from the previous centers so
+// three iterations suffice instead of ten, and reports the temporal
+// consistency of the resulting superpixels. The hardware half checks the
+// same workload against the calibrated accelerator model's real-time
+// budget (paper Table 4).
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sslic"
+	"sslic/internal/dataset"
+	"sslic/internal/video"
+)
+
+const frames = 8
+
+func main() {
+	stream, err := video.NewStream(dataset.DefaultConfig(), 99, video.Pan, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("software pipeline (warm-started S-SLIC, K=900, pan 3 px/frame):")
+	var prev *sslic.Segmentation
+	var prevLabels []int32
+	var coldTime, warmTime time.Duration
+	w, h := stream.Size()
+	for f := 0; f < frames; f++ {
+		frame, gtFrame, err := stream.Frame(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img := frame.ToGoImage()
+
+		opt := sslic.DefaultOptions(900)
+		if prev != nil {
+			opt.WarmStart = prev
+			opt.Iterations = 3 // temporal coherence: a few iterations suffice
+		}
+		t0 := time.Now()
+		seg, err := sslic.Segment(img, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt := time.Since(t0)
+		if prev == nil {
+			coldTime = dt
+		} else {
+			warmTime += dt
+		}
+
+		gt, err := sslic.NewGroundTruth(gtFrame.W, gtFrame.H, gtFrame.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sslic.Evaluate(img, seg, gt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tc := "    -"
+		if prevLabels != nil {
+			dxc, _ := stream.Displacement(f)
+			dxp, _ := stream.Displacement(f - 1)
+			c, err := temporalConsistency(prevLabels, seg.Labels, w, h, dxc-dxp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tc = fmt.Sprintf("%.3f", c)
+		}
+		kind := "cold"
+		if prev != nil {
+			kind = "warm"
+		}
+		fmt.Printf("  frame %d (%s): %v, USE %.4f, BR %.4f, consistency %s\n",
+			f, kind, dt.Round(time.Millisecond), m.UndersegmentationError, m.BoundaryRecall, tc)
+		prev = seg
+		prevLabels = append([]int32(nil), seg.Labels...)
+	}
+	avgWarm := warmTime / (frames - 1)
+	fmt.Printf("cold start %v; warm frames average %v (%.1f× faster)\n\n",
+		coldTime.Round(time.Millisecond), avgWarm.Round(time.Millisecond),
+		float64(coldTime)/float64(avgWarm))
+
+	// Hardware budget for the same stream at full HD.
+	fmt.Println("accelerator budget (Table 4 design points):")
+	for _, point := range []struct {
+		name string
+		cfg  sslic.AcceleratorConfig
+	}{
+		{"1080p, 4kB buffers, 1.6GHz", sslic.DefaultAcceleratorConfig()},
+		{"720p, 1kB buffers, 1.25GHz", sslic.AcceleratorConfig{Width: 1280, Height: 768, BufferKB: 1, ClockGHz: 1.25}},
+		{"VGA, 1kB buffers, 0.9GHz", sslic.AcceleratorConfig{Width: 640, Height: 480, BufferKB: 1, ClockGHz: 0.9}},
+	} {
+		r, err := sslic.SimulateAccelerator(point.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "MISSES 30 fps"
+		if r.RealTime {
+			status = "real-time"
+		}
+		fmt.Printf("  %-28s %.1f ms/frame, %.1f fps (%s), %.1f mW, %.2f mJ/frame\n",
+			point.name, r.LatencyMS, r.FPS, status, r.PowerMW, r.EnergyMJPerFrame)
+	}
+}
+
+// temporalConsistency mirrors video.TemporalConsistency on raw label
+// slices (the facade exposes labels, not internal label maps).
+func temporalConsistency(prev, cur []int32, w, h, dx int) (float64, error) {
+	const stride, pairOff = 5, 4
+	var total, agree int
+	for y := 0; y < h-pairOff; y += stride {
+		for x := 0; x < w-pairOff; x += stride {
+			px := x + dx
+			if px < 0 || px+pairOff >= w {
+				continue
+			}
+			samePrev := prev[y*w+px] == prev[(y+pairOff)*w+px+pairOff]
+			sameCur := cur[y*w+x] == cur[(y+pairOff)*w+x+pairOff]
+			total++
+			if samePrev == sameCur {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("no sample pairs")
+	}
+	return float64(agree) / float64(total), nil
+}

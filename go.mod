@@ -1,0 +1,3 @@
+module sslic
+
+go 1.22

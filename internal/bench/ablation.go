@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"time"
+
+	"sslic/internal/metrics"
+	slicpkg "sslic/internal/slic"
+	"sslic/internal/sslic"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out: the
+// subsampling scheme (§3's "different subsampling mechanisms"), the
+// architecture choice (§4.2's accuracy claim), and the Preemptive-SLIC
+// composition the paper leaves as future work (§8).
+
+func init() {
+	register(Runner{
+		ID:          "ablation-schemes",
+		Description: "Subsampling scheme ablation: interleaved vs rows vs blocks vs hashed",
+		Run:         ablationSchemes,
+	})
+	register(Runner{
+		ID:          "ablation-arch",
+		Description: "PPA vs CPA segmentation quality at equal iterations",
+		Run:         ablationArch,
+	})
+	register(Runner{
+		ID:          "ablation-preemptive",
+		Description: "Preemptive S-SLIC: work saved vs quality cost",
+		Run:         ablationPreemptive,
+	})
+}
+
+func ablationSchemes(o Options) (*Table, error) {
+	samples, err := corpus(o)
+	if err != nil {
+		return nil, err
+	}
+	iters := 10
+	if o.Quick {
+		iters = 4
+	}
+	t := &Table{
+		ID:      "ablation-schemes",
+		Title:   "Subsampling scheme ablation (S-SLIC(0.25), K=900)",
+		Columns: []string{"scheme", "USE", "BoundaryRecall"},
+		Notes: []string{
+			"§3: choosing the proper subsampling strategy is fundamental to convergence",
+			"expected: spatially uniform subsets (interleaved/rows/hashed) beat contiguous blocks",
+		},
+	}
+	for _, scheme := range []sslic.Scheme{sslic.Interleaved, sslic.Rows, sslic.Blocks, sslic.Hashed} {
+		var use, br float64
+		for _, s := range samples {
+			p := sslic.DefaultParams(fig2K, 0.25)
+			p.FullIters = iters
+			p.Scheme = scheme
+			r, err := sslic.Segment(s.Image, p)
+			if err != nil {
+				return nil, err
+			}
+			u, err := metrics.UndersegmentationError(r.Labels, s.GT)
+			if err != nil {
+				return nil, err
+			}
+			b, err := metrics.BoundaryRecall(r.Labels, s.GT, 2)
+			if err != nil {
+				return nil, err
+			}
+			use += u
+			br += b
+		}
+		n := float64(len(samples))
+		t.AddRow(scheme.String(), f4(use/n), f4(br/n))
+	}
+	return t, nil
+}
+
+func ablationArch(o Options) (*Table, error) {
+	samples, err := corpus(o)
+	if err != nil {
+		return nil, err
+	}
+	iters := 10
+	if o.Quick {
+		iters = 4
+	}
+	t := &Table{
+		ID:      "ablation-arch",
+		Title:   "PPA vs CPA quality (ratio 1.0, K=900)",
+		Columns: []string{"arch", "USE", "BoundaryRecall", "distance calcs(M)"},
+		Notes: []string{
+			"§4.2: the PPA shows almost the same but slightly better accuracy than the CPA",
+		},
+	}
+	for _, arch := range []sslic.Arch{sslic.PPA, sslic.CPA} {
+		var use, br float64
+		var calcs int64
+		for _, s := range samples {
+			p := sslic.DefaultParams(fig2K, 1)
+			p.FullIters = iters
+			p.Arch = arch
+			r, err := sslic.Segment(s.Image, p)
+			if err != nil {
+				return nil, err
+			}
+			u, err := metrics.UndersegmentationError(r.Labels, s.GT)
+			if err != nil {
+				return nil, err
+			}
+			b, err := metrics.BoundaryRecall(r.Labels, s.GT, 2)
+			if err != nil {
+				return nil, err
+			}
+			use += u
+			br += b
+			calcs += r.Stats.DistanceCalcs
+		}
+		n := float64(len(samples))
+		t.AddRow(arch.String(), f4(use/n), f4(br/n), f1(float64(calcs)/n/1e6))
+	}
+	return t, nil
+}
+
+func ablationPreemptive(o Options) (*Table, error) {
+	samples, err := corpus(o)
+	if err != nil {
+		return nil, err
+	}
+	iters := 12
+	if o.Quick {
+		iters = 5
+	}
+	t := &Table{
+		ID:      "ablation-preemptive",
+		Title:   "Preemptive S-SLIC(0.5) composition (K=900)",
+		Columns: []string{"variant", "USE", "BoundaryRecall", "distance calcs(M)", "time(ms)"},
+		Notes: []string{
+			"§8: Preemptive SLIC is orthogonal to S-SLIC; \"the two techniques could be combined\"",
+		},
+	}
+	for _, preemptive := range []bool{false, true} {
+		var use, br float64
+		var calcs int64
+		var tt time.Duration
+		for _, s := range samples {
+			p := sslic.DefaultParams(fig2K, 0.5)
+			p.FullIters = iters
+			p.Preemptive = preemptive
+			// Subset sampling makes converged centers jitter by a
+			// fraction of a pixel between passes; a 1-pixel settle
+			// threshold freezes genuinely stable regions.
+			p.PreemptThreshold = 1.0
+			t0 := time.Now()
+			r, err := sslic.Segment(s.Image, p)
+			if err != nil {
+				return nil, err
+			}
+			tt += time.Since(t0)
+			u, err := metrics.UndersegmentationError(r.Labels, s.GT)
+			if err != nil {
+				return nil, err
+			}
+			b, err := metrics.BoundaryRecall(r.Labels, s.GT, 2)
+			if err != nil {
+				return nil, err
+			}
+			use += u
+			br += b
+			calcs += r.Stats.DistanceCalcs
+		}
+		n := float64(len(samples))
+		name := "S-SLIC(0.5)"
+		if preemptive {
+			name = "preemptive S-SLIC(0.5)"
+		}
+		t.AddRow(name, f4(use/n), f4(br/n), f1(float64(calcs)/n/1e6),
+			f1(float64(tt.Milliseconds())/n))
+	}
+	return t, nil
+}
+
+func init() {
+	register(Runner{
+		ID:          "ablation-slico",
+		Description: "SLIC vs SLICO (adaptive compactness): quality and shape regularity",
+		Run:         ablationSLICO,
+	})
+}
+
+func ablationSLICO(o Options) (*Table, error) {
+	samples, err := corpus(o)
+	if err != nil {
+		return nil, err
+	}
+	iters := 10
+	if o.Quick {
+		iters = 4
+	}
+	t := &Table{
+		ID:      "ablation-slico",
+		Title:   "SLIC vs SLICO (K=900)",
+		Columns: []string{"variant", "USE", "BoundaryRecall", "Compactness"},
+		Notes: []string{
+			"SLICO normalizes each cluster's color distance by its own observed scale, removing the m parameter;",
+			"on this corpus of fairly homogeneous regions it costs some USE/BR — its benefit is shape uniformity",
+			"across texture levels (asserted in internal/slic's TestSLICOEqualizesCompactness), not global quality",
+		},
+	}
+	for _, adaptive := range []bool{false, true} {
+		var use, br, co float64
+		for _, s := range samples {
+			p := slicpkg.DefaultParams(fig2K)
+			p.MaxIters = iters
+			p.AdaptiveCompactness = adaptive
+			r, err := slicpkg.Segment(s.Image, p)
+			if err != nil {
+				return nil, err
+			}
+			u, err := metrics.UndersegmentationError(r.Labels, s.GT)
+			if err != nil {
+				return nil, err
+			}
+			b, err := metrics.BoundaryRecall(r.Labels, s.GT, 2)
+			if err != nil {
+				return nil, err
+			}
+			use += u
+			br += b
+			co += metrics.Compactness(r.Labels)
+		}
+		n := float64(len(samples))
+		name := "SLIC (m=10)"
+		if adaptive {
+			name = "SLICO (adaptive)"
+		}
+		t.AddRow(name, f4(use/n), f4(br/n), f4(co/n))
+	}
+	return t, nil
+}

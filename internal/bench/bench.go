@@ -1,0 +1,174 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§3, §6, §7). Each experiment is a named function returning
+// a typed Table; cmd/sslic-bench renders them as text or CSV, and
+// EXPERIMENTS.md records the paper-vs-measured comparison. The
+// experiment IDs match DESIGN.md's per-experiment index.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options control experiment cost.
+type Options struct {
+	// CorpusSize is the number of synthetic images for quality
+	// experiments (the paper uses 100-200 Berkeley images).
+	CorpusSize int
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// Quick trims sweeps for CI-speed runs.
+	Quick bool
+}
+
+// DefaultOptions mirror the paper-scale settings.
+func DefaultOptions() Options {
+	return Options{CorpusSize: 20, Seed: 1}
+}
+
+// QuickOptions are for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{CorpusSize: 2, Seed: 1, Quick: true}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes document paper-vs-model caveats inline.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Options) (*Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.ID]; dup {
+		panic("bench: duplicate experiment " + r.ID)
+	}
+	registry[r.ID] = r
+}
+
+// Experiments lists all registered experiments sorted by ID.
+func Experiments() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Markdown renders the table as GitHub-flavored markdown, with notes as
+// a trailing blockquote — the format EXPERIMENTS.md embeds.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + esc(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for _, cell := range row {
+			b.WriteString(" " + esc(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+
+	"sslic/internal/energy"
+	"sslic/internal/gpumodel"
+	"sslic/internal/hw"
+	"sslic/internal/sslic"
+)
+
+func init() {
+	register(Runner{
+		ID:          "table2",
+		Description: "CPA vs PPA: memory bandwidth and operation count per 1080p iteration",
+		Run:         table2,
+	})
+	register(Runner{
+		ID:          "table3",
+		Description: "Cluster Update Unit configurations: area/power/latency/throughput/time/energy",
+		Run:         table3,
+	})
+	register(Runner{
+		ID:          "fig6",
+		Description: "Frame time vs channel buffer size (HD, K=5000, 9-9-6)",
+		Run:         fig6,
+	})
+	register(Runner{
+		ID:          "table4",
+		Description: "Best accelerator configurations at 1080p/720p/VGA",
+		Run:         table4,
+	})
+	register(Runner{
+		ID:          "table5",
+		Description: "Tesla K20 / Tegra K1 / S-SLIC accelerator comparison",
+		Run:         table5,
+	})
+}
+
+func table2(o Options) (*Table, error) {
+	cpa := sslic.Analyze(sslic.CPA, 1920, 1080, 1)
+	ppa := sslic.Analyze(sslic.PPA, 1920, 1080, 1)
+	t := &Table{
+		ID:      "table2",
+		Title:   "Analysis of CPA and PPA implementations (1920×1080, per iteration)",
+		Columns: []string{"", "CPA", "PPA"},
+		Notes: []string{
+			"paper: CPA 318 MB + 58M ops; PPA 100 MB + 130M ops per iteration",
+			fmt.Sprintf("bandwidth ratio %.2f× (paper ~3×), op ratio %.2f× (paper 2.25×)",
+				cpa.TrafficMB()/ppa.TrafficMB(), ppa.OpsM()/cpa.OpsM()),
+		},
+	}
+	t.AddRow("Memory Bandwidth", f0(cpa.TrafficMB())+" MB/iteration", f0(ppa.TrafficMB())+" MB/iteration")
+	t.AddRow("Operation count", f0(cpa.OpsM())+"M OPs/iteration", f0(ppa.OpsM())+"M OPs/iteration")
+
+	// §4.2 energy model: per-iteration energy under the 8b-add/2500×DRAM
+	// assumption, the reason the design adopts the PPA.
+	tech := energy.Default16nm()
+	cpaE := float64(cpa.Ops)*tech.Add8Energy + tech.DRAMEnergy(cpa.TrafficBytes)
+	ppaE := float64(ppa.Ops)*tech.Add8Energy + tech.DRAMEnergy(ppa.TrafficBytes)
+	t.AddRow("Model energy (§4.2)", fmt.Sprintf("%.1f mJ/iteration", cpaE*1e3), fmt.Sprintf("%.1f mJ/iteration", ppaE*1e3))
+	return t, nil
+}
+
+func table3(o Options) (*Table, error) {
+	tech := energy.Default16nm()
+	const n = 1920 * 1080
+	t := &Table{
+		ID:    "table3",
+		Title: "Cluster Update Unit configurations (1 iteration of 1920×1080 at 1.6 GHz)",
+		Columns: []string{"config", "area(mm²)", "power(mW)", "latency(cyc)", "throughput(px/cyc)",
+			"time(ms)", "energy(µJ)"},
+		Notes: []string{
+			"paper row order: 1-1-1, 9-1-1, 1-9-1, 1-1-6, 9-9-6",
+			"paper: 9-9-6 is 7.8× area and 9.4× power of 1-1-1 for 9× throughput at marginal energy",
+		},
+	}
+	for _, c := range hw.Table3Configs() {
+		t.AddRow(
+			c.String(),
+			f4(c.AreaMM2()),
+			f1(c.PowerWatts(tech)*1e3),
+			fmt.Sprintf("%d", c.LatencyCycles()),
+			fmt.Sprintf("1/%d", c.InitiationInterval()),
+			f1(c.IterationTime(tech, n)*1e3),
+			f1(c.IterationEnergy(tech, n)*1e6),
+		)
+	}
+	return t, nil
+}
+
+func fig6(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Frame time vs channel buffer size (1080p, K=5000, 9-9-6)",
+		Columns: []string{"buffer/channel", "frame time(ms)", "fps", "real-time(≥30fps)", "mem fraction"},
+		Notes: []string{
+			"paper: real time needs ≥4 kB; larger buffers give only slightly better frame time",
+			"paper: at 4 kB, memory access is 35% of execution time",
+		},
+	}
+	for _, kb := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := hw.DefaultConfig()
+		cfg.BufferBytesPerChannel = kb * 1024
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%dkB", kb),
+			fmt.Sprintf("%.2f", r.TotalTime*1e3),
+			f1(r.FPS),
+			fmt.Sprintf("%v", r.RealTime),
+			fmt.Sprintf("%.0f%%", 100*r.ClusterMemTime/r.TotalTime),
+		)
+	}
+	return t, nil
+}
+
+// table4Rows defines the three published design points. The paper notes
+// the architecture "can scale gracefully down to lower resolution image
+// streams by reducing the buffer sizes and ultimately reducing the clock
+// rate"; the sub-HD rows therefore run at reduced clocks, chosen to match
+// the published latencies.
+var table4Rows = []struct {
+	name    string
+	w, h    int
+	buffer  int
+	clockHz float64
+}{
+	{"1920×1080", 1920, 1080, 4096, 1.6e9},
+	{"1280×768", 1280, 768, 1024, 1.25e9},
+	{"640×480", 640, 480, 1024, 0.9e9},
+}
+
+func table4(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Performance summary of best S-SLIC configurations (K=5000)",
+		Columns: []string{"resolution", "buffer", "area(mm²)", "power(mW)", "latency(ms)", "fps", "energy(mJ/frame)", "fps/mm²"},
+		Notes: []string{
+			"paper: 32.8ms/30.5fps/1.6mJ (HD), 25.4ms/39fps/1.17mJ (720p), 19.7ms/50.3fps/0.98mJ (VGA)",
+			"sub-HD rows run at reduced clock per §6.3's graceful scale-down; see EXPERIMENTS.md",
+		},
+	}
+	for _, row := range table4Rows {
+		cfg := hw.DefaultConfig()
+		cfg.Width, cfg.Height = row.w, row.h
+		cfg.BufferBytesPerChannel = row.buffer
+		cfg.Tech.ClockHz = row.clockHz
+		r, err := hw.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			row.name,
+			fmt.Sprintf("%dkB", row.buffer/1024),
+			f3(r.AreaMM2),
+			f0(r.PowerWatts*1e3),
+			f1(r.TotalTime*1e3),
+			f1(r.FPS),
+			fmt.Sprintf("%.2f", r.EnergyPerFrame*1e3),
+			f0(r.PerfPerArea),
+		)
+	}
+	return t, nil
+}
+
+func table5(o Options) (*Table, error) {
+	accel, err := hw.Simulate(hw.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	devices := []gpumodel.Device{gpumodel.TeslaK20(), gpumodel.TegraK1()}
+	t := &Table{
+		ID:      "table5",
+		Title:   "GPU, mobile GPU, and S-SLIC accelerator (1920×1080, K=5000)",
+		Columns: []string{"", "Tesla K20", "TK1", "This Work"},
+		Notes: []string{
+			"GPU rows from the calibrated analytic device models (see DESIGN.md substitutions)",
+		},
+	}
+	lat := make([]float64, 2)
+	normE := make([]float64, 2)
+	for i, d := range devices {
+		if lat[i], err = d.Latency(1920, 1080); err != nil {
+			return nil, err
+		}
+		if normE[i], err = d.NormalizedEnergyPerFrame(1920, 1080); err != nil {
+			return nil, err
+		}
+	}
+	t.AddRow("Algorithm", "SLIC", "SLIC", "S-SLIC")
+	t.AddRow("Technology", "28nm (0.81V)", "28nm (0.81V)", "16nm (0.72V)")
+	t.AddRow("On-chip memory", "6320kB", "368kB", fmt.Sprintf("%dkB", (accel.OnChipBytes+4096)/1024))
+	t.AddRow("Core count", "2496", "192", "1")
+	t.AddRow("Average power", "86W", "332mW", f0(accel.PowerWatts*1e3)+"mW")
+	t.AddRow("Power (normalized)",
+		f0(devices[0].NormalizedPower())+"W",
+		f0(devices[1].NormalizedPower()*1e3)+"mW",
+		f0(accel.PowerWatts*1e3)+"mW")
+	t.AddRow("Latency", f1(lat[0]*1e3)+"ms", f0(lat[1]*1e3)+"ms", f1(accel.TotalTime*1e3)+"ms")
+	t.AddRow("Energy/frame (normalized)",
+		f0(normE[0]*1e3)+"mJ", f0(normE[1]*1e3)+"mJ",
+		fmt.Sprintf("%.1fmJ", accel.EnergyPerFrame*1e3))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("energy-efficiency ratios: %.0f× vs K20, %.0f× vs TK1 (paper: >500×, >250×)",
+			normE[0]/accel.EnergyPerFrame, normE[1]/accel.EnergyPerFrame))
+	return t, nil
+}

@@ -1,0 +1,164 @@
+// Package colorspace implements the reference floating-point color
+// conversions from the paper's §2 (Equations 1-4): sRGB gamma expansion,
+// the linear RGB→XYZ matrix, and the XYZ→CIELAB transform with a D65
+// reference white. It also provides the inverse transforms, used by the
+// synthetic dataset generator and by tests that validate the accelerator's
+// LUT-based fixed-point datapath against this reference.
+package colorspace
+
+import "math"
+
+// D65 reference white in XYZ, normalized so that Y = 1, as used by the
+// standard sRGB→CIELAB conversion (and by the original SLIC code).
+const (
+	WhiteX = 0.950456
+	WhiteY = 1.0
+	WhiteZ = 1.088754
+)
+
+// rgbToXYZ is the sRGB (ITU-R BT.709 primaries, D65 white) linear RGB→XYZ
+// matrix M from Equation 2.
+var rgbToXYZ = [3][3]float64{
+	{0.412453, 0.357580, 0.180423},
+	{0.212671, 0.715160, 0.072169},
+	{0.019334, 0.119193, 0.950227},
+}
+
+// xyzToRGB is the inverse of rgbToXYZ.
+var xyzToRGB = [3][3]float64{
+	{3.240479, -1.537150, -0.498535},
+	{-0.969256, 1.875992, 0.041556},
+	{0.055648, -0.204043, 1.057311},
+}
+
+// SRGBToLinear applies the sRGB gamma expansion of Equation 1 to a
+// component in [0, 1].
+func SRGBToLinear(x float64) float64 {
+	if x <= 0.04045 {
+		return x / 12.92
+	}
+	return math.Pow((x+0.055)/1.055, 2.4)
+}
+
+// LinearToSRGB is the inverse of SRGBToLinear.
+func LinearToSRGB(x float64) float64 {
+	if x <= 0.0031308 {
+		return x * 12.92
+	}
+	return 1.055*math.Pow(x, 1/2.4) - 0.055
+}
+
+// labF is the CIELAB forward nonlinearity of Equation 4: a cube root above
+// the 0.008856 knee and a linear segment below it.
+func labF(t float64) float64 {
+	if t > 0.008856 {
+		return math.Cbrt(t)
+	}
+	return (903.3*t + 16) / 116
+}
+
+// labFInv inverts labF.
+func labFInv(f float64) float64 {
+	t3 := f * f * f
+	if t3 > 0.008856 {
+		return t3
+	}
+	return (116*f - 16) / 903.3
+}
+
+// RGBToXYZ converts linear RGB components to XYZ via Equation 2.
+func RGBToXYZ(r, g, b float64) (x, y, z float64) {
+	x = rgbToXYZ[0][0]*r + rgbToXYZ[0][1]*g + rgbToXYZ[0][2]*b
+	y = rgbToXYZ[1][0]*r + rgbToXYZ[1][1]*g + rgbToXYZ[1][2]*b
+	z = rgbToXYZ[2][0]*r + rgbToXYZ[2][1]*g + rgbToXYZ[2][2]*b
+	return x, y, z
+}
+
+// XYZToRGB converts XYZ back to linear RGB.
+func XYZToRGB(x, y, z float64) (r, g, b float64) {
+	r = xyzToRGB[0][0]*x + xyzToRGB[0][1]*y + xyzToRGB[0][2]*z
+	g = xyzToRGB[1][0]*x + xyzToRGB[1][1]*y + xyzToRGB[1][2]*z
+	b = xyzToRGB[2][0]*x + xyzToRGB[2][1]*y + xyzToRGB[2][2]*z
+	return r, g, b
+}
+
+// XYZToLab converts XYZ to CIELAB (Equation 3), normalizing against the
+// D65 reference white.
+func XYZToLab(x, y, z float64) (l, a, b float64) {
+	fx := labF(x / WhiteX)
+	fy := labF(y / WhiteY)
+	fz := labF(z / WhiteZ)
+	l = 116*fy - 16
+	a = 500 * (fx - fy)
+	b = 200 * (fy - fz)
+	return l, a, b
+}
+
+// LabToXYZ inverts XYZToLab.
+func LabToXYZ(l, a, b float64) (x, y, z float64) {
+	fy := (l + 16) / 116
+	fx := fy + a/500
+	fz := fy - b/200
+	return labFInv(fx) * WhiteX, labFInv(fy) * WhiteY, labFInv(fz) * WhiteZ
+}
+
+// gamma8 caches SRGBToLinear for all 256 8-bit codes. Because the input
+// is quantized, the table is exact — it changes speed, not results.
+var gamma8 = func() [256]float64 {
+	var t [256]float64
+	for i := range t {
+		t[i] = SRGBToLinear(float64(i) / 255)
+	}
+	return t
+}()
+
+// SRGB8ToLab converts 8-bit sRGB values to CIELAB through the full
+// Equation 1-4 chain. L is in [0, 100]; a and b roughly in [-128, 127].
+func SRGB8ToLab(r, g, b uint8) (l, aa, bb float64) {
+	x, y, z := RGBToXYZ(gamma8[r], gamma8[g], gamma8[b])
+	return XYZToLab(x, y, z)
+}
+
+// LabToSRGB8 converts CIELAB back to 8-bit sRGB, clamping out-of-gamut
+// values.
+func LabToSRGB8(l, a, b float64) (r, g, bb uint8) {
+	x, y, z := LabToXYZ(l, a, b)
+	rl, gl, bl := XYZToRGB(x, y, z)
+	return clamp8(LinearToSRGB(rl)), clamp8(LinearToSRGB(gl)), clamp8(LinearToSRGB(bl))
+}
+
+// Lab8 quantizes a CIELAB triple to the byte encoding used by the
+// accelerator scratchpads: L in [0,100] → [0,255]; a, b offset by 128 and
+// clamped. The inverse is Lab8ToFloat.
+func Lab8(l, a, b float64) (uint8, uint8, uint8) {
+	return clamp8(l / 100), clamp8((a + 128) / 255), clamp8((b + 128) / 255)
+}
+
+// Lab8ToFloat undoes the Lab8 quantization (up to rounding error).
+func Lab8ToFloat(l8, a8, b8 uint8) (l, a, b float64) {
+	return float64(l8) * 100 / 255, float64(a8) - 128, float64(b8) - 128
+}
+
+// ConvertImageToLab converts a whole packed-slice triple of 8-bit sRGB
+// channels into float64 Lab planes. The slices must have equal length.
+func ConvertImageToLab(r, g, b []uint8) (l, aa, bb []float64) {
+	n := len(r)
+	l = make([]float64, n)
+	aa = make([]float64, n)
+	bb = make([]float64, n)
+	for i := 0; i < n; i++ {
+		l[i], aa[i], bb[i] = SRGB8ToLab(r[i], g[i], b[i])
+	}
+	return l, aa, bb
+}
+
+func clamp8(v float64) uint8 {
+	v = math.Round(v * 255)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

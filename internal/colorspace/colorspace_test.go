@@ -1,0 +1,174 @@
+package colorspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSRGBGammaKnownPoints(t *testing.T) {
+	// Below the knee the curve is linear.
+	if got := SRGBToLinear(0.04045); !near(got, 0.04045/12.92, 1e-12) {
+		t.Fatalf("knee value = %g", got)
+	}
+	if got := SRGBToLinear(0); got != 0 {
+		t.Fatalf("SRGBToLinear(0) = %g", got)
+	}
+	// White maps to 1 (within float rounding of the standard constants).
+	if got := SRGBToLinear(1); !near(got, 1, 1e-9) {
+		t.Fatalf("SRGBToLinear(1) = %g", got)
+	}
+}
+
+func TestSRGBGammaRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		x := math.Abs(math.Mod(v, 1))
+		return near(LinearToSRGB(SRGBToLinear(x)), x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRGBGammaMonotone(t *testing.T) {
+	prev := -1.0
+	for i := 0; i <= 1000; i++ {
+		x := float64(i) / 1000
+		y := SRGBToLinear(x)
+		if y <= prev {
+			t.Fatalf("not strictly increasing at x=%g", x)
+		}
+		prev = y
+	}
+}
+
+func TestXYZMatrixRoundTrip(t *testing.T) {
+	f := func(r, g, b float64) bool {
+		r = math.Abs(math.Mod(r, 1))
+		g = math.Abs(math.Mod(g, 1))
+		b = math.Abs(math.Mod(b, 1))
+		x, y, z := RGBToXYZ(r, g, b)
+		r2, g2, b2 := XYZToRGB(x, y, z)
+		return near(r, r2, 1e-5) && near(g, g2, 1e-5) && near(b, b2, 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhitePointMapsToWhite(t *testing.T) {
+	// Linear RGB (1,1,1) must map to the D65 white, whose Lab is (100,0,0).
+	x, y, z := RGBToXYZ(1, 1, 1)
+	if !near(x, WhiteX, 1e-4) || !near(y, WhiteY, 1e-4) || !near(z, WhiteZ, 1e-4) {
+		t.Fatalf("white XYZ = %g,%g,%g", x, y, z)
+	}
+	l, a, b := XYZToLab(x, y, z)
+	if !near(l, 100, 0.01) || !near(a, 0, 0.1) || !near(b, 0, 0.1) {
+		t.Fatalf("white Lab = %g,%g,%g", l, a, b)
+	}
+}
+
+func TestBlackMapsToLZero(t *testing.T) {
+	l, a, b := SRGB8ToLab(0, 0, 0)
+	if !near(l, 0, 0.2) || !near(a, 0, 0.2) || !near(b, 0, 0.2) {
+		t.Fatalf("black Lab = %g,%g,%g", l, a, b)
+	}
+}
+
+func TestKnownLabValues(t *testing.T) {
+	// Reference values computed with the standard sRGB D65 pipeline.
+	cases := []struct {
+		r, g, b  uint8
+		l, a, bb float64
+	}{
+		{255, 255, 255, 100, 0, 0},
+		{255, 0, 0, 53.24, 80.09, 67.20},
+		{0, 255, 0, 87.74, -86.18, 83.18},
+		{0, 0, 255, 32.30, 79.19, -107.86},
+		{128, 128, 128, 53.59, 0, 0},
+	}
+	for _, c := range cases {
+		l, a, b := SRGB8ToLab(c.r, c.g, c.b)
+		if !near(l, c.l, 0.3) || !near(a, c.a, 0.5) || !near(b, c.bb, 0.5) {
+			t.Errorf("SRGB8ToLab(%d,%d,%d) = %.2f,%.2f,%.2f; want %.2f,%.2f,%.2f",
+				c.r, c.g, c.b, l, a, b, c.l, c.a, c.bb)
+		}
+	}
+}
+
+func TestLabRoundTrip(t *testing.T) {
+	// Every representable sRGB color must survive RGB→Lab→RGB within
+	// quantization error. Sample the cube on a coarse grid.
+	for r := 0; r < 256; r += 17 {
+		for g := 0; g < 256; g += 17 {
+			for b := 0; b < 256; b += 17 {
+				l, a, bb := SRGB8ToLab(uint8(r), uint8(g), uint8(b))
+				r2, g2, b2 := LabToSRGB8(l, a, bb)
+				if absInt(int(r2)-r) > 1 || absInt(int(g2)-g) > 1 || absInt(int(b2)-b) > 1 {
+					t.Fatalf("round trip (%d,%d,%d) -> (%d,%d,%d)", r, g, b, r2, g2, b2)
+				}
+			}
+		}
+	}
+}
+
+func TestLabFContinuityAtKnee(t *testing.T) {
+	// Equation 4's two branches must agree at the knee t = 0.008856.
+	const knee = 0.008856
+	lo := labF(knee * 0.999999)
+	hi := labF(knee * 1.000001)
+	if !near(lo, hi, 1e-4) {
+		t.Fatalf("labF discontinuous at knee: %g vs %g", lo, hi)
+	}
+}
+
+func TestLabFInverse(t *testing.T) {
+	f := func(v float64) bool {
+		tt := math.Abs(math.Mod(v, 1))
+		return near(labFInv(labF(tt)), tt, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLab8QuantizationRoundTrip(t *testing.T) {
+	// Quantization to bytes and back must stay within one step.
+	for _, c := range [][3]float64{{0, 0, 0}, {100, 0, 0}, {50, -30, 40}, {75.5, 100, -100}} {
+		l8, a8, b8 := Lab8(c[0], c[1], c[2])
+		l, a, b := Lab8ToFloat(l8, a8, b8)
+		if !near(l, c[0], 100.0/255+1e-9) || !near(a, c[1], 1.01) || !near(b, c[2], 1.01) {
+			t.Errorf("Lab8 round trip %v -> %g,%g,%g", c, l, a, b)
+		}
+	}
+}
+
+func TestConvertImageToLab(t *testing.T) {
+	r := []uint8{255, 0}
+	g := []uint8{255, 0}
+	b := []uint8{255, 0}
+	l, _, _ := ConvertImageToLab(r, g, b)
+	if !near(l[0], 100, 0.1) || !near(l[1], 0, 0.2) {
+		t.Fatalf("L = %v", l)
+	}
+}
+
+func TestLabLIsMonotoneInGray(t *testing.T) {
+	prev := -1.0
+	for v := 0; v < 256; v++ {
+		l, _, _ := SRGB8ToLab(uint8(v), uint8(v), uint8(v))
+		if l < prev {
+			t.Fatalf("L not monotone at gray %d", v)
+		}
+		prev = l
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"testing"
+
+	"sslic/internal/imgio"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	if c.W != 481 || c.H != 321 {
+		t.Fatalf("default size %dx%d, want BSDS 481x321", c.W, c.H)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.W = 0 },
+		func(c *Config) { c.H = -1 },
+		func(c *Config) { c.Regions = 0 },
+		func(c *Config) { c.NoiseSigma = -1 },
+		func(c *Config) { c.TextureAmp = -1 },
+		func(c *Config) { c.MinColorSep = -1 },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func smallConfig(kind Kind) Config {
+	c := DefaultConfig()
+	c.W, c.H = 96, 64
+	c.Kind = kind
+	c.Regions = 6
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(Voronoi)
+	a, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Image.C0 {
+		if a.Image.C0[i] != b.Image.C0[i] || a.Image.C1[i] != b.Image.C1[i] || a.Image.C2[i] != b.Image.C2[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	for i := range a.GT.Labels {
+		if a.GT.Labels[i] != b.GT.Labels[i] {
+			t.Fatal("same seed produced different ground truth")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := smallConfig(Voronoi)
+	a, _ := Generate(cfg, 1)
+	b, _ := Generate(cfg, 2)
+	same := true
+	for i := range a.GT.Labels {
+		if a.GT.Labels[i] != b.GT.Labels[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical ground truth")
+	}
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []Kind{Voronoi, Blobs, Stripes} {
+		cfg := smallConfig(kind)
+		s, err := Generate(cfg, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if s.Image.W != cfg.W || s.Image.H != cfg.H {
+			t.Fatalf("%v: image size %dx%d", kind, s.Image.W, s.Image.H)
+		}
+		if s.GT.W != cfg.W || s.GT.H != cfg.H {
+			t.Fatalf("%v: gt size mismatch", kind)
+		}
+		// Every pixel labeled.
+		for i, v := range s.GT.Labels {
+			if v < 0 {
+				t.Fatalf("%v: pixel %d unlabeled", kind, i)
+			}
+		}
+		// Region count within bounds (blobs can occlude earlier blobs, so
+		// allow fewer; never more than requested).
+		n := s.GT.NumRegions()
+		if n < 2 || n > cfg.Regions {
+			t.Fatalf("%v: %d regions for requested %d", kind, n, cfg.Regions)
+		}
+	}
+}
+
+func TestVoronoiRegionCountExact(t *testing.T) {
+	cfg := smallConfig(Voronoi)
+	s, err := Generate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voronoi sites essentially always own at least one pixel at this
+	// density.
+	if n := s.GT.NumRegions(); n != cfg.Regions {
+		t.Fatalf("voronoi regions = %d, want %d", n, cfg.Regions)
+	}
+}
+
+func TestAdjacentRegionsAreColorSeparated(t *testing.T) {
+	cfg := smallConfig(Voronoi)
+	cfg.NoiseSigma = 0
+	cfg.TextureAmp = 0
+	cfg.IlluminationGradient = 0
+	s, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With rendering disturbances off, pixels of adjacent regions sampled
+	// away from boundaries must differ clearly in color: check region mean
+	// colors across each adjacent pair.
+	means := regionMeans(s.Image, s.GT)
+	adj := adjacency(s.GT)
+	for pair := range adj {
+		a, b := means[pair[0]], means[pair[1]]
+		var d2 float64
+		for c := 0; c < 3; c++ {
+			diff := a[c] - b[c]
+			d2 += diff * diff
+		}
+		// Generator enforces MinColorSep=70 with geometric relaxation;
+		// anything above 35 keeps regions clearly separable.
+		if d2 < 35*35 {
+			t.Fatalf("adjacent regions %v too close in color: d=%f", pair, d2)
+		}
+	}
+}
+
+func regionMeans(im *imgio.Image, gt *imgio.LabelMap) map[int32][3]float64 {
+	sums := map[int32]*[4]float64{}
+	for i, v := range gt.Labels {
+		s := sums[v]
+		if s == nil {
+			s = &[4]float64{}
+			sums[v] = s
+		}
+		s[0] += float64(im.C0[i])
+		s[1] += float64(im.C1[i])
+		s[2] += float64(im.C2[i])
+		s[3]++
+	}
+	out := map[int32][3]float64{}
+	for v, s := range sums {
+		out[v] = [3]float64{s[0] / s[3], s[1] / s[3], s[2] / s[3]}
+	}
+	return out
+}
+
+func TestNoiseChangesPixelsNotGT(t *testing.T) {
+	base := smallConfig(Voronoi)
+	base.NoiseSigma = 0
+	noisy := base
+	noisy.NoiseSigma = 10
+	a, _ := Generate(base, 5)
+	b, _ := Generate(noisy, 5)
+	for i := range a.GT.Labels {
+		if a.GT.Labels[i] != b.GT.Labels[i] {
+			t.Fatal("noise altered ground truth")
+		}
+	}
+	diff := 0
+	for i := range a.Image.C0 {
+		if a.Image.C0[i] != b.Image.C0[i] {
+			diff++
+		}
+	}
+	if diff < len(a.Image.C0)/4 {
+		t.Fatalf("noise changed only %d pixels", diff)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	cfg := smallConfig(Blobs)
+	corpus, err := Corpus(cfg, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 5 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+	// Samples must differ.
+	if corpus[0].Seed == corpus[1].Seed {
+		t.Fatal("corpus reused seeds")
+	}
+	if _, err := Corpus(cfg, 0, 1); err == nil {
+		t.Fatal("zero-size corpus accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Voronoi.String() != "voronoi" || Blobs.String() != "blobs" || Stripes.String() != "stripes" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Manifest records everything needed to regenerate a corpus bit-exactly:
+// the configuration and the seed schedule. cmd/sslic-dataset writes one
+// next to the generated files so any corpus on disk documents itself.
+type Manifest struct {
+	// FormatVersion guards against future schema changes.
+	FormatVersion int `json:"format_version"`
+	// Config is the generator configuration.
+	Config Config `json:"config"`
+	// Count is the number of samples.
+	Count int `json:"count"`
+	// BaseSeed is the corpus seed; sample i uses BaseSeed + i*seedStride.
+	BaseSeed int64 `json:"base_seed"`
+}
+
+// manifestVersion is the current schema version.
+const manifestVersion = 1
+
+// NewManifest describes a corpus produced by Corpus(cfg, n, seed).
+func NewManifest(cfg Config, n int, seed int64) Manifest {
+	return Manifest{FormatVersion: manifestVersion, Config: cfg, Count: n, BaseSeed: seed}
+}
+
+// Validate reports whether the manifest can regenerate a corpus.
+func (m Manifest) Validate() error {
+	if m.FormatVersion != manifestVersion {
+		return fmt.Errorf("dataset: manifest version %d, want %d", m.FormatVersion, manifestVersion)
+	}
+	if m.Count < 1 {
+		return fmt.Errorf("dataset: manifest count %d", m.Count)
+	}
+	return m.Config.Validate()
+}
+
+// Regenerate rebuilds the corpus the manifest describes.
+func (m Manifest) Regenerate() ([]*Sample, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return Corpus(m.Config, m.Count, m.BaseSeed)
+}
+
+// WriteFile stores the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("dataset: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.W, cfg.H = 64, 48
+	cfg.Regions = 6
+	m := NewManifest(cfg, 3, 42)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("manifest changed: %+v vs %+v", back, m)
+	}
+}
+
+func TestManifestRegenerateBitExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.W, cfg.H = 64, 48
+	cfg.Regions = 6
+	orig, err := Corpus(cfg, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(cfg, 2, 7)
+	regen, err := m.Regenerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range orig {
+		for i := range orig[s].Image.C0 {
+			if orig[s].Image.C0[i] != regen[s].Image.C0[i] {
+				t.Fatalf("sample %d pixel %d differs", s, i)
+			}
+		}
+		for i := range orig[s].GT.Labels {
+			if orig[s].GT.Labels[i] != regen[s].GT.Labels[i] {
+				t.Fatalf("sample %d gt %d differs", s, i)
+			}
+		}
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	good := NewManifest(DefaultConfig(), 2, 1)
+	bad := good
+	bad.FormatVersion = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad = good
+	bad.Count = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero count accepted")
+	}
+	bad = good
+	bad.Config.W = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLoadManifestErrors(t *testing.T) {
+	if _, err := LoadManifest("/nonexistent/manifest.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,124 @@
+// Package dram models the accelerator's external memory: sustained
+// bandwidth, per-transfer latency, and per-stream traffic accounting.
+// The paper's buffer-size exploration (§6.3, Figure 6) assumes a peak
+// interface width of 256 bits/cycle and a 50-cycle access latency; the
+// number of scratchpad (tile) fills determines how often that latency is
+// exposed, which is why small channel buffers miss the real-time target.
+package dram
+
+import "fmt"
+
+// Stream identifies a traffic class for accounting.
+type Stream int
+
+const (
+	// StreamPixels is input pixel / Lab plane traffic.
+	StreamPixels Stream = iota
+	// StreamLabels is superpixel index buffer traffic.
+	StreamLabels
+	// StreamCenters is center and sigma accumulator traffic.
+	StreamCenters
+	numStreams
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case StreamPixels:
+		return "pixels"
+	case StreamLabels:
+		return "labels"
+	case StreamCenters:
+		return "centers"
+	default:
+		return fmt.Sprintf("stream(%d)", int(s))
+	}
+}
+
+// Config describes the external memory system.
+type Config struct {
+	// BandwidthBytesPerSec is the sustained transfer rate.
+	BandwidthBytesPerSec float64
+	// LatencyCycles is the first-access latency per transfer, in
+	// accelerator cycles.
+	LatencyCycles int
+	// ClockHz converts latency cycles to time.
+	ClockHz float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("dram: bandwidth %g B/s", c.BandwidthBytesPerSec)
+	}
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("dram: negative latency")
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("dram: clock %g Hz", c.ClockHz)
+	}
+	return nil
+}
+
+// Model accumulates traffic and computes transfer times.
+type Model struct {
+	cfg       Config
+	bytes     [numStreams]int64
+	transfers int64
+}
+
+// NewModel returns a model for the given configuration.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Record accounts bytes moved on a stream as part of one transfer burst
+// (one scratchpad fill or drain).
+func (m *Model) Record(s Stream, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m.bytes[s] += bytes
+	m.transfers++
+}
+
+// RecordBurst accounts a multi-stream burst as a single transfer (e.g.
+// one tile fill moving pixel and label planes together).
+func (m *Model) RecordBurst(pixelBytes, labelBytes, centerBytes int64) {
+	m.bytes[StreamPixels] += pixelBytes
+	m.bytes[StreamLabels] += labelBytes
+	m.bytes[StreamCenters] += centerBytes
+	m.transfers++
+}
+
+// TotalBytes returns the accumulated traffic across all streams.
+func (m *Model) TotalBytes() int64 {
+	var t int64
+	for _, b := range m.bytes {
+		t += b
+	}
+	return t
+}
+
+// StreamBytes returns the traffic of one stream.
+func (m *Model) StreamBytes(s Stream) int64 { return m.bytes[s] }
+
+// Transfers returns the number of recorded bursts.
+func (m *Model) Transfers() int64 { return m.transfers }
+
+// TransferTime returns the total time spent in external transfers: the
+// bandwidth-limited streaming time plus one access latency per burst.
+func (m *Model) TransferTime() float64 {
+	stream := float64(m.TotalBytes()) / m.cfg.BandwidthBytesPerSec
+	lat := float64(m.transfers) * float64(m.cfg.LatencyCycles) / m.cfg.ClockHz
+	return stream + lat
+}
+
+// Reset clears the accounting.
+func (m *Model) Reset() {
+	m.bytes = [numStreams]int64{}
+	m.transfers = 0
+}

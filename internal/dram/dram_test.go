@@ -1,0 +1,133 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{BandwidthBytesPerSec: 8.5e9, LatencyCycles: 50, ClockHz: 1.6e9}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{BandwidthBytesPerSec: 0, LatencyCycles: 50, ClockHz: 1.6e9},
+		{BandwidthBytesPerSec: 1e9, LatencyCycles: -1, ClockHz: 1.6e9},
+		{BandwidthBytesPerSec: 1e9, LatencyCycles: 50, ClockHz: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := NewModel(c); err == nil {
+			t.Errorf("bad config %d constructed", i)
+		}
+	}
+}
+
+func TestRecordAccounting(t *testing.T) {
+	m, err := NewModel(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(StreamPixels, 1000)
+	m.Record(StreamLabels, 500)
+	m.Record(StreamCenters, 100)
+	if m.TotalBytes() != 1600 {
+		t.Fatalf("total %d", m.TotalBytes())
+	}
+	if m.StreamBytes(StreamPixels) != 1000 || m.StreamBytes(StreamLabels) != 500 {
+		t.Fatal("per-stream accounting wrong")
+	}
+	if m.Transfers() != 3 {
+		t.Fatalf("transfers %d", m.Transfers())
+	}
+}
+
+func TestRecordIgnoresNonPositive(t *testing.T) {
+	m, _ := NewModel(testConfig())
+	m.Record(StreamPixels, 0)
+	m.Record(StreamPixels, -5)
+	if m.TotalBytes() != 0 || m.Transfers() != 0 {
+		t.Fatal("non-positive bytes recorded")
+	}
+}
+
+func TestRecordBurstSingleTransfer(t *testing.T) {
+	m, _ := NewModel(testConfig())
+	m.RecordBurst(3000, 2000, 500)
+	if m.Transfers() != 1 {
+		t.Fatalf("burst counted as %d transfers", m.Transfers())
+	}
+	if m.TotalBytes() != 5500 {
+		t.Fatalf("burst total %d", m.TotalBytes())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m, _ := NewModel(testConfig())
+	m.RecordBurst(8.5e9, 0, 0) // exactly one second of streaming
+	want := 1.0 + 50/1.6e9
+	if math.Abs(m.TransferTime()-want) > 1e-9 {
+		t.Fatalf("transfer time %g, want %g", m.TransferTime(), want)
+	}
+}
+
+func TestTransferTimeLatencyPerBurst(t *testing.T) {
+	// Same bytes in more bursts must take longer (latency exposure is
+	// the Fig 6 mechanism).
+	one, _ := NewModel(testConfig())
+	one.RecordBurst(1<<20, 0, 0)
+	many, _ := NewModel(testConfig())
+	for i := 0; i < 1024; i++ {
+		many.RecordBurst(1024, 0, 0)
+	}
+	if many.TransferTime() <= one.TransferTime() {
+		t.Fatal("more bursts must expose more latency")
+	}
+	// Streaming component identical.
+	diff := many.TransferTime() - one.TransferTime()
+	wantDiff := 1023 * 50 / 1.6e9
+	if math.Abs(diff-wantDiff) > 1e-9 {
+		t.Fatalf("latency delta %g, want %g", diff, wantDiff)
+	}
+}
+
+func TestTransferTimeMonotoneInBytes(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		small, big := int64(a%1e6), int64(b%1e6)
+		if small > big {
+			small, big = big, small
+		}
+		m1, _ := NewModel(testConfig())
+		m1.RecordBurst(small, 0, 0)
+		m2, _ := NewModel(testConfig())
+		m2.RecordBurst(big, 0, 0)
+		return m1.TransferTime() <= m2.TransferTime()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := NewModel(testConfig())
+	m.RecordBurst(100, 100, 100)
+	m.Reset()
+	if m.TotalBytes() != 0 || m.Transfers() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestStreamStrings(t *testing.T) {
+	if StreamPixels.String() != "pixels" || StreamLabels.String() != "labels" || StreamCenters.String() != "centers" {
+		t.Fatal("stream names")
+	}
+	if Stream(99).String() == "" {
+		t.Fatal("unknown stream must still render")
+	}
+}

@@ -1,0 +1,148 @@
+// Package energy holds the technology and component models used to
+// estimate area, power and energy of the S-SLIC accelerator in a 16nm
+// FinFET process at 0.72V (paper §5-§7). The paper obtained these numbers
+// from logic synthesis (Design Compiler) and gate-level power analysis
+// (Primetime-PX); with no EDA tools available, this package provides a
+// component-level model whose constants are calibrated so the published
+// data points — the five Cluster Update Unit configurations of Table 3
+// and the system totals of Table 4 — are reproduced by the component
+// sums. The paper's own energy reasoning (§4.2) is preserved: the average
+// arithmetic op costs about an 8-bit add, and an 8-bit DRAM access costs
+// 2500× that (Horowitz, ISSCC 2014).
+package energy
+
+// Tech bundles the 16nm technology constants. All values are SI
+// (joules, watts, meters², seconds).
+type Tech struct {
+	// ClockHz is the synthesis target frequency (paper: 1.6 GHz at 0.72V).
+	ClockHz float64
+	// EnergyPerOp is the energy of one average 8-bit datapath operation
+	// (add-class, including local register and wiring overhead).
+	// Calibrated from Table 3: the 1-1-1 configuration sustains ~8.7
+	// ops/cycle at 3.3 mW, the 9-9-6 configuration ~78 ops/cycle at
+	// 30.9 mW.
+	EnergyPerOp float64
+	// Add8Energy is the bare 8-bit integer add energy (Horowitz,
+	// ISSCC 2014, scaled to 16nm), the reference unit of the paper's
+	// §4.2 energy model.
+	Add8Energy float64
+	// DRAMEnergyPerByte is the external-memory access energy per byte:
+	// 2500× the bare 8-bit add per the paper's §4.2 model.
+	DRAMEnergyPerByte float64
+	// LeakagePerMM2 is static power per mm² of logic, in watts.
+	LeakagePerMM2 float64
+	// SRAMAreaPerByte is scratchpad area per byte, calibrated from the
+	// Table 4 area difference between the 4 kB and 1 kB buffer builds.
+	SRAMAreaPerByte float64
+	// SRAMPowerPerByte is scratchpad power per byte at full utilization
+	// (the paper assumes scratchpads fully utilized).
+	SRAMPowerPerByte float64
+	// DRAMEffectiveBandwidth is the sustained external bandwidth in B/s.
+	// The on-chip interface peak is 256 b/cycle, but the system-level
+	// sustained rate that reproduces §7's 11.1 ms memory time for
+	// 93.6 MB of cluster-update traffic is ≈8.5 GB/s — LPDDR-class.
+	DRAMEffectiveBandwidth float64
+	// DRAMLatencyCycles is the access latency in accelerator cycles
+	// (paper §6.3: 50).
+	DRAMLatencyCycles int
+}
+
+// Default16nm returns the calibrated 16nm FinFET technology model.
+func Default16nm() Tech {
+	const opEnergy = 0.235e-12 // J; see EnergyPerOp doc comment
+	const add8 = 0.03e-12      // J; bare 8-bit add in 16nm
+	return Tech{
+		ClockHz:                1.6e9,
+		EnergyPerOp:            opEnergy,
+		Add8Energy:             add8,
+		DRAMEnergyPerByte:      2500 * add8,
+		LeakagePerMM2:          20e-3,
+		SRAMAreaPerByte:        1.3e-6, // mm²/byte
+		SRAMPowerPerByte:       1.0e-6, // W/byte at full utilization
+		DRAMEffectiveBandwidth: 8.5e9,
+		DRAMLatencyCycles:      50,
+	}
+}
+
+// NominalVoltage is the 16nm operating point of the paper (§5).
+const NominalVoltage = 0.72
+
+// Scaled returns the technology model at a different clock and supply
+// voltage: dynamic energy scales with V², leakage approximately with V,
+// memory bandwidth and latency-in-cycles are unchanged. This models the
+// §6.3 remark that the design "can scale gracefully down ... ultimately
+// reducing the clock rate".
+func (t Tech) Scaled(clockHz, voltage float64) Tech {
+	v2 := (voltage / NominalVoltage) * (voltage / NominalVoltage)
+	out := t
+	out.ClockHz = clockHz
+	out.EnergyPerOp *= v2
+	out.Add8Energy *= v2
+	out.DRAMEnergyPerByte = 2500 * out.Add8Energy
+	out.LeakagePerMM2 *= voltage / NominalVoltage
+	out.SRAMPowerPerByte *= v2 * clockHz / t.ClockHz
+	return out
+}
+
+// GPUNormalization28to16 is the factor the paper applies to normalize
+// 28nm GPU power to the accelerator's 16nm process: 1.25 for voltage²
+// (0.81V→0.72V) times 1.75 for capacitance, totalling ≈2.2 (§7).
+func GPUNormalization28to16() float64 { return 1.25 * 1.75 }
+
+// Component areas in mm², calibrated against Table 3 and Table 4.
+const (
+	// AreaClusterBase covers the iterative (1-1-1) Cluster Update Unit:
+	// pixel/center registers, one distance calculator, one comparator,
+	// one adder and control (Table 3: 0.0020 mm²).
+	AreaClusterBase = 0.0020
+	// AreaDist9Delta is the area added by the 9-way parallel distance
+	// calculators (Table 3: 0.0149 − 0.0020).
+	AreaDist9Delta = 0.0129
+	// AreaMin9Delta is the area added by the 9:1 comparison tree
+	// (Table 3: 0.0023 − 0.0020).
+	AreaMin9Delta = 0.0003
+	// AreaAdd6Delta is the area added by the 6 parallel sigma adders
+	// (Table 3: 0.0025 − 0.0020).
+	AreaAdd6Delta = 0.0005
+	// AreaColorConv covers the LUT-based color conversion unit including
+	// its 256-entry and 8-segment ROMs.
+	AreaColorConv = 0.0127
+	// AreaCenterUpdate covers the center update unit with its iterative
+	// divider.
+	AreaCenterUpdate = 0.011
+	// AreaFSM covers the host FSM controller.
+	AreaFSM = 0.005
+)
+
+// ClusterOpsPerPixel is the arithmetic work of one pixel's cluster
+// update: 9 distance calculations at 7 ops each (Table 2 model), 6 sigma
+// additions and the 9:1 minimum's compares.
+const ClusterOpsPerPixel = 9*7 + 6 + 9
+
+// LeakageWatts returns static power for a given logic area in mm².
+func (t Tech) LeakageWatts(areaMM2 float64) float64 {
+	return t.LeakagePerMM2 * areaMM2
+}
+
+// DynamicWatts returns dynamic power for a unit sustaining opsPerCycle
+// average operations per cycle.
+func (t Tech) DynamicWatts(opsPerCycle float64) float64 {
+	return t.EnergyPerOp * opsPerCycle * t.ClockHz
+}
+
+// SRAMWatts returns scratchpad power for the given capacity at full
+// utilization.
+func (t Tech) SRAMWatts(bytes int) float64 {
+	return t.SRAMPowerPerByte * float64(bytes)
+}
+
+// SRAMAreaMM2 returns scratchpad area for the given capacity.
+func (t Tech) SRAMAreaMM2(bytes int) float64 {
+	return t.SRAMAreaPerByte * float64(bytes)
+}
+
+// DRAMEnergy returns the external-memory access energy for the given
+// traffic.
+func (t Tech) DRAMEnergy(bytes int64) float64 {
+	return t.DRAMEnergyPerByte * float64(bytes)
+}

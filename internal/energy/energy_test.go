@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefault16nmSane(t *testing.T) {
+	tech := Default16nm()
+	if tech.ClockHz != 1.6e9 {
+		t.Errorf("clock %g, want 1.6 GHz (paper §5)", tech.ClockHz)
+	}
+	if tech.DRAMEnergyPerByte != 2500*tech.Add8Energy {
+		t.Error("DRAM energy must be 2500× the 8-bit add (paper §4.2)")
+	}
+	if tech.EnergyPerOp <= 0 || tech.LeakagePerMM2 <= 0 {
+		t.Error("non-positive constants")
+	}
+}
+
+func TestGPUNormalization(t *testing.T) {
+	// §7: 1.25 for voltage² × 1.75 for capacitance ≈ 2.2.
+	if math.Abs(GPUNormalization28to16()-2.1875) > 1e-9 {
+		t.Fatalf("normalization %g, want 2.1875", GPUNormalization28to16())
+	}
+}
+
+func TestDynamicWattsLinear(t *testing.T) {
+	tech := Default16nm()
+	p1 := tech.DynamicWatts(10)
+	p2 := tech.DynamicWatts(20)
+	if math.Abs(p2-2*p1) > 1e-12 {
+		t.Fatal("dynamic power must be linear in ops/cycle")
+	}
+}
+
+func TestLeakageWatts(t *testing.T) {
+	tech := Default16nm()
+	if got := tech.LeakageWatts(1); math.Abs(got-tech.LeakagePerMM2) > 1e-15 {
+		t.Fatalf("leakage(1mm²) = %g", got)
+	}
+	if tech.LeakageWatts(0) != 0 {
+		t.Fatal("leakage(0) != 0")
+	}
+}
+
+func TestSRAMScaling(t *testing.T) {
+	tech := Default16nm()
+	if tech.SRAMWatts(2048) != 2*tech.SRAMWatts(1024) {
+		t.Fatal("SRAM power must scale linearly")
+	}
+	if tech.SRAMAreaMM2(2048) != 2*tech.SRAMAreaMM2(1024) {
+		t.Fatal("SRAM area must scale linearly")
+	}
+}
+
+func TestDRAMEnergyDominance(t *testing.T) {
+	// §4.2's architectural argument: per-byte DRAM energy dwarfs per-op
+	// compute energy, so total energy is dominated by traffic — the
+	// reason PPA (3× less bandwidth, 2.25× more ops) wins.
+	tech := Default16nm()
+	cpaOps, cpaBytes := 58e6, 318e6
+	ppaOps, ppaBytes := 130e6, 100e6
+	cpaEnergy := cpaOps*tech.EnergyPerOp + tech.DRAMEnergy(int64(cpaBytes))
+	ppaEnergy := ppaOps*tech.EnergyPerOp + tech.DRAMEnergy(int64(ppaBytes))
+	if ppaEnergy >= cpaEnergy {
+		t.Fatalf("PPA energy %.3g J not below CPA %.3g J", ppaEnergy, cpaEnergy)
+	}
+	// DRAM must dominate compute in both.
+	if tech.DRAMEnergy(int64(ppaBytes)) < 10*ppaOps*tech.EnergyPerOp {
+		t.Fatal("DRAM energy does not dominate; the §4.2 argument would not hold")
+	}
+}
+
+func TestClusterOpsPerPixel(t *testing.T) {
+	// 9 distances × 7 ops + 6 sigma adds + 9 min compares.
+	if ClusterOpsPerPixel != 78 {
+		t.Fatalf("ClusterOpsPerPixel = %d, want 78", ClusterOpsPerPixel)
+	}
+}
+
+func TestTable3AreaConstantsSumTo996(t *testing.T) {
+	total := AreaClusterBase + AreaDist9Delta + AreaMin9Delta + AreaAdd6Delta
+	if math.Abs(total-0.0157) > 1e-4 {
+		t.Fatalf("9-9-6 component sum %.4f mm², want ~0.0156 (Table 3)", total)
+	}
+}
+
+func TestScaledDVFS(t *testing.T) {
+	base := Default16nm()
+	slow := base.Scaled(0.8e9, 0.58)
+	if slow.ClockHz != 0.8e9 {
+		t.Fatal("clock not applied")
+	}
+	if slow.EnergyPerOp >= base.EnergyPerOp {
+		t.Fatal("lower voltage must lower op energy")
+	}
+	if slow.DRAMEnergyPerByte != 2500*slow.Add8Energy {
+		t.Fatal("DRAM ratio must be preserved under scaling")
+	}
+	// Nominal scaling is the identity.
+	same := base.Scaled(base.ClockHz, NominalVoltage)
+	if math.Abs(same.EnergyPerOp-base.EnergyPerOp) > 1e-20 ||
+		math.Abs(same.SRAMPowerPerByte-base.SRAMPowerPerByte) > 1e-20 {
+		t.Fatal("nominal scaling changed constants")
+	}
+	// SRAM power scales with both V² and frequency.
+	fast := base.Scaled(2*base.ClockHz, NominalVoltage)
+	if math.Abs(fast.SRAMPowerPerByte-2*base.SRAMPowerPerByte) > 1e-15 {
+		t.Fatal("SRAM power must scale with clock")
+	}
+}

@@ -1,0 +1,77 @@
+package fixed
+
+// Hardware arithmetic primitives used by the accelerator models: the
+// iterative (serial) divider of the Center Update Unit and the integer
+// square root of the distance datapath. Both return the result together
+// with the cycle count a serial implementation needs, so timing models
+// can be driven by the same code that computes values.
+
+// DivResult carries a divider outcome.
+type DivResult struct {
+	Quotient  int64
+	Remainder int64
+	Cycles    int
+}
+
+// SerialDivide models a non-restoring serial divider: one quotient bit
+// per cycle over the dividend width, plus a fixed setup/normalize
+// overhead of two cycles. Division by zero returns a saturated quotient
+// (all ones over the width), matching hardware that flags but does not
+// trap. Negative operands are handled by sign-magnitude pre/post
+// processing as hardware does.
+func SerialDivide(dividend, divisor int64, width int) DivResult {
+	if width < 1 || width > 62 {
+		width = 62
+	}
+	cycles := width + 2
+	if divisor == 0 {
+		return DivResult{Quotient: (int64(1) << width) - 1, Remainder: dividend, Cycles: cycles}
+	}
+	negQ := (dividend < 0) != (divisor < 0)
+	negR := dividend < 0 // the remainder keeps the dividend's sign
+	d, v := dividend, divisor
+	if d < 0 {
+		d = -d
+	}
+	if v < 0 {
+		v = -v
+	}
+	q := d / v
+	r := d % v
+	if negQ {
+		q = -q
+	}
+	if negR {
+		r = -r
+	}
+	return DivResult{Quotient: q, Remainder: r, Cycles: cycles}
+}
+
+// Isqrt returns the floor integer square root of v (0 for negative
+// inputs) and the cycle count of a bit-serial implementation (one
+// result bit per two cycles over half the operand width).
+func Isqrt(v int64) (root int64, cycles int) {
+	const width = 32 // the distance datapath operands fit in 32 bits
+	cycles = width/2*2 + 1
+	if v <= 0 {
+		return 0, cycles
+	}
+	// Digit-by-digit (binary restoring) method — the same structure a
+	// serial hardware unit uses, and exact for all int64 inputs.
+	var res int64
+	bit := int64(1) << 62
+	for bit > v {
+		bit >>= 2
+	}
+	x := v
+	for bit != 0 {
+		if x >= res+bit {
+			x -= res + bit
+			res = res>>1 + bit
+		} else {
+			res >>= 1
+		}
+		bit >>= 2
+	}
+	return res, cycles
+}

@@ -1,0 +1,111 @@
+package fixed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialDivideBasic(t *testing.T) {
+	cases := []struct {
+		a, b, q, r int64
+	}{
+		{10, 3, 3, 1},
+		{100, 10, 10, 0},
+		{-10, 3, -3, -1},
+		{10, -3, -3, 1},
+		{-10, -3, 3, -1}, // remainder keeps the dividend's sign, as in Go
+
+		{0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		got := SerialDivide(c.a, c.b, 24)
+		if got.Quotient != c.q || got.Remainder != c.r {
+			t.Errorf("SerialDivide(%d, %d) = %d r %d, want %d r %d",
+				c.a, c.b, got.Quotient, got.Remainder, c.q, c.r)
+		}
+		if got.Cycles != 26 {
+			t.Errorf("cycles = %d, want width+2 = 26", got.Cycles)
+		}
+	}
+}
+
+func TestSerialDivideByZeroSaturates(t *testing.T) {
+	got := SerialDivide(42, 0, 8)
+	if got.Quotient != 255 {
+		t.Fatalf("quotient = %d, want saturated 255", got.Quotient)
+	}
+	if got.Remainder != 42 {
+		t.Fatalf("remainder = %d", got.Remainder)
+	}
+}
+
+func TestSerialDivideWidthClamps(t *testing.T) {
+	if SerialDivide(7, 2, 0).Cycles != 64 {
+		t.Fatal("invalid width must clamp to 62 (+2 cycles)")
+	}
+	if SerialDivide(7, 2, 100).Cycles != 64 {
+		t.Fatal("oversized width must clamp")
+	}
+}
+
+func TestSerialDivideMatchesGoDivision(t *testing.T) {
+	prop := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		got := SerialDivide(int64(a), int64(b), 32)
+		return got.Quotient == int64(a)/int64(b) && got.Remainder == int64(a)%int64(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsqrtExact(t *testing.T) {
+	cases := map[int64]int64{
+		0: 0, 1: 1, 2: 1, 3: 1, 4: 2, 8: 2, 9: 3, 15: 3, 16: 4,
+		1 << 40: 1 << 20, (1 << 30) - 1: 32767,
+	}
+	for v, want := range cases {
+		if got, _ := Isqrt(v); got != want {
+			t.Errorf("Isqrt(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got, _ := Isqrt(-9); got != 0 {
+		t.Error("negative input must yield 0")
+	}
+}
+
+func TestIsqrtFloorProperty(t *testing.T) {
+	prop := func(raw uint32) bool {
+		v := int64(raw)
+		r, _ := Isqrt(v)
+		return r*r <= v && (r+1)*(r+1) > v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsqrtMonotone(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		rx, _ := Isqrt(x)
+		ry, _ := Isqrt(y)
+		return rx <= ry
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsqrtCyclesConstant(t *testing.T) {
+	_, c1 := Isqrt(1)
+	_, c2 := Isqrt(1 << 40)
+	if c1 != c2 || c1 <= 0 {
+		t.Fatalf("serial sqrt cycles must be data-independent: %d vs %d", c1, c2)
+	}
+}

@@ -1,0 +1,141 @@
+// Package gpumodel provides the GPU baselines of Table 5: the NVIDIA
+// Tesla K20 (server class) and Tegra K1 (mobile SoC) running the SLIC
+// algorithm on 1920×1080 frames with K=5000 superpixels.
+//
+// Substitution note (see DESIGN.md): the paper measured real hardware.
+// With none available, each device is an analytic model — published
+// device parameters (cores, clock, on-chip storage, process) plus an
+// operation-count-driven runtime scaled by an efficiency constant
+// calibrated so the paper's measured 1080p latencies are reproduced.
+// Energy follows as average power × latency, and the paper's 28nm→16nm
+// normalization (×1/2.2) converts to the accelerator's process for the
+// efficiency comparison.
+package gpumodel
+
+import (
+	"fmt"
+
+	"sslic/internal/energy"
+	"sslic/internal/sslic"
+)
+
+// Device describes a GPU baseline.
+type Device struct {
+	Name     string
+	TechNM   int
+	VoltageV float64
+	Cores    int
+	ClockHz  float64
+	OnChipKB int
+	// AvgPowerW is the measured average power while running SLIC
+	// (paper Table 5).
+	AvgPowerW float64
+	// MeasuredLatency1080p is the paper's measured SLIC latency for one
+	// 1920×1080 frame with K=5000; the calibration anchor.
+	MeasuredLatency1080p float64
+	// efficiency is the derived sustained fraction of peak throughput
+	// SLIC achieves on the device (memory-bound kernels run far below
+	// peak); set by calibrate.
+	efficiency float64
+}
+
+// slicIterations is the iteration count of the Table 5 workload,
+// matching the accelerator's §7 analysis.
+const slicIterations = 9
+
+// opsPerFrame returns the arithmetic work of a full SLIC frame: the
+// Table 2 CPA operation model per iteration (GPU SLIC implementations
+// follow the original windowed algorithm) plus a color-conversion term.
+func opsPerFrame(w, h, iters int) float64 {
+	perIter := sslic.Analyze(sslic.CPA, w, h, 1).Ops
+	colorConv := int64(w*h) * 50 // gamma + matrix + cube roots per pixel
+	return float64(perIter*int64(iters) + colorConv)
+}
+
+// peakOpsPerSec is cores × clock × 2 (FMA).
+func (d Device) peakOpsPerSec() float64 {
+	return float64(d.Cores) * d.ClockHz * 2
+}
+
+// calibrate derives the efficiency from the measured 1080p latency.
+func (d Device) calibrate() Device {
+	need := opsPerFrame(1920, 1080, slicIterations)
+	achieved := need / d.MeasuredLatency1080p
+	d.efficiency = achieved / d.peakOpsPerSec()
+	return d
+}
+
+// TeslaK20 returns the server GPU baseline of Table 5.
+func TeslaK20() Device {
+	return Device{
+		Name:                 "Tesla K20",
+		TechNM:               28,
+		VoltageV:             0.81,
+		Cores:                2496,
+		ClockHz:              706e6,
+		OnChipKB:             6320,
+		AvgPowerW:            86,
+		MeasuredLatency1080p: 22.3e-3,
+	}.calibrate()
+}
+
+// TegraK1 returns the mobile GPU baseline of Table 5.
+func TegraK1() Device {
+	return Device{
+		Name:                 "Tegra K1",
+		TechNM:               28,
+		VoltageV:             0.81,
+		Cores:                192,
+		ClockHz:              852e6,
+		OnChipKB:             368,
+		AvgPowerW:            332e-3,
+		MeasuredLatency1080p: 2713e-3,
+	}.calibrate()
+}
+
+// Efficiency returns the derived sustained fraction of peak throughput.
+func (d Device) Efficiency() float64 { return d.efficiency }
+
+// Latency returns the modeled SLIC frame latency for an arbitrary
+// resolution, scaling the calibrated model by operation count.
+func (d Device) Latency(w, h int) (float64, error) {
+	if w <= 0 || h <= 0 {
+		return 0, fmt.Errorf("gpumodel: invalid resolution %dx%d", w, h)
+	}
+	if d.efficiency <= 0 {
+		return 0, fmt.Errorf("gpumodel: device %q not calibrated", d.Name)
+	}
+	return opsPerFrame(w, h, slicIterations) / (d.peakOpsPerSec() * d.efficiency), nil
+}
+
+// EnergyPerFrame returns average power × latency at the device's native
+// process.
+func (d Device) EnergyPerFrame(w, h int) (float64, error) {
+	lat, err := d.Latency(w, h)
+	if err != nil {
+		return 0, err
+	}
+	return d.AvgPowerW * lat, nil
+}
+
+// NormalizedPower returns the paper's process-normalized power: the
+// measured 28nm power divided by the 2.2× voltage²/capacitance factor.
+func (d Device) NormalizedPower() float64 {
+	return d.AvgPowerW / energy.GPUNormalization28to16()
+}
+
+// NormalizedEnergyPerFrame returns the process-normalized energy per
+// frame (Table 5's last row).
+func (d Device) NormalizedEnergyPerFrame(w, h int) (float64, error) {
+	lat, err := d.Latency(w, h)
+	if err != nil {
+		return 0, err
+	}
+	return d.NormalizedPower() * lat, nil
+}
+
+// RealTime reports whether the device sustains 30 fps at the resolution.
+func (d Device) RealTime(w, h int) bool {
+	lat, err := d.Latency(w, h)
+	return err == nil && lat <= 1.0/30
+}

@@ -1,0 +1,118 @@
+package gpumodel
+
+import (
+	"math"
+	"testing"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+func TestCalibrationReproducesMeasuredLatency(t *testing.T) {
+	for _, d := range []Device{TeslaK20(), TegraK1()} {
+		lat, err := d.Latency(1920, 1080)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(lat, d.MeasuredLatency1080p) > 1e-9 {
+			t.Errorf("%s: latency %g, want measured %g", d.Name, lat, d.MeasuredLatency1080p)
+		}
+	}
+}
+
+func TestTable5DeviceParameters(t *testing.T) {
+	k20 := TeslaK20()
+	if k20.Cores != 2496 || k20.OnChipKB != 6320 || k20.TechNM != 28 {
+		t.Error("K20 parameters diverge from Table 5")
+	}
+	tk1 := TegraK1()
+	if tk1.Cores != 192 || tk1.OnChipKB != 368 {
+		t.Error("TK1 parameters diverge from Table 5")
+	}
+}
+
+func TestNormalizedPower(t *testing.T) {
+	// Table 5: 86 W → 39 W; 332 mW → 150 mW.
+	if relErr(TeslaK20().NormalizedPower(), 39) > 0.02 {
+		t.Errorf("K20 normalized power %.1f W, want ~39", TeslaK20().NormalizedPower())
+	}
+	if relErr(TegraK1().NormalizedPower(), 150e-3) > 0.02 {
+		t.Errorf("TK1 normalized power %.0f mW, want ~150", TegraK1().NormalizedPower()*1e3)
+	}
+}
+
+func TestTable5NormalizedEnergy(t *testing.T) {
+	// Table 5: 867 mJ/frame (K20), 407 mJ/frame (TK1).
+	e20, err := TeslaK20().NormalizedEnergyPerFrame(1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(e20, 867e-3) > 0.02 {
+		t.Errorf("K20 normalized energy %.0f mJ, want ~867", e20*1e3)
+	}
+	e1, err := TegraK1().NormalizedEnergyPerFrame(1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(e1, 407e-3) > 0.02 {
+		t.Errorf("TK1 normalized energy %.0f mJ, want ~407", e1*1e3)
+	}
+}
+
+func TestRealTimeStatus(t *testing.T) {
+	// §7: K20 exceeds 30 fps; TK1 misses it by a factor of ~80.
+	if !TeslaK20().RealTime(1920, 1080) {
+		t.Error("K20 must be real-time at 1080p")
+	}
+	if TegraK1().RealTime(1920, 1080) {
+		t.Error("TK1 must miss real time at 1080p")
+	}
+	lat, _ := TegraK1().Latency(1920, 1080)
+	factor := lat / (1.0 / 30)
+	if factor < 60 || factor > 100 {
+		t.Errorf("TK1 misses real time by %.0f×, paper says ~80×", factor)
+	}
+}
+
+func TestLatencyScalesWithResolution(t *testing.T) {
+	d := TeslaK20()
+	hd, _ := d.Latency(1920, 1080)
+	vga, _ := d.Latency(640, 480)
+	if vga >= hd {
+		t.Error("VGA latency must be below HD")
+	}
+	ratio := hd / vga
+	// Ops scale ~linearly with pixel count (1080p/VGA ≈ 6.75).
+	if ratio < 5 || ratio > 8 {
+		t.Errorf("HD/VGA latency ratio %.1f, want ~6.75", ratio)
+	}
+}
+
+func TestLatencyErrors(t *testing.T) {
+	if _, err := TeslaK20().Latency(0, 100); err == nil {
+		t.Error("invalid resolution accepted")
+	}
+	var uncalibrated Device
+	uncalibrated.Name = "raw"
+	if _, err := uncalibrated.Latency(100, 100); err == nil {
+		t.Error("uncalibrated device accepted")
+	}
+}
+
+func TestEfficiencyBelowPeak(t *testing.T) {
+	// Memory-bound SLIC must run far below peak on both devices; if the
+	// derived efficiency exceeded ~10% the model would be implausible.
+	for _, d := range []Device{TeslaK20(), TegraK1()} {
+		if e := d.Efficiency(); e <= 0 || e > 0.1 {
+			t.Errorf("%s efficiency %.4f outside plausible (0, 0.1]", d.Name, e)
+		}
+	}
+}
+
+func TestEnergyPerFrameConsistent(t *testing.T) {
+	d := TeslaK20()
+	lat, _ := d.Latency(1920, 1080)
+	e, _ := d.EnergyPerFrame(1920, 1080)
+	if relErr(e, d.AvgPowerW*lat) > 1e-12 {
+		t.Error("energy != power × latency")
+	}
+}

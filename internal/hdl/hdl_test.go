@@ -1,0 +1,123 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"sslic/internal/hw"
+)
+
+func TestEmitAllConfigs(t *testing.T) {
+	for _, cfg := range hw.Table3Configs() {
+		src, err := Emit(cfg, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if len(src) < 1000 {
+			t.Fatalf("%v: suspiciously short output (%d bytes)", cfg, len(src))
+		}
+		// Structural expectations per configuration.
+		if cfg.DistWays == 9 {
+			mustContain(t, src, "generate", cfg.String())
+			mustContain(t, src, "dist_lane", cfg.String())
+		} else {
+			mustContain(t, src, "time-multiplexed over the 9 candidates", cfg.String())
+		}
+		if cfg.MinWays == 9 {
+			mustContain(t, src, "module min9_tree", cfg.String())
+		} else {
+			mustContain(t, src, "module min9_iter", cfg.String())
+		}
+		if cfg.AdderWays == 6 {
+			mustContain(t, src, "module sigma_update_par", cfg.String())
+		} else {
+			mustContain(t, src, "module sigma_update_iter", cfg.String())
+		}
+	}
+}
+
+func mustContain(t *testing.T, src, want, cfg string) {
+	t.Helper()
+	if !strings.Contains(src, want) {
+		t.Errorf("%s: output missing %q", cfg, want)
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	a, err := Emit(hw.Config996, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Emit(hw.Config996, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestEmitModuleBalance(t *testing.T) {
+	// Every module/endmodule must pair, and the top module must carry
+	// the configured name and parameters.
+	src, err := Emit(hw.Config996, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	modules := strings.Count(src, "\nmodule ")
+	ends := strings.Count(src, "\nendmodule")
+	if modules == 0 || modules != ends {
+		t.Fatalf("%d module vs %d endmodule", modules, ends)
+	}
+	mustContain(t, src, "module cluster_update_unit", "996")
+	mustContain(t, src, "parameter DIST_WAYS = 9", "996")
+	mustContain(t, src, "parameter MIN_WAYS  = 9", "996")
+	mustContain(t, src, "parameter ADD_WAYS  = 6", "996")
+	// The documented latency/II must match the timing model.
+	mustContain(t, src, "pipeline latency 7 cycles, initiation interval 1", "996")
+}
+
+func TestEmitOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{ModuleName: "", DataWidth: 8, CoordWidth: 11},
+		{ModuleName: "Bad-Name", DataWidth: 8, CoordWidth: 11},
+		{ModuleName: "ok", DataWidth: 2, CoordWidth: 11},
+		{ModuleName: "ok", DataWidth: 8, CoordWidth: 40},
+	}
+	for i, o := range bad {
+		if _, err := Emit(hw.Config996, o); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+	if _, err := Emit(hw.ClusterConfig{DistWays: 5, MinWays: 1, AdderWays: 1}, DefaultOptions()); err == nil {
+		t.Error("invalid cluster config accepted")
+	}
+}
+
+func TestEmitCustomWidths(t *testing.T) {
+	o := DefaultOptions()
+	o.DataWidth = 10
+	o.ModuleName = "cluster_10b"
+	src, err := Emit(hw.Config111, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(t, src, "module cluster_10b", "custom")
+	mustContain(t, src, "parameter DW = 10", "custom")
+}
+
+// TestEmitNoUnresolvedFormatVerbs guards the printf-built templates: a
+// stray %d or %s in the emitted Verilog means a broken format call.
+func TestEmitNoUnresolvedFormatVerbs(t *testing.T) {
+	for _, cfg := range hw.Table3Configs() {
+		src, err := Emit(cfg, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range []string{"%!", "%d", "%s"} {
+			if strings.Contains(src, bad) {
+				t.Fatalf("%v: unresolved verb %q in output", cfg, bad)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package hw
+
+import (
+	"fmt"
+
+	"sslic/internal/dram"
+	"sslic/internal/energy"
+)
+
+// Config describes a complete accelerator instance plus the workload it
+// runs. DefaultConfig reproduces the paper's best HD configuration
+// (Table 4, first column).
+type Config struct {
+	// Width, Height, K describe the workload: image size and superpixel
+	// count.
+	Width, Height, K int
+	// Cluster selects the Cluster Update Unit parallelism.
+	Cluster ClusterConfig
+	// BufferBytesPerChannel sizes each of the four scratchpads (three
+	// color channels + index). One byte holds one pixel's channel value,
+	// so this is also the tile size in pixels.
+	BufferBytesPerChannel int
+	// Passes is the number of cluster-update passes over the (sub)image.
+	// The paper's §7 latency analysis runs 9.
+	Passes int
+	// SubsampleRatio scales the pixels visited per pass (S-SLIC); 1 means
+	// every pass touches the whole image.
+	SubsampleRatio float64
+	// Cores multiplies cluster-update throughput (the DSE varies it; all
+	// Table 4 designs use 1).
+	Cores int
+	// Tech supplies the technology constants.
+	Tech energy.Tech
+	// DividerCyclesPerField is the iterative divider latency for one
+	// sigma field average (default 48: a serial divider on the wide
+	// accumulators).
+	DividerCyclesPerField int
+	// CenterOverheadCycles is the per-center fixed cost in the Center
+	// Update Unit (default 6).
+	CenterOverheadCycles int
+	// TileOverheadCycles is the per-tile FSM/center/sigma shuffling cost
+	// in the cluster update (default 125).
+	TileOverheadCycles int
+}
+
+// DefaultConfig returns the paper's best full-HD configuration: 9-9-6
+// cluster unit, 4 kB channel buffers, K=5000, 9 passes, single core.
+func DefaultConfig() Config {
+	return Config{
+		Width: 1920, Height: 1080, K: 5000,
+		Cluster:               Config996,
+		BufferBytesPerChannel: 4096,
+		Passes:                9,
+		SubsampleRatio:        1,
+		Cores:                 1,
+		Tech:                  energy.Default16nm(),
+		DividerCyclesPerField: 48,
+		CenterOverheadCycles:  6,
+		TileOverheadCycles:    125,
+	}
+}
+
+// Validate reports whether the configuration is simulatable.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("hw: invalid resolution %dx%d", c.Width, c.Height)
+	}
+	if c.K < 1 || c.K > c.Width*c.Height {
+		return fmt.Errorf("hw: K = %d out of range", c.K)
+	}
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.BufferBytesPerChannel < 256 {
+		return fmt.Errorf("hw: buffer %d B too small (min 256)", c.BufferBytesPerChannel)
+	}
+	if c.Passes < 1 {
+		return fmt.Errorf("hw: passes = %d", c.Passes)
+	}
+	if c.SubsampleRatio <= 0 || c.SubsampleRatio > 1 {
+		return fmt.Errorf("hw: subsample ratio %g out of (0, 1]", c.SubsampleRatio)
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("hw: cores = %d", c.Cores)
+	}
+	if c.Tech.ClockHz <= 0 {
+		return fmt.Errorf("hw: clock %g Hz", c.Tech.ClockHz)
+	}
+	if c.DividerCyclesPerField < 1 || c.CenterOverheadCycles < 0 || c.TileOverheadCycles < 0 {
+		return fmt.Errorf("hw: invalid cycle overheads")
+	}
+	return nil
+}
+
+// Report is the outcome of simulating one frame.
+type Report struct {
+	// Per-phase times in seconds (§7's latency decomposition).
+	ColorConvTime      float64
+	ClusterComputeTime float64
+	ClusterMemTime     float64
+	CenterUpdateTime   float64
+	TotalTime          float64
+
+	// FPS is 1/TotalTime; RealTime is FPS ≥ 30.
+	FPS      float64
+	RealTime bool
+	// StreamFPS is the sustained frame rate when consecutive frames are
+	// pipelined: the color conversion unit processes frame n+1 while the
+	// cluster/center units work on frame n, so the steady-state period
+	// is the slower of the two stages rather than their sum.
+	StreamFPS float64
+
+	// TrafficBytes is the external memory traffic per frame; Transfers
+	// the number of bursts.
+	TrafficBytes int64
+	Transfers    int64
+
+	// Physical estimates.
+	AreaMM2        float64
+	PowerWatts     float64
+	EnergyPerFrame float64
+	OnChipBytes    int
+
+	// PerfPerArea is FPS per mm² (Table 4's last row).
+	PerfPerArea float64
+
+	// PowerBreakdown itemizes the utilization-weighted power by unit
+	// (watts): cluster update, color conversion, center update,
+	// scratchpads, FSM, DRAM interface.
+	PowerBreakdown PowerBreakdown
+	// AreaBreakdown itemizes silicon area by unit (mm²).
+	AreaBreakdown AreaBreakdown
+}
+
+// AreaBreakdown itemizes accelerator area by unit, in mm².
+type AreaBreakdown struct {
+	Cluster      float64
+	Scratchpads  float64
+	ColorConv    float64
+	CenterUpdate float64
+	FSM          float64
+}
+
+// Total sums the breakdown.
+func (a AreaBreakdown) Total() float64 {
+	return a.Cluster + a.Scratchpads + a.ColorConv + a.CenterUpdate + a.FSM
+}
+
+// PowerBreakdown itemizes accelerator power by unit, in watts.
+type PowerBreakdown struct {
+	Cluster       float64
+	ColorConv     float64
+	CenterUpdate  float64
+	Scratchpads   float64
+	FSM           float64
+	DRAMInterface float64
+}
+
+// Total sums the breakdown.
+func (p PowerBreakdown) Total() float64 {
+	return p.Cluster + p.ColorConv + p.CenterUpdate + p.Scratchpads + p.FSM + p.DRAMInterface
+}
+
+// bytes moved per visited pixel per pass: Lab read (3 channels) plus index
+// read and write.
+const bytesPerVisitedPixel = 5
+
+// bytesPerTileOverhead is the per-tile center/sigma traffic: 9 center
+// descriptors in, 9 sigma accumulator sets in and out, new assignments of
+// the tile's centers back.
+const bytesPerTileOverhead = 500
+
+// Simulate runs the analytic cycle model for one frame and returns the
+// report. The model reproduces the paper's §7 decomposition on the
+// default configuration: ≈1.4 ms color conversion, ≈20.3 ms cluster and
+// center computation, ≈11.1 ms memory time, ≈32.8 ms total.
+func Simulate(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := cfg.Tech
+	n := cfg.Width * cfg.Height
+	tilePixels := cfg.BufferBytesPerChannel
+	numTiles := (n + tilePixels - 1) / tilePixels
+
+	mem, err := dram.NewModel(dram.Config{
+		BandwidthBytesPerSec: t.DRAMEffectiveBandwidth,
+		LatencyCycles:        t.DRAMLatencyCycles,
+		ClockHz:              t.ClockHz,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{}
+
+	// Phase 1: color conversion. The unit is pipelined at 1 pixel/cycle;
+	// RGB streaming from DRAM overlaps with computation, so the phase
+	// time is the maximum of the two plus the per-tile latency.
+	ccCycles := float64(n) / float64(cfg.Cores)
+	ccMem, _ := dram.NewModel(dram.Config{
+		BandwidthBytesPerSec: t.DRAMEffectiveBandwidth,
+		LatencyCycles:        t.DRAMLatencyCycles,
+		ClockHz:              t.ClockHz,
+	})
+	for tile := 0; tile < numTiles; tile++ {
+		px := tilePixels
+		if tile == numTiles-1 {
+			px = n - tile*tilePixels
+		}
+		ccMem.RecordBurst(int64(px*3), 0, 0)
+	}
+	ccTime := ccCycles / t.ClockHz
+	if mt := ccMem.TransferTime(); mt > ccTime {
+		ccTime = mt
+	}
+	ccTime += float64(t.DRAMLatencyCycles) / t.ClockHz // first-burst startup
+	r.ColorConvTime = ccTime
+
+	// Phase 2: cluster update passes. Per pass: every tile streams in,
+	// the visited subset of its pixels flows through the Cluster Update
+	// Unit at the configured initiation interval, and the index plane
+	// streams back.
+	ii := float64(cfg.Cluster.InitiationInterval())
+	visitedPerPass := float64(n) * cfg.SubsampleRatio
+	var clusterCycles float64
+	for pass := 0; pass < cfg.Passes; pass++ {
+		clusterCycles += visitedPerPass * ii / float64(cfg.Cores)
+		clusterCycles += float64(numTiles) * float64(cfg.Cluster.LatencyCycles()+cfg.TileOverheadCycles)
+		for tile := 0; tile < numTiles; tile++ {
+			px := tilePixels
+			if tile == numTiles-1 {
+				px = n - tile*tilePixels
+			}
+			visited := int64(float64(px) * cfg.SubsampleRatio)
+			mem.RecordBurst(visited*3, visited*2, bytesPerTileOverhead)
+		}
+	}
+	r.ClusterComputeTime = clusterCycles / t.ClockHz
+	r.ClusterMemTime = mem.TransferTime()
+
+	// Phase 3: center updates after every pass. The Center Update Unit
+	// averages six sigma fields per superpixel on an iterative divider.
+	centerCycles := float64(cfg.Passes) * float64(cfg.K) *
+		float64(6*cfg.DividerCyclesPerField+cfg.CenterOverheadCycles)
+	r.CenterUpdateTime = centerCycles / t.ClockHz
+
+	r.TotalTime = r.ColorConvTime + r.ClusterComputeTime + r.ClusterMemTime + r.CenterUpdateTime
+	r.FPS = 1 / r.TotalTime
+	r.RealTime = r.FPS >= 30
+	stagePeriod := r.ClusterComputeTime + r.ClusterMemTime + r.CenterUpdateTime
+	if r.ColorConvTime > stagePeriod {
+		stagePeriod = r.ColorConvTime
+	}
+	r.StreamFPS = 1 / stagePeriod
+
+	r.TrafficBytes = mem.TotalBytes() + ccMem.TotalBytes()
+	r.Transfers = mem.Transfers() + ccMem.Transfers()
+
+	// Physical estimates.
+	r.OnChipBytes = 4 * cfg.BufferBytesPerChannel
+	r.AreaBreakdown = AreaBreakdown{
+		Cluster:      float64(cfg.Cores) * cfg.Cluster.AreaMM2(),
+		Scratchpads:  t.SRAMAreaMM2(r.OnChipBytes),
+		ColorConv:    energy.AreaColorConv,
+		CenterUpdate: energy.AreaCenterUpdate,
+		FSM:          energy.AreaFSM,
+	}
+	r.AreaMM2 = r.AreaBreakdown.Total()
+
+	// Power: each unit's peak active power weighted by its duty cycle
+	// (§6.3: "the power for each unit is computed using the peak active
+	// power ... multiplying by the utilization"); the scratchpads and the
+	// external memory interface are assumed at full utilization per the
+	// same paragraph. The cluster unit stays clocked while tiles stream,
+	// so its duty cycle spans compute and memory time.
+	clusterUtil := (r.ClusterComputeTime + r.ClusterMemTime) / r.TotalTime
+	ccUtil := r.ColorConvTime / r.TotalTime
+	centerUtil := r.CenterUpdateTime / r.TotalTime
+	r.PowerBreakdown = PowerBreakdown{
+		Cluster:       float64(cfg.Cores) * cfg.Cluster.PowerWatts(t) * clusterUtil,
+		ColorConv:     powerColorConv * ccUtil,
+		CenterUpdate:  powerCenterUpdate * centerUtil,
+		Scratchpads:   t.SRAMWatts(r.OnChipBytes),
+		FSM:           powerFSM,
+		DRAMInterface: powerDRAMInterface,
+	}
+	r.PowerWatts = r.PowerBreakdown.Total()
+	r.EnergyPerFrame = r.PowerWatts * r.TotalTime
+	r.PerfPerArea = r.FPS / r.AreaMM2
+	return r, nil
+}
+
+// Unit active powers (watts), calibrated alongside the Table 4 total.
+const (
+	powerColorConv     = 4e-3
+	powerCenterUpdate  = 5e-3
+	powerFSM           = 2e-3
+	powerDRAMInterface = 8e-3
+)

@@ -1,0 +1,145 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"sslic/internal/energy"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestTable3Exact pins the latency/throughput rows of Table 3, which the
+// stage model must reproduce exactly.
+func TestTable3Exact(t *testing.T) {
+	cases := []struct {
+		cfg ClusterConfig
+		lat int
+		ii  int
+	}{
+		{Config111, 27, 9},
+		{Config911, 19, 9},
+		{Config191, 20, 9},
+		{Config116, 22, 9},
+		{Config996, 7, 1},
+	}
+	for _, c := range cases {
+		if got := c.cfg.LatencyCycles(); got != c.lat {
+			t.Errorf("%v latency = %d, want %d", c.cfg, got, c.lat)
+		}
+		if got := c.cfg.InitiationInterval(); got != c.ii {
+			t.Errorf("%v II = %d, want %d", c.cfg, got, c.ii)
+		}
+	}
+}
+
+// TestTable3AreaPower checks the published area and power values within
+// the calibration tolerance.
+func TestTable3AreaPower(t *testing.T) {
+	tech := energy.Default16nm()
+	cases := []struct {
+		cfg   ClusterConfig
+		area  float64 // mm²
+		power float64 // W
+	}{
+		{Config111, 0.0020, 3.3e-3},
+		{Config911, 0.0149, 3.6e-3},
+		{Config191, 0.0023, 3.2e-3},
+		{Config116, 0.0025, 3.25e-3},
+		{Config996, 0.0156, 30.9e-3},
+	}
+	for _, c := range cases {
+		if relErr(c.cfg.AreaMM2(), c.area) > 0.02 {
+			t.Errorf("%v area = %.4f mm², want %.4f", c.cfg, c.cfg.AreaMM2(), c.area)
+		}
+		if relErr(c.cfg.PowerWatts(tech), c.power) > 0.06 {
+			t.Errorf("%v power = %.2f mW, want %.2f", c.cfg,
+				c.cfg.PowerWatts(tech)*1e3, c.power*1e3)
+		}
+	}
+}
+
+// TestTable3TimeEnergy checks the 1080p per-iteration time and energy.
+func TestTable3TimeEnergy(t *testing.T) {
+	tech := energy.Default16nm()
+	const n = 1920 * 1080
+	cases := []struct {
+		cfg    ClusterConfig
+		timeMS float64
+		enUJ   float64
+	}{
+		{Config111, 11.8, 38.9},
+		{Config911, 11.8, 42.5},
+		{Config191, 11.8, 37.5},
+		{Config116, 11.8, 38.3},
+		{Config996, 1.3, 40.6},
+	}
+	for _, c := range cases {
+		if relErr(c.cfg.IterationTime(tech, n)*1e3, c.timeMS) > 0.03 {
+			t.Errorf("%v time = %.2f ms, want %.1f", c.cfg, c.cfg.IterationTime(tech, n)*1e3, c.timeMS)
+		}
+		if relErr(c.cfg.IterationEnergy(tech, n)*1e6, c.enUJ) > 0.07 {
+			t.Errorf("%v energy = %.1f µJ, want %.1f", c.cfg, c.cfg.IterationEnergy(tech, n)*1e6, c.enUJ)
+		}
+	}
+}
+
+// TestTable3Headline checks §6.2's stated ratios for 9-9-6 vs 1-1-1:
+// 7.8× area, 9.4× power, 9× throughput, marginal energy increase.
+func TestTable3Headline(t *testing.T) {
+	tech := energy.Default16nm()
+	areaRatio := Config996.AreaMM2() / Config111.AreaMM2()
+	if areaRatio < 7 || areaRatio > 8.5 {
+		t.Errorf("area ratio %.1f, want ~7.8", areaRatio)
+	}
+	powerRatio := Config996.PowerWatts(tech) / Config111.PowerWatts(tech)
+	if powerRatio < 8.5 || powerRatio > 10 {
+		t.Errorf("power ratio %.1f, want ~9.4", powerRatio)
+	}
+	tputRatio := Config996.ThroughputPixelsPerCycle() / Config111.ThroughputPixelsPerCycle()
+	if tputRatio != 9 {
+		t.Errorf("throughput ratio %.1f, want 9", tputRatio)
+	}
+	const n = 1920 * 1080
+	enRatio := Config996.IterationEnergy(tech, n) / Config111.IterationEnergy(tech, n)
+	if enRatio < 0.9 || enRatio > 1.15 {
+		t.Errorf("energy ratio %.2f, want marginal (~1.04)", enRatio)
+	}
+}
+
+func TestClusterConfigValidate(t *testing.T) {
+	bad := []ClusterConfig{
+		{0, 1, 1}, {2, 1, 1}, {1, 3, 1}, {1, 1, 9}, {1, 1, 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v accepted", c)
+		}
+	}
+	for _, c := range Table3Configs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", c, err)
+		}
+	}
+}
+
+func TestClusterConfigString(t *testing.T) {
+	if Config996.String() != "9-9-6" || Config111.String() != "1-1-1" {
+		t.Fatal("config naming")
+	}
+}
+
+func TestImbalancedConfigsNoFaster(t *testing.T) {
+	// §6.2: 9-1-1, 1-9-1 and 1-1-6 have imbalanced throughput — they pay
+	// area without improving the initiation interval.
+	for _, c := range []ClusterConfig{Config911, Config191, Config116} {
+		if c.InitiationInterval() != Config111.InitiationInterval() {
+			t.Errorf("%v II = %d, want same as 1-1-1", c, c.InitiationInterval())
+		}
+		if c.AreaMM2() <= Config111.AreaMM2() {
+			t.Errorf("%v area not larger than 1-1-1", c)
+		}
+	}
+}

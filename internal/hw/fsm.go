@@ -1,0 +1,113 @@
+package hw
+
+import "fmt"
+
+// State enumerates the host controller's states. The paper's §4.3 walks
+// exactly this sequence: load RGB, color-convert through the scratchpads,
+// then per tile load → cluster update → store, a center update after the
+// full image, and loop until the pass budget is spent.
+type State int
+
+const (
+	// StateIdle is the reset state.
+	StateIdle State = iota
+	// StateLoadFrame streams the RGB frame from external memory.
+	StateLoadFrame
+	// StateColorConvert runs the LUT conversion unit over the frame.
+	StateColorConvert
+	// StateLoadTile fills the scratchpads with one tile (Lab + indices +
+	// the 9 candidate centers and their sigma accumulators).
+	StateLoadTile
+	// StateClusterUpdate drives the Cluster Update Unit over the tile.
+	StateClusterUpdate
+	// StateStoreTile drains the index memory and sigma state.
+	StateStoreTile
+	// StateCenterUpdate averages the sigma registers on the divider.
+	StateCenterUpdate
+	// StateDone holds the final assignment in external memory.
+	StateDone
+	numStates
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateLoadFrame:
+		return "load-frame"
+	case StateColorConvert:
+		return "color-convert"
+	case StateLoadTile:
+		return "load-tile"
+	case StateClusterUpdate:
+		return "cluster-update"
+	case StateStoreTile:
+		return "store-tile"
+	case StateCenterUpdate:
+		return "center-update"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// legalTransitions encodes the controller's transition graph.
+var legalTransitions = map[State][]State{
+	StateIdle:          {StateLoadFrame},
+	StateLoadFrame:     {StateColorConvert},
+	StateColorConvert:  {StateLoadTile},
+	StateLoadTile:      {StateClusterUpdate},
+	StateClusterUpdate: {StateStoreTile},
+	StateStoreTile:     {StateLoadTile, StateCenterUpdate},
+	StateCenterUpdate:  {StateLoadTile, StateDone},
+	StateDone:          {StateIdle},
+}
+
+// FSM is the host controller's state machine with transition-legality
+// checking and per-state visit accounting.
+type FSM struct {
+	state  State
+	visits [numStates]int64
+}
+
+// NewFSM returns a controller in StateIdle.
+func NewFSM() *FSM {
+	f := &FSM{state: StateIdle}
+	f.visits[StateIdle] = 1
+	return f
+}
+
+// State returns the current state.
+func (f *FSM) State() State { return f.state }
+
+// Visits returns how many times the controller entered the state.
+func (f *FSM) Visits(s State) int64 {
+	if s < 0 || s >= numStates {
+		return 0
+	}
+	return f.visits[s]
+}
+
+// Transition moves to the target state if the transition graph allows
+// it, and errors otherwise — catching sequencing bugs in the models that
+// drive it.
+func (f *FSM) Transition(to State) error {
+	for _, legal := range legalTransitions[f.state] {
+		if legal == to {
+			f.state = to
+			f.visits[to]++
+			return nil
+		}
+	}
+	return fmt.Errorf("hw: illegal FSM transition %v → %v", f.state, to)
+}
+
+// mustTransition is the internal driver used by the functional
+// simulation, where an illegal transition is a programming error.
+func (f *FSM) mustTransition(to State) {
+	if err := f.Transition(to); err != nil {
+		panic(err)
+	}
+}

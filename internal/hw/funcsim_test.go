@@ -1,0 +1,331 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"sslic/internal/dataset"
+	"sslic/internal/imgio"
+	"sslic/internal/slic"
+	"sslic/internal/sslic"
+)
+
+// funcTestConfig shrinks the default design to a small frame so the
+// functional simulation stays fast.
+func funcTestConfig(w, h, k int) Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height, cfg.K = w, h, k
+	cfg.BufferBytesPerChannel = 1024
+	return cfg
+}
+
+func funcTestImage(t testing.TB, w, h int) *imgio.Image {
+	t.Helper()
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = w, h
+	dcfg.Regions = 8
+	s, err := dataset.Generate(dcfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Image
+}
+
+func TestFuncSimValidation(t *testing.T) {
+	cfg := funcTestConfig(96, 64, 24)
+	cfg.Cores = 2
+	if _, err := NewFuncSim(cfg); err == nil {
+		t.Error("multi-core functional sim accepted")
+	}
+	cfg = funcTestConfig(0, 64, 24)
+	if _, err := NewFuncSim(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFuncSimRejectsWrongImageSize(t *testing.T) {
+	fs, err := NewFuncSim(funcTestConfig(96, 64, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Run(imgio.NewImage(50, 50)); err == nil {
+		t.Error("mismatched image accepted")
+	}
+}
+
+func TestFuncSimProducesFullLabeling(t *testing.T) {
+	w, h, k := 96, 64, 24
+	fs, err := NewFuncSim(funcTestConfig(w, h, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := funcTestImage(t, w, h)
+	labels, err := fs.Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range labels.Labels {
+		if v < 0 {
+			t.Fatalf("pixel %d unlabeled", i)
+		}
+	}
+	n := labels.NumRegions()
+	if n < k/2 || n > k*2 {
+		t.Fatalf("functional sim produced %d regions for K=%d", n, k)
+	}
+	if fs.DistanceCalcs == 0 || fs.Cycles == 0 || fs.DRAMBytes == 0 || fs.DividerOps == 0 {
+		t.Fatal("counters not accumulating")
+	}
+}
+
+func TestFuncSimDeterministic(t *testing.T) {
+	w, h, k := 96, 64, 24
+	im := funcTestImage(t, w, h)
+	run := func() (*imgio.LabelMap, int64) {
+		fs, err := NewFuncSim(funcTestConfig(w, h, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := fs.Run(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels, fs.Cycles
+	}
+	l1, c1 := run()
+	l2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("cycle counts differ: %d vs %d", c1, c2)
+	}
+	for i := range l1.Labels {
+		if l1.Labels[i] != l2.Labels[i] {
+			t.Fatal("labels differ between runs")
+		}
+	}
+}
+
+// TestFuncSimAgreesWithSoftware checks the central fidelity property:
+// the bit-accurate hardware pipeline and the software S-SLIC with the
+// 8-bit datapath must produce closely matching segmentations. They
+// quantize through different but equivalent paths (LUT unit vs float
+// round-trip), so agreement is measured on boundary structure.
+func TestFuncSimAgreesWithSoftware(t *testing.T) {
+	w, h, k := 96, 64, 24
+	im := funcTestImage(t, w, h)
+
+	fs, err := NewFuncSim(funcTestConfig(w, h, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwLabels, err := fs.Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := sslic.DefaultParams(k, 1)
+	p.FullIters = fs.cfg.Passes
+	p.Datapath = slic.NewDatapath(8)
+	p.PerturbCenters = false // hardware uses static grid centers
+	p.EnforceConnectivity = false
+	sw, err := sslic.Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hwMask := hwLabels.BoundaryMask()
+	swMask := sw.Labels.BoundaryMask()
+	agree := 0
+	for i := range hwMask {
+		if hwMask[i] == swMask[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(hwMask)); frac < 0.85 {
+		t.Fatalf("hardware/software boundary agreement %.2f, want >= 0.85", frac)
+	}
+}
+
+// TestFuncSimCyclesMatchAnalyticModel cross-checks the functional
+// simulation's cycle count against the analytic Simulate on the same
+// configuration: the cluster + center compute cycles must agree within
+// a few percent (the models differ only in per-grid-cell vs per-buffer
+// drain accounting).
+func TestFuncSimCyclesMatchAnalyticModel(t *testing.T) {
+	w, h, k := 192, 128, 96
+	cfg := funcTestConfig(w, h, k)
+	fs, err := NewFuncSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := funcTestImage(t, w, h)
+	if _, err := fs.Run(im); err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic compute time (color conv pipeline + cluster + center) vs
+	// functional cycles. The analytic color conversion phase is the max
+	// of compute and streaming; compare against its compute component
+	// (N cycles).
+	n := float64(w * h)
+	analyticCycles := n + // color conversion pipeline
+		(analytic.ClusterComputeTime+analytic.CenterUpdateTime)*cfg.Tech.ClockHz
+	got := float64(fs.Cycles)
+	if r := math.Abs(got-analyticCycles) / analyticCycles; r > 0.06 {
+		t.Fatalf("functional %.0f vs analytic %.0f cycles (%.1f%% apart)",
+			got, analyticCycles, 100*r)
+	}
+}
+
+// TestFuncSimSubsamplingCutsWork verifies that ratio 0.5 halves distance
+// calculations and pixel traffic in the functional pipeline.
+func TestFuncSimSubsamplingCutsWork(t *testing.T) {
+	w, h, k := 96, 64, 24
+	im := funcTestImage(t, w, h)
+	run := func(ratio float64) *FuncSim {
+		cfg := funcTestConfig(w, h, k)
+		cfg.SubsampleRatio = ratio
+		fs, err := NewFuncSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Run(im); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	full := run(1)
+	half := run(0.5)
+	ratio := float64(full.DistanceCalcs) / float64(half.DistanceCalcs)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("distance calc reduction %.2f, want ~2", ratio)
+	}
+	if half.DRAMBytes >= full.DRAMBytes {
+		t.Error("subsampling did not reduce traffic")
+	}
+}
+
+func TestDistanceCodeProperties(t *testing.T) {
+	c := &centerReg{l: 100, a: 128, b: 128, x: 10, y: 10}
+	// Distance to self is zero.
+	if code := distanceCode(100, 128, 128, 10, 10, c, 256); code != 0 {
+		t.Fatalf("self distance code %d", code)
+	}
+	// Code saturates at 255.
+	if code := distanceCode(255, 0, 255, 1000, 1000, c, 2560); code != 255 {
+		t.Fatalf("saturation code %d", code)
+	}
+	// Monotone in color difference.
+	near := distanceCode(110, 128, 128, 10, 10, c, 256)
+	far := distanceCode(200, 128, 128, 10, 10, c, 256)
+	if far <= near {
+		t.Fatalf("codes not monotone: near %d, far %d", near, far)
+	}
+}
+
+// TestFuncSimClusterConfigScalesCycles verifies that the functional
+// pipeline's cycle count scales with the configured initiation interval:
+// iterative cluster units take ~9× the per-pixel cycles of the 9-9-6.
+func TestFuncSimClusterConfigScalesCycles(t *testing.T) {
+	w, h, k := 96, 64, 24
+	im := funcTestImage(t, w, h)
+	cycles := func(cl ClusterConfig) int64 {
+		cfg := funcTestConfig(w, h, k)
+		cfg.Cluster = cl
+		fs, err := NewFuncSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Run(im); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Cycles
+	}
+	fast := cycles(Config996)
+	slow := cycles(Config111)
+	// Per-pixel cluster work is 9× slower; fixed costs (color conversion,
+	// center update) dilute the ratio.
+	if ratio := float64(slow) / float64(fast); ratio < 1.5 {
+		t.Fatalf("1-1-1 only %.2f× slower than 9-9-6 in functional sim", ratio)
+	}
+	// Labels must be identical: parallelism changes timing, not values.
+	cfgA := funcTestConfig(w, h, k)
+	cfgA.Cluster = Config996
+	fsA, _ := NewFuncSim(cfgA)
+	la, _ := fsA.Run(im)
+	cfgB := funcTestConfig(w, h, k)
+	cfgB.Cluster = Config111
+	fsB, _ := NewFuncSim(cfgB)
+	lb, _ := fsB.Run(im)
+	for i := range la.Labels {
+		if la.Labels[i] != lb.Labels[i] {
+			t.Fatal("cluster parallelism changed functional results")
+		}
+	}
+}
+
+// TestFuncSimTimeSeconds sanity-checks the cycle-to-time conversion.
+func TestFuncSimTimeSeconds(t *testing.T) {
+	cfg := funcTestConfig(96, 64, 24)
+	fs, err := NewFuncSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := funcTestImage(t, 96, 64)
+	if _, err := fs.Run(im); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(fs.Cycles) / cfg.Tech.ClockHz
+	if fs.TimeSeconds() != want {
+		t.Fatalf("TimeSeconds %g, want %g", fs.TimeSeconds(), want)
+	}
+}
+
+// TestPowerBreakdownConsistent checks that the itemized power sums to
+// the reported total for several design points.
+func TestPowerBreakdownConsistent(t *testing.T) {
+	for _, buf := range []int{1024, 4096, 65536} {
+		cfg := DefaultConfig()
+		cfg.BufferBytesPerChannel = buf
+		r, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(r.PowerBreakdown.Total(), r.PowerWatts) > 1e-12 {
+			t.Fatalf("buf %d: breakdown %.4f != total %.4f", buf,
+				r.PowerBreakdown.Total(), r.PowerWatts)
+		}
+		if r.PowerBreakdown.Scratchpads <= 0 || r.PowerBreakdown.Cluster <= 0 {
+			t.Fatalf("buf %d: missing breakdown items: %+v", buf, r.PowerBreakdown)
+		}
+	}
+}
+
+// TestFuncSimEnergyCrossCheck: bottom-up (counter-driven) and top-down
+// (utilization-weighted) energy estimates must agree within a small
+// factor — they share calibration constants but opposite methodologies.
+func TestFuncSimEnergyCrossCheck(t *testing.T) {
+	w, h, k := 192, 128, 96
+	cfg := funcTestConfig(w, h, k)
+	fs, err := NewFuncSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := funcTestImage(t, w, h)
+	if _, err := fs.Run(im); err != nil {
+		t.Fatal(err)
+	}
+	bottomUp := fs.EnergyJoules(cfg.Tech)
+	analytic, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topDown := analytic.EnergyPerFrame
+	ratio := bottomUp / topDown
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("bottom-up %.3g J vs top-down %.3g J (ratio %.2f) — models diverged",
+			bottomUp, topDown, ratio)
+	}
+}

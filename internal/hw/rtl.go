@@ -1,0 +1,130 @@
+package hw
+
+import "fmt"
+
+// This file contains the structural (register-transfer-level) pipeline
+// model of the Cluster Update Unit. Where ClusterConfig's LatencyCycles
+// and InitiationInterval are closed-form, the structural model builds
+// the actual stage pipeline — fetch, distance calculators, minimum,
+// sigma select, adders, writeback — and simulates it cycle by cycle, so
+// the Table 3 numbers are *derived* from structure rather than assumed.
+// The analytic formulas are tested against this simulation.
+
+// Stage is one pipeline stage: II is the initiation interval (cycles the
+// stage stays busy per job), Latency the cycles until its result is
+// available to the next stage. A fully pipelined stage has II 1; an
+// iterative (time-multiplexed) unit has II equal to its iteration count.
+type Stage struct {
+	Name    string
+	II      int
+	Latency int
+}
+
+// Pipeline is an in-order chain of stages.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// Validate reports whether every stage has positive II and latency and
+// II ≤ Latency (a stage cannot free up before producing its result).
+func (p *Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("hw: empty pipeline")
+	}
+	for _, s := range p.Stages {
+		if s.II < 1 || s.Latency < 1 {
+			return fmt.Errorf("hw: stage %q has non-positive II/latency", s.Name)
+		}
+		if s.II > s.Latency {
+			return fmt.Errorf("hw: stage %q II %d exceeds latency %d", s.Name, s.II, s.Latency)
+		}
+	}
+	return nil
+}
+
+// PipelineReport is the outcome of a structural simulation.
+type PipelineReport struct {
+	// JobLatency is the cycle count from issue to completion of an
+	// isolated job (Table 3's "Latency" row).
+	JobLatency int
+	// SteadyStateII is the asymptotic cycles between completions under
+	// continuous issue (the inverse of Table 3's "Throughput" row).
+	SteadyStateII float64
+	// TotalCycles is the makespan of the simulated job batch.
+	TotalCycles int
+}
+
+// Simulate pushes jobs through the pipeline cycle-accurately: a job
+// enters stage j as soon as both its data is available and the stage is
+// free, holds the stage for II cycles, and presents its result Latency
+// cycles after entry.
+func (p *Pipeline) Simulate(jobs int) (*PipelineReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if jobs < 1 {
+		return nil, fmt.Errorf("hw: job count %d", jobs)
+	}
+	nextFree := make([]int, len(p.Stages))
+	completions := make([]int, jobs)
+	for job := 0; job < jobs; job++ {
+		avail := 0 // cycle at which the job's data is ready for the next stage
+		for j, s := range p.Stages {
+			enter := avail
+			if nextFree[j] > enter {
+				enter = nextFree[j]
+			}
+			nextFree[j] = enter + s.II
+			avail = enter + s.Latency
+		}
+		completions[job] = avail
+	}
+	r := &PipelineReport{
+		JobLatency:  completions[0],
+		TotalCycles: completions[jobs-1],
+	}
+	if jobs > 1 {
+		// Measure the steady-state rate over the second half of the batch
+		// to exclude fill effects.
+		mid := jobs / 2
+		r.SteadyStateII = float64(completions[jobs-1]-completions[mid]) / float64(jobs-1-mid)
+	} else {
+		r.SteadyStateII = float64(completions[0])
+	}
+	return r, nil
+}
+
+// ClusterPipeline builds the structural stage chain of the Cluster
+// Update Unit for a parallelism configuration:
+//
+//	fetch → distance calculators → 9:1 minimum → sigma select →
+//	sigma adders → index writeback
+//
+// Iterative units occupy their stage for one cycle per sub-operation
+// (9 distances, 9 comparisons, 6 additions); parallel units are fully
+// pipelined, with the 9:1 comparison tree registered over two levels.
+func ClusterPipeline(c ClusterConfig) (*Pipeline, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dist := Stage{Name: "distance", II: 9, Latency: 9}
+	if c.DistWays == 9 {
+		dist = Stage{Name: "distance", II: 1, Latency: 1}
+	}
+	min := Stage{Name: "minimum", II: 9, Latency: 9}
+	if c.MinWays == 9 {
+		min = Stage{Name: "minimum", II: 1, Latency: 2}
+	}
+	add := Stage{Name: "adders", II: 6, Latency: 6}
+	if c.AdderWays == 6 {
+		add = Stage{Name: "adders", II: 1, Latency: 1}
+	}
+	return &Pipeline{Stages: []Stage{
+		{Name: "fetch", II: 1, Latency: 1},
+		dist,
+		min,
+		{Name: "select", II: 1, Latency: 1},
+		add,
+		{Name: "writeback", II: 1, Latency: 1},
+	}}, nil
+}

@@ -1,0 +1,190 @@
+// Package imgio provides the image containers and file formats used
+// throughout the S-SLIC reproduction: planar 8-bit RGB images, integer
+// label maps, PPM/PGM codecs, PNG wrappers, and visualization helpers
+// (boundary overlays, mean-color abstraction).
+//
+// The planar layout mirrors the accelerator's scratchpad organization,
+// where the three color channels live in three separate channel memories
+// and the superpixel indices in a fourth (paper §4.3).
+package imgio
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// Image is a planar 8-bit three-channel image. Channel semantics are up to
+// the producer: R/G/B for input images, L/a/b (quantized to bytes) after
+// color conversion. The planar layout matches the accelerator scratchpads.
+type Image struct {
+	W, H       int
+	C0, C1, C2 []uint8 // planar channels, each W*H, row-major
+}
+
+// NewImage allocates a zeroed W×H planar image.
+// It panics if either dimension is not positive.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgio: invalid dimensions %dx%d", w, h))
+	}
+	n := w * h
+	return &Image{W: w, H: h, C0: make([]uint8, n), C1: make([]uint8, n), C2: make([]uint8, n)}
+}
+
+// Pixels returns the number of pixels W*H.
+func (im *Image) Pixels() int { return im.W * im.H }
+
+// At returns the three channel values at (x, y).
+func (im *Image) At(x, y int) (c0, c1, c2 uint8) {
+	i := y*im.W + x
+	return im.C0[i], im.C1[i], im.C2[i]
+}
+
+// Set stores the three channel values at (x, y).
+func (im *Image) Set(x, y int, c0, c1, c2 uint8) {
+	i := y*im.W + x
+	im.C0[i], im.C1[i], im.C2[i] = c0, c1, c2
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.C0, im.C0)
+	copy(out.C1, im.C1)
+	copy(out.C2, im.C2)
+	return out
+}
+
+// Bounds reports whether (x, y) lies inside the image.
+func (im *Image) Bounds(x, y int) bool {
+	return x >= 0 && x < im.W && y >= 0 && y < im.H
+}
+
+// FromGoImage converts any image.Image into a planar RGB Image,
+// discarding alpha.
+func FromGoImage(src image.Image) *Image {
+	b := src.Bounds()
+	out := NewImage(b.Dx(), b.Dy())
+	i := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := src.At(x, y).RGBA()
+			out.C0[i] = uint8(r >> 8)
+			out.C1[i] = uint8(g >> 8)
+			out.C2[i] = uint8(bl >> 8)
+			i++
+		}
+	}
+	return out
+}
+
+// ToGoImage converts the planar image to an *image.RGBA, interpreting the
+// channels as R, G, B.
+func (im *Image) ToGoImage() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for i := 0; i < im.Pixels(); i++ {
+		x, y := i%im.W, i/im.W
+		out.SetRGBA(x, y, color.RGBA{im.C0[i], im.C1[i], im.C2[i], 0xff})
+	}
+	return out
+}
+
+// LabelMap assigns an integer label (e.g. a superpixel index) to every pixel.
+type LabelMap struct {
+	W, H   int
+	Labels []int32 // W*H, row-major; negative means unassigned
+}
+
+// NewLabelMap allocates a label map with every pixel set to Unassigned.
+func NewLabelMap(w, h int) *LabelMap {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgio: invalid dimensions %dx%d", w, h))
+	}
+	l := make([]int32, w*h)
+	for i := range l {
+		l[i] = Unassigned
+	}
+	return &LabelMap{W: w, H: h, Labels: l}
+}
+
+// Unassigned marks pixels that no superpixel has claimed yet.
+const Unassigned int32 = -1
+
+// At returns the label at (x, y).
+func (lm *LabelMap) At(x, y int) int32 { return lm.Labels[y*lm.W+x] }
+
+// Set stores a label at (x, y).
+func (lm *LabelMap) Set(x, y int, v int32) { lm.Labels[y*lm.W+x] = v }
+
+// Clone returns a deep copy of the label map.
+func (lm *LabelMap) Clone() *LabelMap {
+	out := &LabelMap{W: lm.W, H: lm.H, Labels: make([]int32, len(lm.Labels))}
+	copy(out.Labels, lm.Labels)
+	return out
+}
+
+// MaxLabel returns the largest label present, or -1 if all unassigned.
+func (lm *LabelMap) MaxLabel() int32 {
+	max := int32(-1)
+	for _, v := range lm.Labels {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// NumRegions returns the number of distinct non-negative labels.
+func (lm *LabelMap) NumRegions() int {
+	seen := make(map[int32]struct{})
+	for _, v := range lm.Labels {
+		if v >= 0 {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// RegionSizes returns a map from label to pixel count.
+func (lm *LabelMap) RegionSizes() map[int32]int {
+	sizes := make(map[int32]int)
+	for _, v := range lm.Labels {
+		if v >= 0 {
+			sizes[v]++
+		}
+	}
+	return sizes
+}
+
+// IsBoundary reports whether the pixel at (x, y) has a 4-neighbor with a
+// different label, i.e. lies on a region boundary.
+func (lm *LabelMap) IsBoundary(x, y int) bool {
+	v := lm.At(x, y)
+	if x > 0 && lm.At(x-1, y) != v {
+		return true
+	}
+	if x < lm.W-1 && lm.At(x+1, y) != v {
+		return true
+	}
+	if y > 0 && lm.At(x, y-1) != v {
+		return true
+	}
+	if y < lm.H-1 && lm.At(x, y+1) != v {
+		return true
+	}
+	return false
+}
+
+// BoundaryMask returns a W*H bool slice marking boundary pixels.
+func (lm *LabelMap) BoundaryMask() []bool {
+	mask := make([]bool, lm.W*lm.H)
+	for y := 0; y < lm.H; y++ {
+		for x := 0; x < lm.W; x++ {
+			if lm.IsBoundary(x, y) {
+				mask[y*lm.W+x] = true
+			}
+		}
+	}
+	return mask
+}

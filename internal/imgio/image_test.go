@@ -1,0 +1,179 @@
+package imgio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewImageZeroed(t *testing.T) {
+	im := NewImage(7, 5)
+	if im.W != 7 || im.H != 5 || im.Pixels() != 35 {
+		t.Fatalf("dims: got %dx%d (%d px)", im.W, im.H, im.Pixels())
+	}
+	for i := 0; i < im.Pixels(); i++ {
+		if im.C0[i] != 0 || im.C1[i] != 0 || im.C2[i] != 0 {
+			t.Fatalf("pixel %d not zeroed", i)
+		}
+	}
+}
+
+func TestNewImagePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 4}, {4, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewImage(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewImage(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestImageSetAt(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(2, 1, 10, 20, 30)
+	c0, c1, c2 := im.At(2, 1)
+	if c0 != 10 || c1 != 20 || c2 != 30 {
+		t.Fatalf("At(2,1) = %d,%d,%d", c0, c1, c2)
+	}
+	// Neighbors untouched.
+	if a, b, c := im.At(1, 1); a != 0 || b != 0 || c != 0 {
+		t.Fatal("neighbor modified")
+	}
+}
+
+func TestImageCloneIndependent(t *testing.T) {
+	im := NewImage(3, 3)
+	im.Set(0, 0, 1, 2, 3)
+	cp := im.Clone()
+	cp.Set(0, 0, 9, 9, 9)
+	if c0, _, _ := im.At(0, 0); c0 != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestImageBounds(t *testing.T) {
+	im := NewImage(4, 3)
+	cases := []struct {
+		x, y int
+		want bool
+	}{
+		{0, 0, true}, {3, 2, true}, {-1, 0, false}, {0, -1, false},
+		{4, 0, false}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := im.Bounds(c.x, c.y); got != c.want {
+			t.Errorf("Bounds(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestGoImageRoundTrip(t *testing.T) {
+	im := NewImage(5, 4)
+	for i := 0; i < im.Pixels(); i++ {
+		im.C0[i] = uint8(i * 7)
+		im.C1[i] = uint8(i * 13)
+		im.C2[i] = uint8(i * 29)
+	}
+	back := FromGoImage(im.ToGoImage())
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("dims changed: %dx%d", back.W, back.H)
+	}
+	for i := 0; i < im.Pixels(); i++ {
+		if back.C0[i] != im.C0[i] || back.C1[i] != im.C1[i] || back.C2[i] != im.C2[i] {
+			t.Fatalf("pixel %d changed: %v vs %v", i,
+				[3]uint8{back.C0[i], back.C1[i], back.C2[i]},
+				[3]uint8{im.C0[i], im.C1[i], im.C2[i]})
+		}
+	}
+}
+
+func TestLabelMapUnassigned(t *testing.T) {
+	lm := NewLabelMap(4, 4)
+	for _, v := range lm.Labels {
+		if v != Unassigned {
+			t.Fatal("fresh label map must be all Unassigned")
+		}
+	}
+	if lm.MaxLabel() != -1 {
+		t.Fatalf("MaxLabel = %d, want -1", lm.MaxLabel())
+	}
+	if lm.NumRegions() != 0 {
+		t.Fatalf("NumRegions = %d, want 0", lm.NumRegions())
+	}
+}
+
+func TestLabelMapRegions(t *testing.T) {
+	lm := NewLabelMap(4, 2)
+	// Left half label 0, right half label 5.
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 4; x++ {
+			if x < 2 {
+				lm.Set(x, y, 0)
+			} else {
+				lm.Set(x, y, 5)
+			}
+		}
+	}
+	if lm.NumRegions() != 2 {
+		t.Fatalf("NumRegions = %d", lm.NumRegions())
+	}
+	if lm.MaxLabel() != 5 {
+		t.Fatalf("MaxLabel = %d", lm.MaxLabel())
+	}
+	sizes := lm.RegionSizes()
+	if sizes[0] != 4 || sizes[5] != 4 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestBoundaryDetection(t *testing.T) {
+	lm := NewLabelMap(4, 1)
+	lm.Set(0, 0, 1)
+	lm.Set(1, 0, 1)
+	lm.Set(2, 0, 2)
+	lm.Set(3, 0, 2)
+	wants := []bool{false, true, true, false}
+	for x, want := range wants {
+		if got := lm.IsBoundary(x, 0); got != want {
+			t.Errorf("IsBoundary(%d,0) = %v, want %v", x, got, want)
+		}
+	}
+	mask := lm.BoundaryMask()
+	for x, want := range wants {
+		if mask[x] != want {
+			t.Errorf("mask[%d] = %v, want %v", x, mask[x], want)
+		}
+	}
+}
+
+func TestUniformLabelMapHasNoBoundary(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%16) + 1
+		h := int(h8%16) + 1
+		lm := NewLabelMap(w, h)
+		for i := range lm.Labels {
+			lm.Labels[i] = 3
+		}
+		for _, b := range lm.BoundaryMask() {
+			if b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelMapCloneIndependent(t *testing.T) {
+	lm := NewLabelMap(2, 2)
+	lm.Set(0, 0, 7)
+	cp := lm.Clone()
+	cp.Set(0, 0, 8)
+	if lm.At(0, 0) != 7 {
+		t.Fatal("clone aliases original")
+	}
+}

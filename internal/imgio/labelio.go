@@ -1,0 +1,79 @@
+package imgio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary label-map format for persisting segmentations between pipeline
+// stages (the "final assignment ... stored in the external memory" of
+// §4.3, as a file): a magic, the dimensions, then the row-major labels
+// as little-endian int32.
+const labelMagic = "SLBL"
+
+// EncodeLabelMap writes lm in the binary label format.
+func EncodeLabelMap(w io.Writer, lm *LabelMap) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(labelMagic); err != nil {
+		return err
+	}
+	hdr := [2]uint32{uint32(lm.W), uint32(lm.H)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, lm.Labels); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeLabelMap reads a binary label map.
+func DecodeLabelMap(r io.Reader) (*LabelMap, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(labelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("imgio: reading label magic: %w", err)
+	}
+	if string(magic) != labelMagic {
+		return nil, fmt.Errorf("imgio: not a label map (magic %q)", magic)
+	}
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("imgio: reading label header: %w", err)
+	}
+	w, h := int(hdr[0]), int(hdr[1])
+	if w <= 0 || h <= 0 || w > maxHeaderDim || h > maxHeaderDim || w*h > maxHeaderPixels {
+		return nil, fmt.Errorf("imgio: invalid label dimensions %dx%d", w, h)
+	}
+	lm := NewLabelMap(w, h)
+	if err := binary.Read(br, binary.LittleEndian, lm.Labels); err != nil {
+		return nil, fmt.Errorf("imgio: reading labels: %w", err)
+	}
+	return lm, nil
+}
+
+// WriteLabelMapFile encodes lm to path.
+func WriteLabelMapFile(path string, lm *LabelMap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeLabelMap(f, lm); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadLabelMapFile decodes the label map at path.
+func ReadLabelMapFile(path string) (*LabelMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeLabelMap(f)
+}

@@ -1,0 +1,97 @@
+package imgio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelMapRoundTrip(t *testing.T) {
+	lm := NewLabelMap(7, 5)
+	for i := range lm.Labels {
+		lm.Labels[i] = int32(i*13 - 3) // includes negatives (Unassigned-like)
+	}
+	var buf bytes.Buffer
+	if err := EncodeLabelMap(&buf, lm); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeLabelMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 7 || back.H != 5 {
+		t.Fatalf("dims %dx%d", back.W, back.H)
+	}
+	for i := range lm.Labels {
+		if back.Labels[i] != lm.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+}
+
+func TestLabelMapRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	prop := func(w8, h8 uint8) bool {
+		w := int(w8%20) + 1
+		h := int(h8%20) + 1
+		lm := NewLabelMap(w, h)
+		for i := range lm.Labels {
+			lm.Labels[i] = rng.Int31n(1000) - 1
+		}
+		var buf bytes.Buffer
+		if err := EncodeLabelMap(&buf, lm); err != nil {
+			return false
+		}
+		back, err := DecodeLabelMap(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range lm.Labels {
+			if back.Labels[i] != lm.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeLabelMapErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"XXXX\x01\x00\x00\x00\x01\x00\x00\x00", // bad magic
+		"SLBL",                                 // truncated header
+		"SLBL\x00\x00\x00\x00\x01\x00\x00\x00", // zero width
+		"SLBL\xff\xff\xff\x7f\xff\xff\xff\x7f", // absurd dims
+		"SLBL\x02\x00\x00\x00\x02\x00\x00\x00\x01\x00", // truncated labels
+	}
+	for i, src := range cases {
+		if _, err := DecodeLabelMap(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLabelMapFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	lm := NewLabelMap(8, 8)
+	for i := range lm.Labels {
+		lm.Labels[i] = int32(i % 5)
+	}
+	path := filepath.Join(dir, "seg.slbl")
+	if err := WriteLabelMapFile(path, lm); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLabelMapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRegions() != 5 {
+		t.Fatalf("regions %d", back.NumRegions())
+	}
+}

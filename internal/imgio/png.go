@@ -1,0 +1,47 @@
+package imgio
+
+import (
+	"image/png"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadImageFile loads an image from path, dispatching on the extension:
+// .ppm → PPM codec, .png → stdlib PNG decoder.
+func ReadImageFile(path string) (*Image, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src, err := png.Decode(f)
+		if err != nil {
+			return nil, err
+		}
+		return FromGoImage(src), nil
+	default:
+		return ReadPPMFile(path)
+	}
+}
+
+// WriteImageFile saves im to path, dispatching on the extension like
+// ReadImageFile.
+func WriteImageFile(path string, im *Image) error {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := png.Encode(f, im.ToGoImage()); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	default:
+		return WritePPMFile(path, im)
+	}
+}

@@ -1,0 +1,236 @@
+package imgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// The PPM/PGM codecs support the binary (P5/P6) and ASCII (P2/P3) variants
+// of the netpbm formats with 8-bit samples. These are the interchange
+// formats used by the example programs and the dataset generator; they keep
+// the repository dependency-free while remaining viewable with standard
+// tools.
+
+// EncodePPM writes im as a binary PPM (P6) stream.
+func EncodePPM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]byte, im.W*3)
+	for y := 0; y < im.H; y++ {
+		base := y * im.W
+		for x := 0; x < im.W; x++ {
+			row[x*3+0] = im.C0[base+x]
+			row[x*3+1] = im.C1[base+x]
+			row[x*3+2] = im.C2[base+x]
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePPM reads a PPM (P6 or P3) stream into a planar Image.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("imgio: reading PPM magic: %w", err)
+	}
+	if magic != "P6" && magic != "P3" {
+		return nil, fmt.Errorf("imgio: not a PPM file (magic %q)", magic)
+	}
+	w, h, maxv, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	im := NewImage(w, h)
+	n := w * h
+	if magic == "P6" {
+		buf := make([]byte, n*3)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imgio: short PPM pixel data: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			im.C0[i] = scale8(buf[i*3+0], maxv)
+			im.C1[i] = scale8(buf[i*3+1], maxv)
+			im.C2[i] = scale8(buf[i*3+2], maxv)
+		}
+		return im, nil
+	}
+	for i := 0; i < n; i++ {
+		var v [3]int
+		for c := 0; c < 3; c++ {
+			v[c], err = readInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("imgio: PPM ascii pixel %d: %w", i, err)
+			}
+		}
+		im.C0[i] = scale8(uint8(clamp255(v[0])), maxv)
+		im.C1[i] = scale8(uint8(clamp255(v[1])), maxv)
+		im.C2[i] = scale8(uint8(clamp255(v[2])), maxv)
+	}
+	return im, nil
+}
+
+// EncodePGM writes a single-channel 8-bit PGM (P5). The values slice must
+// hold w*h bytes in row-major order.
+func EncodePGM(w io.Writer, width, height int, values []uint8) error {
+	if len(values) != width*height {
+		return fmt.Errorf("imgio: PGM size mismatch: %d values for %dx%d", len(values), width, height)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(values); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a PGM (P5 or P2) stream, returning width, height and the
+// row-major sample slice.
+func DecodePGM(r io.Reader) (int, int, []uint8, error) {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("imgio: reading PGM magic: %w", err)
+	}
+	if magic != "P5" && magic != "P2" {
+		return 0, 0, nil, fmt.Errorf("imgio: not a PGM file (magic %q)", magic)
+	}
+	w, h, maxv, err := readHeader(br)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	n := w * h
+	out := make([]uint8, n)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, out); err != nil {
+			return 0, 0, nil, fmt.Errorf("imgio: short PGM pixel data: %w", err)
+		}
+		for i := range out {
+			out[i] = scale8(out[i], maxv)
+		}
+		return w, h, out, nil
+	}
+	for i := 0; i < n; i++ {
+		v, err := readInt(br)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("imgio: PGM ascii pixel %d: %w", i, err)
+		}
+		out[i] = scale8(uint8(clamp255(v)), maxv)
+	}
+	return w, h, out, nil
+}
+
+// WritePPMFile encodes im to path as binary PPM.
+func WritePPMFile(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePPM(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPPMFile decodes the PPM file at path.
+func ReadPPMFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodePPM(f)
+}
+
+// maxHeaderDim and maxHeaderPixels bound what a netpbm header may claim
+// before any allocation happens, so hostile inputs cannot trigger huge
+// or out-of-range allocations.
+const (
+	maxHeaderDim    = 1 << 20
+	maxHeaderPixels = 1 << 28
+)
+
+func readHeader(br *bufio.Reader) (w, h, maxv int, err error) {
+	if w, err = readInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgio: reading width: %w", err)
+	}
+	if h, err = readInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgio: reading height: %w", err)
+	}
+	if maxv, err = readInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgio: reading maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w > maxHeaderDim || h > maxHeaderDim || w*h > maxHeaderPixels {
+		return 0, 0, 0, fmt.Errorf("imgio: invalid or oversized dimensions %dx%d", w, h)
+	}
+	if maxv <= 0 || maxv > 255 {
+		return 0, 0, 0, fmt.Errorf("imgio: unsupported maxval %d (only 8-bit)", maxv)
+	}
+	return w, h, maxv, nil
+}
+
+// readToken reads the next whitespace-delimited token, skipping '#' comments.
+func readToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func readInt(br *bufio.Reader) (int, error) {
+	tok, err := readToken(br)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer %q", tok)
+	}
+	return v, nil
+}
+
+func scale8(v uint8, maxv int) uint8 {
+	if maxv == 255 {
+		return v
+	}
+	return uint8(int(v) * 255 / maxv)
+}
+
+func clamp255(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,242 @@
+package imgio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomImage(rng *rand.Rand, w, h int) *Image {
+	im := NewImage(w, h)
+	rng.Read(im.C0)
+	rng.Read(im.C1)
+	rng.Read(im.C2)
+	return im
+}
+
+func imagesEqual(a, b *Image) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	return bytes.Equal(a.C0, b.C0) && bytes.Equal(a.C1, b.C1) && bytes.Equal(a.C2, b.C2)
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {64, 48}, {17, 1}} {
+		im := randomImage(rng, dims[0], dims[1])
+		var buf bytes.Buffer
+		if err := EncodePPM(&buf, im); err != nil {
+			t.Fatalf("encode %v: %v", dims, err)
+		}
+		back, err := DecodePPM(&buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", dims, err)
+		}
+		if !imagesEqual(im, back) {
+			t.Fatalf("round trip altered %v image", dims)
+		}
+	}
+}
+
+func TestPPMRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%32) + 1
+		h := int(h8%32) + 1
+		im := randomImage(rng, w, h)
+		var buf bytes.Buffer
+		if err := EncodePPM(&buf, im); err != nil {
+			return false
+		}
+		back, err := DecodePPM(&buf)
+		if err != nil {
+			return false
+		}
+		return imagesEqual(im, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePPMAscii(t *testing.T) {
+	src := "P3\n# a comment\n2 1\n255\n255 0 0   0 255 0\n"
+	im, err := DecodePPM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 1 {
+		t.Fatalf("dims %dx%d", im.W, im.H)
+	}
+	if c0, c1, c2 := im.At(0, 0); c0 != 255 || c1 != 0 || c2 != 0 {
+		t.Fatalf("pixel 0 = %d,%d,%d", c0, c1, c2)
+	}
+	if c0, c1, c2 := im.At(1, 0); c0 != 0 || c1 != 255 || c2 != 0 {
+		t.Fatalf("pixel 1 = %d,%d,%d", c0, c1, c2)
+	}
+}
+
+func TestDecodePPMMaxvalScaling(t *testing.T) {
+	src := "P3\n1 1\n15\n15 0 7\n"
+	im, err := DecodePPM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1, c2 := im.At(0, 0)
+	if c0 != 255 || c1 != 0 {
+		t.Fatalf("scaled pixel = %d,%d,%d", c0, c1, c2)
+	}
+	if c2 != uint8(7*255/15) {
+		t.Fatalf("c2 = %d, want %d", c2, 7*255/15)
+	}
+}
+
+func TestDecodePPMErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"P7\n1 1\n255\n",   // bad magic
+		"P6\n0 1\n255\n",   // zero width
+		"P6\n1 1\n70000\n", // 16-bit maxval unsupported
+		"P6\n2 2\n255\nab", // truncated pixel data
+		"P6\nx 1\n255\n",   // non-numeric width
+	}
+	for _, src := range cases {
+		if _, err := DecodePPM(strings.NewReader(src)); err == nil {
+			t.Errorf("DecodePPM(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	vals := make([]uint8, 6*4)
+	for i := range vals {
+		vals[i] = uint8(i * 11)
+	}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, 6, 4, vals); err != nil {
+		t.Fatal(err)
+	}
+	w, h, back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 6 || h != 4 || !bytes.Equal(vals, back) {
+		t.Fatal("PGM round trip mismatch")
+	}
+}
+
+func TestEncodePGMSizeMismatch(t *testing.T) {
+	if err := EncodePGM(&bytes.Buffer{}, 2, 2, make([]uint8, 3)); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}
+
+func TestDecodePGMAscii(t *testing.T) {
+	src := "P2\n3 1\n255\n0 128 255\n"
+	w, h, vals, err := DecodePGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 || h != 1 || vals[0] != 0 || vals[1] != 128 || vals[2] != 255 {
+		t.Fatalf("got %dx%d %v", w, h, vals)
+	}
+}
+
+func TestFileRoundTripPPMAndPNG(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	im := randomImage(rng, 20, 10)
+	for _, name := range []string{"x.ppm", "x.png"} {
+		path := filepath.Join(dir, name)
+		if err := WriteImageFile(path, im); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+		back, err := ReadImageFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !imagesEqual(im, back) {
+			t.Fatalf("%s round trip altered image", name)
+		}
+	}
+}
+
+func TestOverlayDrawsBoundaries(t *testing.T) {
+	im := NewImage(4, 1)
+	lm := NewLabelMap(4, 1)
+	lm.Set(0, 0, 0)
+	lm.Set(1, 0, 0)
+	lm.Set(2, 0, 1)
+	lm.Set(3, 0, 1)
+	out := Overlay(im, lm, 255, 0, 0)
+	if c0, _, _ := out.At(1, 0); c0 != 255 {
+		t.Fatal("boundary pixel not painted")
+	}
+	if c0, _, _ := out.At(0, 0); c0 != 0 {
+		t.Fatal("interior pixel painted")
+	}
+	// Original untouched.
+	if c0, _, _ := im.At(1, 0); c0 != 0 {
+		t.Fatal("Overlay mutated input")
+	}
+}
+
+func TestMeanColorUniformRegions(t *testing.T) {
+	im := NewImage(4, 1)
+	im.Set(0, 0, 10, 0, 0)
+	im.Set(1, 0, 20, 0, 0)
+	im.Set(2, 0, 100, 0, 0)
+	im.Set(3, 0, 200, 0, 0)
+	lm := NewLabelMap(4, 1)
+	lm.Set(0, 0, 0)
+	lm.Set(1, 0, 0)
+	lm.Set(2, 0, 1)
+	lm.Set(3, 0, 1)
+	out := MeanColor(im, lm)
+	if c0, _, _ := out.At(0, 0); c0 != 15 {
+		t.Fatalf("region 0 mean = %d, want 15", c0)
+	}
+	if c0, _, _ := out.At(3, 0); c0 != 150 {
+		t.Fatalf("region 1 mean = %d, want 150", c0)
+	}
+}
+
+func TestMeanColorHandlesUnassigned(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, 40, 0, 0)
+	im.Set(1, 0, 60, 0, 0)
+	lm := NewLabelMap(2, 1) // all Unassigned
+	out := MeanColor(im, lm)
+	if c0, _, _ := out.At(0, 0); c0 != 50 {
+		t.Fatalf("unassigned mean = %d, want 50", c0)
+	}
+}
+
+func TestLabelColorsDeterministicAndDistinct(t *testing.T) {
+	lm := NewLabelMap(2, 1)
+	lm.Set(0, 0, 0)
+	lm.Set(1, 0, 1)
+	a := LabelColors(lm)
+	b := LabelColors(lm)
+	if !imagesEqual(a, b) {
+		t.Fatal("LabelColors not deterministic")
+	}
+	a0, a1, a2 := a.At(0, 0)
+	b0, b1, b2 := a.At(1, 0)
+	if a0 == b0 && a1 == b1 && a2 == b2 {
+		t.Fatal("adjacent labels rendered with identical colors")
+	}
+}
+
+func TestOverlayPanicsOnDimensionMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched dims")
+		}
+	}()
+	Overlay(NewImage(2, 2), NewLabelMap(3, 3), 0, 0, 0)
+}

@@ -1,0 +1,77 @@
+package imgio
+
+import "fmt"
+
+// Resize scales the image to w×h with bilinear interpolation — used to
+// derive the 720p/VGA workloads of Table 4 from one source scene.
+func Resize(im *Image, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imgio: invalid resize target %dx%d", w, h)
+	}
+	out := NewImage(w, h)
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if y0 < 0 {
+			y0 = 0
+		}
+		y1 := y0 + 1
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		wy := fy - float64(y0)
+		if wy < 0 {
+			wy = 0
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if x0 < 0 {
+				x0 = 0
+			}
+			x1 := x0 + 1
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			wx := fx - float64(x0)
+			if wx < 0 {
+				wx = 0
+			}
+			for c, ch := range [][]uint8{im.C0, im.C1, im.C2} {
+				v00 := float64(ch[y0*im.W+x0])
+				v01 := float64(ch[y0*im.W+x1])
+				v10 := float64(ch[y1*im.W+x0])
+				v11 := float64(ch[y1*im.W+x1])
+				v := (v00*(1-wx)+v01*wx)*(1-wy) + (v10*(1-wx)+v11*wx)*wy
+				switch c {
+				case 0:
+					out.C0[y*w+x] = uint8(v + 0.5)
+				case 1:
+					out.C1[y*w+x] = uint8(v + 0.5)
+				default:
+					out.C2[y*w+x] = uint8(v + 0.5)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ResizeLabels scales a label map with nearest-neighbor sampling, the
+// only valid interpolation for categorical data.
+func ResizeLabels(lm *LabelMap, w, h int) (*LabelMap, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imgio: invalid resize target %dx%d", w, h)
+	}
+	out := NewLabelMap(w, h)
+	for y := 0; y < h; y++ {
+		sy := y * lm.H / h
+		for x := 0; x < w; x++ {
+			sx := x * lm.W / w
+			out.Labels[y*w+x] = lm.Labels[sy*lm.W+sx]
+		}
+	}
+	return out, nil
+}

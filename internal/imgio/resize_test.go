@@ -1,0 +1,106 @@
+package imgio
+
+import "testing"
+
+func TestResizeIdentity(t *testing.T) {
+	im := NewImage(8, 6)
+	for i := range im.C0 {
+		im.C0[i] = uint8(i * 5)
+		im.C1[i] = uint8(i * 7)
+		im.C2[i] = uint8(i * 11)
+	}
+	out, err := Resize(im, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.C0 {
+		if out.C0[i] != im.C0[i] || out.C1[i] != im.C1[i] || out.C2[i] != im.C2[i] {
+			t.Fatalf("identity resize changed pixel %d", i)
+		}
+	}
+}
+
+func TestResizeSolidStaysSolid(t *testing.T) {
+	im := NewImage(10, 10)
+	for i := range im.C0 {
+		im.C0[i], im.C1[i], im.C2[i] = 120, 60, 30
+	}
+	for _, dims := range [][2]int{{5, 5}, {20, 20}, {13, 7}} {
+		out, err := Resize(im, dims[0], dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out.C0 {
+			if out.C0[i] != 120 || out.C1[i] != 60 || out.C2[i] != 30 {
+				t.Fatalf("%v: solid color changed at %d: %d,%d,%d",
+					dims, i, out.C0[i], out.C1[i], out.C2[i])
+			}
+		}
+	}
+}
+
+func TestResizeDownUpPreservesStructure(t *testing.T) {
+	// A left/right split must stay a left/right split through down+up.
+	im := NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 16 {
+				im.Set(x, y, 250, 0, 0)
+			} else {
+				im.Set(x, y, 0, 0, 250)
+			}
+		}
+	}
+	small, err := Resize(im, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Resize(small, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far from the boundary the colors must be intact.
+	if c0, _, _ := back.At(2, 16); c0 < 240 {
+		t.Fatalf("left side degraded: %d", c0)
+	}
+	if _, _, c2 := back.At(29, 16); c2 < 240 {
+		t.Fatalf("right side degraded: %d", c2)
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	im := NewImage(4, 4)
+	if _, err := Resize(im, 0, 4); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ResizeLabels(NewLabelMap(4, 4), 4, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestResizeLabelsNearest(t *testing.T) {
+	lm := NewLabelMap(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			lm.Set(x, y, int32(x/2))
+		}
+	}
+	out, err := ResizeLabels(lm, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels must remain exactly {0, 1} (no interpolation).
+	for _, v := range out.Labels {
+		if v != 0 && v != 1 {
+			t.Fatalf("interpolated label %d", v)
+		}
+	}
+	if out.At(0, 0) != 0 || out.At(7, 7) != 1 {
+		t.Fatal("label structure lost")
+	}
+	// Region proportions preserved (half and half).
+	sizes := out.RegionSizes()
+	if sizes[0] != 32 || sizes[1] != 32 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}

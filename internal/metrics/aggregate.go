@@ -1,0 +1,66 @@
+package metrics
+
+import "math"
+
+// Aggregate accumulates a scalar metric over a corpus and reports mean,
+// standard deviation and extrema — the per-corpus statistics the paper's
+// Figure 2 averages over 100 Berkeley images.
+type Aggregate struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (a *Aggregate) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+	a.sumSq += v * v
+}
+
+// N returns the observation count.
+func (a *Aggregate) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty aggregate).
+func (a *Aggregate) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Std returns the sample standard deviation (n-1 denominator; 0 for
+// fewer than two observations).
+func (a *Aggregate) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sumSq - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 {
+		v = 0 // numerical floor
+	}
+	return math.Sqrt(v)
+}
+
+// Min and Max return the extrema (0 for an empty aggregate).
+func (a *Aggregate) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation.
+func (a *Aggregate) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}

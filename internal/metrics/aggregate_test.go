@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregateBasics(t *testing.T) {
+	var a Aggregate
+	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty aggregate must be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean %g", a.Mean())
+	}
+	// Sample std of this classic set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(a.Std()-want) > 1e-12 {
+		t.Fatalf("std %g, want %g", a.Std(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("extrema %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestAggregateSingleObservation(t *testing.T) {
+	var a Aggregate
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Std() != 0 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("single-observation stats wrong")
+	}
+}
+
+func TestAggregateProperties(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var a Aggregate
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float blowup in sumSq.
+			v = math.Mod(v, 1e6)
+			a.Add(v)
+			ok = ok && a.Min() <= a.Mean()+1e-9 && a.Mean() <= a.Max()+1e-9
+		}
+		return ok && a.Std() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateConstantSeriesZeroStd(t *testing.T) {
+	var a Aggregate
+	for i := 0; i < 50; i++ {
+		a.Add(0.125)
+	}
+	if a.Std() != 0 {
+		t.Fatalf("constant series std %g", a.Std())
+	}
+}

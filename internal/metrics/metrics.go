@@ -1,0 +1,262 @@
+// Package metrics implements the superpixel quality metrics the paper
+// evaluates with (§3, Figure 2): undersegmentation error and boundary
+// recall, both defined against a ground-truth segmentation, plus the
+// auxiliary metrics commonly reported alongside them (achievable
+// segmentation accuracy, explained variation, compactness).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"sslic/internal/imgio"
+)
+
+// overlapTable builds the contingency counts between a computed
+// segmentation sp and ground truth gt: one map of region→(gt region→count)
+// plus total sizes.
+func overlapTable(sp, gt *imgio.LabelMap) (map[int32]map[int32]int, map[int32]int, error) {
+	if sp.W != gt.W || sp.H != gt.H {
+		return nil, nil, fmt.Errorf("metrics: size mismatch %dx%d vs %dx%d", sp.W, sp.H, gt.W, gt.H)
+	}
+	overlaps := make(map[int32]map[int32]int)
+	sizes := make(map[int32]int)
+	for i, s := range sp.Labels {
+		g := gt.Labels[i]
+		m := overlaps[s]
+		if m == nil {
+			m = make(map[int32]int)
+			overlaps[s] = m
+		}
+		m[g]++
+		sizes[s]++
+	}
+	return overlaps, sizes, nil
+}
+
+// UndersegmentationError computes the USE of Achanta et al. (TPAMI 2012):
+// for every ground-truth region, superpixels that overlap it by more than
+// 5% of their own area count their full area as potential leakage; the
+// total, minus the image size, normalized by the image size, is the
+// error. Lower is better; 0 means every superpixel nests perfectly inside
+// one ground-truth region.
+func UndersegmentationError(sp, gt *imgio.LabelMap) (float64, error) {
+	overlaps, sizes, err := overlapTable(sp, gt)
+	if err != nil {
+		return 0, err
+	}
+	n := sp.W * sp.H
+	var total int
+	for s, m := range overlaps {
+		for _, cnt := range m {
+			if float64(cnt) > 0.05*float64(sizes[s]) {
+				total += sizes[s]
+			}
+		}
+	}
+	return float64(total-n) / float64(n), nil
+}
+
+// BoundaryRecall computes the fraction of ground-truth boundary pixels
+// that lie within tolerance (Chebyshev distance, in pixels) of a computed
+// boundary pixel. The conventional tolerance is 2. Higher is better.
+func BoundaryRecall(sp, gt *imgio.LabelMap, tolerance int) (float64, error) {
+	if sp.W != gt.W || sp.H != gt.H {
+		return 0, fmt.Errorf("metrics: size mismatch %dx%d vs %dx%d", sp.W, sp.H, gt.W, gt.H)
+	}
+	if tolerance < 0 {
+		return 0, fmt.Errorf("metrics: negative tolerance %d", tolerance)
+	}
+	spMask := sp.BoundaryMask()
+	w, h := gt.W, gt.H
+	var gtBoundary, hit int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !gt.IsBoundary(x, y) {
+				continue
+			}
+			gtBoundary++
+			if nearMask(spMask, w, h, x, y, tolerance) {
+				hit++
+			}
+		}
+	}
+	if gtBoundary == 0 {
+		return 1, nil // no boundaries to recall
+	}
+	return float64(hit) / float64(gtBoundary), nil
+}
+
+func nearMask(mask []bool, w, h, x, y, tol int) bool {
+	for dy := -tol; dy <= tol; dy++ {
+		ny := y + dy
+		if ny < 0 || ny >= h {
+			continue
+		}
+		row := ny * w
+		for dx := -tol; dx <= tol; dx++ {
+			nx := x + dx
+			if nx < 0 || nx >= w {
+				continue
+			}
+			if mask[row+nx] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AchievableSegmentationAccuracy computes ASA: the accuracy an oracle
+// achieves by labeling every superpixel with its dominant ground-truth
+// region. Higher is better; 1 means perfect nesting.
+func AchievableSegmentationAccuracy(sp, gt *imgio.LabelMap) (float64, error) {
+	overlaps, _, err := overlapTable(sp, gt)
+	if err != nil {
+		return 0, err
+	}
+	var total int
+	for _, m := range overlaps {
+		best := 0
+		for _, cnt := range m {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		total += best
+	}
+	return float64(total) / float64(sp.W*sp.H), nil
+}
+
+// ExplainedVariation computes the R² of Moore et al.: how much of the
+// image's color variance the superpixel means explain. Computed on the
+// three channels jointly. Higher is better.
+func ExplainedVariation(im *imgio.Image, sp *imgio.LabelMap) (float64, error) {
+	if im.W != sp.W || im.H != sp.H {
+		return 0, fmt.Errorf("metrics: size mismatch %dx%d vs %dx%d", im.W, im.H, sp.W, sp.H)
+	}
+	n := im.Pixels()
+	// Global mean.
+	var gm [3]float64
+	for i := 0; i < n; i++ {
+		gm[0] += float64(im.C0[i])
+		gm[1] += float64(im.C1[i])
+		gm[2] += float64(im.C2[i])
+	}
+	for c := range gm {
+		gm[c] /= float64(n)
+	}
+	// Per-region means.
+	type acc struct {
+		s [3]float64
+		n int
+	}
+	regions := make(map[int32]*acc)
+	for i, v := range sp.Labels {
+		a := regions[v]
+		if a == nil {
+			a = &acc{}
+			regions[v] = a
+		}
+		a.s[0] += float64(im.C0[i])
+		a.s[1] += float64(im.C1[i])
+		a.s[2] += float64(im.C2[i])
+		a.n++
+	}
+	var between, total float64
+	for _, a := range regions {
+		for c := 0; c < 3; c++ {
+			mean := a.s[c] / float64(a.n)
+			between += float64(a.n) * (mean - gm[c]) * (mean - gm[c])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for c, ch := range [][]uint8{im.C0, im.C1, im.C2} {
+			d := float64(ch[i]) - gm[c]
+			total += d * d
+		}
+	}
+	if total == 0 {
+		return 1, nil // constant image: trivially explained
+	}
+	return between / total, nil
+}
+
+// Compactness computes the Schick et al. compactness measure: the
+// area-weighted mean isoperimetric quotient 4π·A/P² of the superpixels.
+// Higher (closer to 1) means rounder superpixels.
+func Compactness(sp *imgio.LabelMap) float64 {
+	sizes := sp.RegionSizes()
+	perims := regionPerimeters(sp)
+	n := float64(sp.W * sp.H)
+	var co float64
+	for lbl, area := range sizes {
+		p := float64(perims[lbl])
+		if p == 0 {
+			continue
+		}
+		q := 4 * math.Pi * float64(area) / (p * p)
+		if q > 1 {
+			q = 1 // digital perimeters can make tiny regions exceed 1
+		}
+		co += float64(area) / n * q
+	}
+	return co
+}
+
+// regionPerimeters counts boundary edge segments per region: each pixel
+// side facing a different label or the image border adds 1.
+func regionPerimeters(sp *imgio.LabelMap) map[int32]int {
+	w, h := sp.W, sp.H
+	out := make(map[int32]int)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := sp.At(x, y)
+			if x == 0 || sp.At(x-1, y) != v {
+				out[v]++
+			}
+			if x == w-1 || sp.At(x+1, y) != v {
+				out[v]++
+			}
+			if y == 0 || sp.At(x, y-1) != v {
+				out[v]++
+			}
+			if y == h-1 || sp.At(x, y+1) != v {
+				out[v]++
+			}
+		}
+	}
+	return out
+}
+
+// Summary bundles the standard metric set for one segmentation.
+type Summary struct {
+	USE          float64
+	BoundaryRec  float64
+	ASA          float64
+	ExplainedVar float64
+	Compactness  float64
+	Regions      int
+}
+
+// Evaluate computes the full Summary of sp against ground truth gt on
+// image im, using the conventional boundary tolerance of 2 pixels.
+func Evaluate(im *imgio.Image, sp, gt *imgio.LabelMap) (Summary, error) {
+	var s Summary
+	var err error
+	if s.USE, err = UndersegmentationError(sp, gt); err != nil {
+		return s, err
+	}
+	if s.BoundaryRec, err = BoundaryRecall(sp, gt, 2); err != nil {
+		return s, err
+	}
+	if s.ASA, err = AchievableSegmentationAccuracy(sp, gt); err != nil {
+		return s, err
+	}
+	if s.ExplainedVar, err = ExplainedVariation(im, sp); err != nil {
+		return s, err
+	}
+	s.Compactness = Compactness(sp)
+	s.Regions = sp.NumRegions()
+	return s, nil
+}

@@ -1,0 +1,300 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"sslic/internal/imgio"
+)
+
+// grid builds a label map of r×c equal rectangular regions.
+func grid(w, h, cols, rows int) *imgio.LabelMap {
+	lm := imgio.NewLabelMap(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := x * cols / w
+			gy := y * rows / h
+			lm.Set(x, y, int32(gy*cols+gx))
+		}
+	}
+	return lm
+}
+
+func TestUSEPerfectNesting(t *testing.T) {
+	// A 4×4 grid nests perfectly inside a 2×2 grid: USE must be ~0.
+	sp := grid(64, 64, 4, 4)
+	gt := grid(64, 64, 2, 2)
+	use, err := UndersegmentationError(sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if use != 0 {
+		t.Fatalf("USE = %g for perfectly nested segmentation, want 0", use)
+	}
+}
+
+func TestUSEIdentity(t *testing.T) {
+	gt := grid(32, 32, 2, 2)
+	use, err := UndersegmentationError(gt, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if use != 0 {
+		t.Fatalf("USE(x, x) = %g, want 0", use)
+	}
+}
+
+func TestUSEDetectsStraddling(t *testing.T) {
+	// One big superpixel across two ground-truth halves leaks fully: each
+	// gt half claims the whole superpixel → USE = (2N - N)/N = 1.
+	sp := grid(32, 32, 1, 1)
+	gt := grid(32, 32, 2, 1)
+	use, err := UndersegmentationError(sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(use-1) > 1e-9 {
+		t.Fatalf("USE = %g, want 1", use)
+	}
+}
+
+func TestUSEIgnoresTinyOverlap(t *testing.T) {
+	// A superpixel overlapping a gt region by <5% of its own area does
+	// not leak. 100×1 strip: sp covers x∈[0,99]; gt region B covers only
+	// x∈[96,99] (4%).
+	sp := imgio.NewLabelMap(100, 1)
+	gt := imgio.NewLabelMap(100, 1)
+	for x := 0; x < 100; x++ {
+		sp.Set(x, 0, 0)
+		if x < 96 {
+			gt.Set(x, 0, 0)
+		} else {
+			gt.Set(x, 0, 1)
+		}
+	}
+	use, err := UndersegmentationError(sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if use != 0 {
+		t.Fatalf("USE = %g, want 0 (4%% overlap is under the threshold)", use)
+	}
+}
+
+func TestUSEMoreSuperpixelsNotWorse(t *testing.T) {
+	// Refining the segmentation (perfect 8×8 vs coarse 2×2 against the
+	// same 4×4 gt): the aligned finer grid must not have higher USE.
+	gt := grid(64, 64, 4, 4)
+	fine := grid(64, 64, 8, 8)
+	coarse := grid(64, 64, 2, 2)
+	useFine, _ := UndersegmentationError(fine, gt)
+	useCoarse, _ := UndersegmentationError(coarse, gt)
+	if useFine > useCoarse {
+		t.Fatalf("fine USE %g > coarse USE %g", useFine, useCoarse)
+	}
+}
+
+func TestBoundaryRecallPerfect(t *testing.T) {
+	gt := grid(32, 32, 2, 2)
+	br, err := BoundaryRecall(gt, gt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 1 {
+		t.Fatalf("BR(x, x) = %g, want 1", br)
+	}
+}
+
+func TestBoundaryRecallZeroForUniform(t *testing.T) {
+	sp := grid(32, 32, 1, 1) // no boundaries at all
+	gt := grid(32, 32, 2, 2)
+	br, err := BoundaryRecall(sp, gt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 0 {
+		t.Fatalf("BR = %g, want 0", br)
+	}
+}
+
+func TestBoundaryRecallNoGTBoundaries(t *testing.T) {
+	sp := grid(32, 32, 4, 4)
+	gt := grid(32, 32, 1, 1)
+	br, err := BoundaryRecall(sp, gt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 1 {
+		t.Fatalf("BR with empty gt boundary = %g, want 1 by convention", br)
+	}
+}
+
+func TestBoundaryRecallToleranceWidens(t *testing.T) {
+	// sp boundary shifted 3 px from gt boundary: tol 2 misses, tol 3 hits.
+	sp := imgio.NewLabelMap(32, 8)
+	gt := imgio.NewLabelMap(32, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 16 {
+				gt.Set(x, y, 0)
+			} else {
+				gt.Set(x, y, 1)
+			}
+			if x < 19 {
+				sp.Set(x, y, 0)
+			} else {
+				sp.Set(x, y, 1)
+			}
+		}
+	}
+	// Boundary masks are two-sided: gt marks x=15 and x=16, sp marks x=18
+	// and x=19. At tolerance 2 only the x=16 side reaches x=18 → recall
+	// 0.5; at tolerance 3 both sides are covered → recall 1.
+	br2, _ := BoundaryRecall(sp, gt, 2)
+	br3, _ := BoundaryRecall(sp, gt, 3)
+	if br2 != 0.5 {
+		t.Fatalf("tol 2: BR = %g, want 0.5", br2)
+	}
+	if br3 != 1 {
+		t.Fatalf("tol 3: BR = %g, want 1", br3)
+	}
+}
+
+func TestBoundaryRecallRejectsNegativeTolerance(t *testing.T) {
+	gt := grid(8, 8, 2, 2)
+	if _, err := BoundaryRecall(gt, gt, -1); err == nil {
+		t.Fatal("want error for negative tolerance")
+	}
+}
+
+func TestASAPerfect(t *testing.T) {
+	sp := grid(64, 64, 4, 4)
+	gt := grid(64, 64, 2, 2)
+	asa, err := AchievableSegmentationAccuracy(sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asa != 1 {
+		t.Fatalf("ASA = %g for nested segmentation, want 1", asa)
+	}
+}
+
+func TestASAHalfForStraddling(t *testing.T) {
+	sp := grid(32, 32, 1, 1)
+	gt := grid(32, 32, 2, 1)
+	asa, err := AchievableSegmentationAccuracy(sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(asa-0.5) > 1e-9 {
+		t.Fatalf("ASA = %g, want 0.5", asa)
+	}
+}
+
+func TestExplainedVariation(t *testing.T) {
+	// Image with two flat halves: a matching segmentation explains all
+	// variance; a uniform segmentation explains none.
+	im := imgio.NewImage(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 16 {
+				im.Set(x, y, 200, 0, 0)
+			} else {
+				im.Set(x, y, 0, 0, 200)
+			}
+		}
+	}
+	matching := grid(32, 16, 2, 1)
+	uniform := grid(32, 16, 1, 1)
+	evMatch, err := ExplainedVariation(im, matching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evUni, err := ExplainedVariation(im, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(evMatch-1) > 1e-9 {
+		t.Fatalf("matching EV = %g, want 1", evMatch)
+	}
+	if math.Abs(evUni) > 1e-9 {
+		t.Fatalf("uniform EV = %g, want 0", evUni)
+	}
+}
+
+func TestExplainedVariationConstantImage(t *testing.T) {
+	im := imgio.NewImage(8, 8)
+	sp := grid(8, 8, 2, 2)
+	ev, err := ExplainedVariation(im, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != 1 {
+		t.Fatalf("EV on constant image = %g, want 1", ev)
+	}
+}
+
+func TestCompactnessSquareVsStripes(t *testing.T) {
+	// Square regions are more compact than long stripes of equal area.
+	squares := grid(64, 64, 4, 4)  // 16×16 squares
+	stripes := grid(64, 64, 16, 1) // 4×64 stripes
+	cs := Compactness(squares)
+	cst := Compactness(stripes)
+	if cs <= cst {
+		t.Fatalf("squares %.3f not more compact than stripes %.3f", cs, cst)
+	}
+	if cs <= 0 || cs > 1 || cst <= 0 || cst > 1 {
+		t.Fatalf("compactness out of (0,1]: %g, %g", cs, cst)
+	}
+}
+
+func TestMetricsSizeMismatchErrors(t *testing.T) {
+	a := grid(8, 8, 2, 2)
+	b := grid(9, 8, 2, 2)
+	if _, err := UndersegmentationError(a, b); err == nil {
+		t.Error("USE accepted mismatched sizes")
+	}
+	if _, err := BoundaryRecall(a, b, 2); err == nil {
+		t.Error("BR accepted mismatched sizes")
+	}
+	if _, err := AchievableSegmentationAccuracy(a, b); err == nil {
+		t.Error("ASA accepted mismatched sizes")
+	}
+	if _, err := ExplainedVariation(imgio.NewImage(8, 8), b); err == nil {
+		t.Error("EV accepted mismatched sizes")
+	}
+}
+
+func TestEvaluateBundlesAll(t *testing.T) {
+	im := imgio.NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 16 {
+				im.Set(x, y, 220, 30, 30)
+			} else {
+				im.Set(x, y, 30, 30, 220)
+			}
+		}
+	}
+	sp := grid(32, 32, 4, 4)
+	gt := grid(32, 32, 2, 1)
+	s, err := Evaluate(im, sp, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.USE != 0 {
+		t.Errorf("USE = %g, want 0 (nested)", s.USE)
+	}
+	if s.BoundaryRec != 1 {
+		t.Errorf("BR = %g, want 1", s.BoundaryRec)
+	}
+	if s.ASA != 1 {
+		t.Errorf("ASA = %g, want 1", s.ASA)
+	}
+	if s.Regions != 16 {
+		t.Errorf("Regions = %d, want 16", s.Regions)
+	}
+	if s.Compactness <= 0 {
+		t.Errorf("Compactness = %g", s.Compactness)
+	}
+}

@@ -1,0 +1,92 @@
+package slic
+
+import "math"
+
+// InitCenters places superpixel centers on a regular grid with spacing
+// S = sqrt(N/K) and optionally perturbs each to the lowest-gradient pixel
+// in its 3×3 neighborhood (paper §2: "to avoid initialization on an edge
+// or a noisy pixel"). The returned slice length is the effective K — the
+// grid point count nearest to the requested K.
+func InitCenters(lab *LabImage, k int, perturb bool) []Center {
+	w, h := lab.W, lab.H
+	s := GridInterval(w, h, k)
+	nx := max(1, int(float64(w)/s+0.5))
+	ny := max(1, int(float64(h)/s+0.5))
+
+	var grad []float64
+	if perturb {
+		grad = GradientMap(lab)
+	}
+
+	centers := make([]Center, 0, nx*ny)
+	for gy := 0; gy < ny; gy++ {
+		for gx := 0; gx < nx; gx++ {
+			// Cell-centered placement.
+			x := min(w-1, int((float64(gx)+0.5)*float64(w)/float64(nx)))
+			y := min(h-1, int((float64(gy)+0.5)*float64(h)/float64(ny)))
+			if perturb {
+				x, y = lowestGradient3x3(grad, w, h, x, y)
+			}
+			i := y*w + x
+			centers = append(centers, Center{
+				L: lab.L[i], A: lab.A[i], B: lab.B[i],
+				X: float64(x), Y: float64(y),
+			})
+		}
+	}
+	return centers
+}
+
+// CenterGridDims returns the (nx, ny) grid used by InitCenters for a w×h
+// image and requested K; the effective superpixel count is nx*ny.
+func CenterGridDims(w, h, k int) (nx, ny int) {
+	s := GridInterval(w, h, k)
+	return max(1, int(float64(w)/s+0.5)), max(1, int(float64(h)/s+0.5))
+}
+
+// GradientMap computes the squared gradient magnitude of §2's
+// initialization step on all three Lab channels:
+//
+//	G(x,y) = ‖I(x+1,y) − I(x−1,y)‖² + ‖I(x,y+1) − I(x,y−1)‖²
+//
+// Border pixels get +Inf so perturbation never moves a center onto the
+// image edge.
+func GradientMap(lab *LabImage) []float64 {
+	w, h := lab.W, lab.H
+	grad := make([]float64, w*h)
+	for i := range grad {
+		grad[i] = math.Inf(1)
+	}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			gx := sq(lab.L[i+1]-lab.L[i-1]) + sq(lab.A[i+1]-lab.A[i-1]) + sq(lab.B[i+1]-lab.B[i-1])
+			gy := sq(lab.L[i+w]-lab.L[i-w]) + sq(lab.A[i+w]-lab.A[i-w]) + sq(lab.B[i+w]-lab.B[i-w])
+			grad[i] = gx + gy
+		}
+	}
+	return grad
+}
+
+// lowestGradient3x3 returns the coordinates of the minimum-gradient pixel
+// in the 3×3 neighborhood of (x, y), ties resolved in favor of the
+// original position first, then scan order.
+func lowestGradient3x3(grad []float64, w, h, x, y int) (int, int) {
+	bestX, bestY := x, y
+	best := grad[y*w+x]
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := x+dx, y+dy
+			if nx < 0 || nx >= w || ny < 0 || ny >= h {
+				continue
+			}
+			if g := grad[ny*w+nx]; g < best {
+				best = g
+				bestX, bestY = nx, ny
+			}
+		}
+	}
+	return bestX, bestY
+}
+
+func sq(v float64) float64 { return v * v }

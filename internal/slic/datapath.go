@@ -1,0 +1,81 @@
+package slic
+
+import (
+	"math"
+
+	"sslic/internal/fixed"
+)
+
+// Datapath models the reduced-precision hardware datapath for the
+// bit-width exploration of §6.1. When Enabled, the Lab planes are
+// quantized to ColorBits through the scratchpad encoding (the channel
+// memories hold fixed-point color codes), and every Equation 5 distance
+// is quantized to a DistBits-wide code with saturation — the paper's
+// Color Distance Calculator "returns the 8-bit distance", and the 9:1
+// minimum compares those codes.
+//
+// The paper's key observation — accuracy depends on *relative* distance
+// comparisons, not absolute values — is exactly what this model stresses:
+// coarse distance codes introduce ties and coarse color codes move the
+// comparison outcomes, and §6.1 finds 8 bits of each is enough.
+type Datapath struct {
+	Enabled   bool
+	ColorBits int
+	DistBits  int
+}
+
+// Lab channel dynamic ranges used for quantization scaling: L ∈ [0, 100],
+// a and b in [-128, 128) for 8-bit sRGB inputs.
+const (
+	labLRange  = 100.0
+	labABRange = 256.0
+
+	// maxDistCode is the full-scale (non-squared) distance the hardware
+	// code range covers: the CIELAB space diagonal sqrt(100²+255²+255²)
+	// ≈ 374 plus headroom for the spatial term at large m. Distances are
+	// scaled against this before quantization, so an 8-bit code has a
+	// resolution of about 1.75 Lab units — coarse codes at narrow widths
+	// collapse nearby distances into ties, which is what degrades quality
+	// below 7 bits in §6.1.
+	maxDistCode = 448.0
+)
+
+// NewDatapath returns a datapath model with the same width for color and
+// distance codes, the configuration §6.1 sweeps.
+func NewDatapath(bits int) Datapath {
+	return Datapath{Enabled: true, ColorBits: bits, DistBits: bits}
+}
+
+// QuantizeLab applies the color-code quantization in place. Disabled
+// datapaths are a no-op, keeping the float64 reference path intact.
+func (dp Datapath) QuantizeLab(lab *LabImage) {
+	if !dp.Enabled {
+		return
+	}
+	f := fixed.MustNew(dp.ColorBits, 0, false, fixed.Nearest)
+	steps := float64(f.MaxRaw())
+	for i := range lab.L {
+		// Scale each channel to the code range, quantize, scale back.
+		lab.L[i] = f.RoundTrip(lab.L[i]/labLRange*steps) / steps * labLRange
+		lab.A[i] = f.RoundTrip((lab.A[i]+128)/labABRange*steps)/steps*labABRange - 128
+		lab.B[i] = f.RoundTrip((lab.B[i]+128)/labABRange*steps)/steps*labABRange - 128
+	}
+}
+
+// DistQuantizer returns the function applied to every squared Equation 5
+// distance, or nil when the datapath is disabled. The quantizer maps the
+// root-domain distance to its DistBits code and back, returning the
+// squared value so callers keep comparing in the squared domain
+// (monotone-equivalent).
+func (dp Datapath) DistQuantizer() func(float64) float64 {
+	if !dp.Enabled {
+		return nil
+	}
+	f := fixed.MustNew(dp.DistBits, 0, false, fixed.Nearest)
+	steps := float64(f.MaxRaw())
+	return func(d2 float64) float64 {
+		d := math.Sqrt(d2) / maxDistCode * steps
+		dq := f.RoundTrip(d) / steps * maxDistCode
+		return dq * dq
+	}
+}

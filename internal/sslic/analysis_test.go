@@ -1,0 +1,93 @@
+package sslic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeTable2Shape(t *testing.T) {
+	// Table 2 at 1080p, full ratio: CPA ≈ 318 MB and 58 M ops; PPA ≈ 100
+	// MB and 130 M ops. The model must land within 5% of the published
+	// values and preserve the headline ratios (~3× bandwidth, ~2.25× ops).
+	cpa := Analyze(CPA, 1920, 1080, 1)
+	ppa := Analyze(PPA, 1920, 1080, 1)
+
+	if math.Abs(cpa.TrafficMB()-318)/318 > 0.05 {
+		t.Errorf("CPA traffic %.1f MB, want ~318", cpa.TrafficMB())
+	}
+	if math.Abs(ppa.TrafficMB()-100)/100 > 0.05 {
+		t.Errorf("PPA traffic %.1f MB, want ~100", ppa.TrafficMB())
+	}
+	if math.Abs(cpa.OpsM()-58)/58 > 0.05 {
+		t.Errorf("CPA ops %.1f M, want ~58", cpa.OpsM())
+	}
+	if math.Abs(ppa.OpsM()-130)/130 > 0.05 {
+		t.Errorf("PPA ops %.1f M, want ~130", ppa.OpsM())
+	}
+
+	bwRatio := cpa.TrafficMB() / ppa.TrafficMB()
+	if bwRatio < 2.8 || bwRatio > 3.5 {
+		t.Errorf("bandwidth ratio %.2f, want ~3", bwRatio)
+	}
+	opRatio := ppa.OpsM() / cpa.OpsM()
+	if math.Abs(opRatio-2.25) > 0.1 {
+		t.Errorf("op ratio %.2f, want 2.25", opRatio)
+	}
+}
+
+func TestAnalyzeSubsamplingScalesLinearly(t *testing.T) {
+	full := Analyze(PPA, 1920, 1080, 1)
+	half := Analyze(PPA, 1920, 1080, 0.5)
+	if math.Abs(float64(half.TrafficBytes)*2-float64(full.TrafficBytes)) > 1 {
+		t.Errorf("half-ratio traffic %d not half of %d", half.TrafficBytes, full.TrafficBytes)
+	}
+	if half.Ops*2 != full.Ops {
+		t.Errorf("half-ratio ops %d not half of %d", half.Ops, full.Ops)
+	}
+}
+
+func TestAnalyzeHeadlineBandwidthReduction(t *testing.T) {
+	// The abstract's claim: subsampling reduces memory bandwidth by 1.8×
+	// (S-SLIC(0.5) vs full SLIC per unit of convergence progress). Per
+	// pass, ratio 0.5 halves traffic; the effective 1.8× accounts for the
+	// extra center updates — verify the per-pass factor brackets it.
+	full := Analyze(PPA, 1920, 1080, 1)
+	half := Analyze(PPA, 1920, 1080, 0.5)
+	factor := float64(full.TrafficBytes) / float64(half.TrafficBytes)
+	if factor < 1.8 {
+		t.Errorf("bandwidth reduction %.2f, want >= 1.8", factor)
+	}
+}
+
+func TestAnalyzeScalesWithResolution(t *testing.T) {
+	hd := Analyze(PPA, 1920, 1080, 1)
+	vga := Analyze(PPA, 640, 480, 1)
+	wantRatio := float64(1920*1080) / float64(640*480)
+	gotRatio := float64(hd.TrafficBytes) / float64(vga.TrafficBytes)
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.01 {
+		t.Errorf("resolution scaling %.2f, want %.2f", gotRatio, wantRatio)
+	}
+}
+
+func TestMeasuredDistanceCalcsMatchModel(t *testing.T) {
+	// The analytic PPA distance-calc model (9 per pixel per full
+	// iteration) must agree with the instrumented implementation within
+	// the border-tile allowance (border tiles have < 9 candidates).
+	im := testImage(96, 96)
+	p := DefaultParams(36, 1)
+	p.FullIters = 1
+	res, err := Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := Analyze(PPA, 96, 96, 1)
+	got := float64(res.Stats.DistanceCalcs)
+	want := float64(model.DistanceCalcs)
+	if got > want {
+		t.Fatalf("measured %v calcs exceeds model %v", got, want)
+	}
+	// Border effects shave at most ~40% on a tiny 6×6 grid.
+	if got < want*0.6 {
+		t.Fatalf("measured %v calcs far below model %v", got, want)
+	}
+}

@@ -1,0 +1,168 @@
+package sslic
+
+import (
+	"math"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/slic"
+)
+
+// segmentCPA runs the center perspective architecture of §4.2: the
+// superpixel centers are split into equal subsets traversed round-robin;
+// each pass updates one subset of centers by scanning the 2S×2S patch
+// around each of them, exactly like original SLIC restricted to that
+// subset. Persistent minimum-distance and label buffers carry state
+// between passes (the two image-sized memory buffers of §2).
+func segmentCPA(im *imgio.Image, p Params) (*Result, error) {
+	var st Stats
+
+	t0 := time.Now()
+	lab := slic.ToLab(im)
+	p.Datapath.QuantizeLab(lab)
+	st.ColorConvTime = time.Since(t0)
+
+	t0 = time.Now()
+	centers := slic.InitCenters(lab, p.K, p.PerturbCenters)
+	labels := imgio.NewLabelMap(im.W, im.H)
+	st.InitTime = time.Since(t0)
+
+	s := slic.GridInterval(im.W, im.H, p.K)
+	invS2 := p.Compactness * p.Compactness / (s * s)
+	quant := p.Datapath.DistQuantizer()
+
+	k := p.Subsets()
+	totalPasses := p.FullIters * k
+	w, h := im.W, im.H
+
+	dist := make([]float64, lab.Pixels())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+
+	for pass := 0; pass < totalPasses; pass++ {
+		subset := pass % k
+
+		// Distance decay: because centers move between passes, retained
+		// minima go slightly stale; original SLIC resets the buffer every
+		// iteration. Reset at the start of each full round so every pixel
+		// is re-contested once per full iteration.
+		if subset == 0 {
+			for i := range dist {
+				dist[i] = math.Inf(1)
+			}
+		}
+
+		t0 = time.Now()
+		for ci := range centers {
+			if ci%k != subset {
+				continue
+			}
+			c := &centers[ci]
+			x0 := maxInt(0, int(c.X-s))
+			x1 := minInt(w-1, int(c.X+s))
+			y0 := maxInt(0, int(c.Y-s))
+			y1 := minInt(h-1, int(c.Y+s))
+			for y := y0; y <= y1; y++ {
+				row := y * w
+				for x := x0; x <= x1; x++ {
+					i := row + x
+					d := slic.Distance5(lab.L[i], lab.A[i], lab.B[i], float64(x), float64(y), c, invS2)
+					if quant != nil {
+						d = quant(d)
+					}
+					st.DistanceCalcs++
+					if d < dist[i] {
+						dist[i] = d
+						labels.Labels[i] = int32(ci)
+					}
+				}
+			}
+		}
+		st.AssignTime += time.Since(t0)
+
+		// Update the subset's centers from their current members inside
+		// their (enlarged) windows.
+		t0 = time.Now()
+		move := updateCPASubset(lab, labels, centers, subset, k, s)
+		st.CenterUpdates += int64(len(centers) / k)
+		st.UpdateTime += time.Since(t0)
+		st.SubsetPasses = pass + 1
+		st.Iterations = (pass + k) / k
+		st.MoveHistory = append(st.MoveHistory, move/float64(maxInt(1, len(centers)/k)))
+
+		if p.Threshold > 0 && move/float64(maxInt(1, len(centers)/k)) < p.Threshold {
+			st.Converged = true
+			break
+		}
+	}
+
+	t0 = time.Now()
+	// Pixels never claimed (possible off-grid corners) fall back to the
+	// nearest center by position.
+	tiling := NewTiling(im.W, im.H, p.K)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if labels.At(x, y) < 0 {
+				labels.Set(x, y, tiling.OwnCenter(x, y))
+			}
+		}
+	}
+	if p.EnforceConnectivity {
+		minSize := int(s*s) / maxInt(1, p.MinRegionDivisor)
+		slic.EnforceConnectivity(labels, minSize)
+	}
+	st.OtherTime = time.Since(t0)
+
+	return &Result{Labels: labels, Centers: centers, Tiling: tiling, Stats: st}, nil
+}
+
+// updateCPASubset recomputes the centers of one subset as the mean of the
+// pixels currently labeled to them within a 2S-radius window (members
+// further out are vanishingly rare for converging SLIC). Returns the
+// summed L1 movement of the updated centers.
+func updateCPASubset(lab *slic.LabImage, labels *imgio.LabelMap, centers []slic.Center, subset, k int, s float64) float64 {
+	w, h := lab.W, lab.H
+	var move float64
+	for ci := range centers {
+		if ci%k != subset {
+			continue
+		}
+		c := &centers[ci]
+		x0 := maxInt(0, int(c.X-2*s))
+		x1 := minInt(w-1, int(c.X+2*s))
+		y0 := maxInt(0, int(c.Y-2*s))
+		y1 := minInt(h-1, int(c.Y+2*s))
+		var sg sigma
+		for y := y0; y <= y1; y++ {
+			row := y * w
+			for x := x0; x <= x1; x++ {
+				i := row + x
+				if labels.Labels[i] != int32(ci) {
+					continue
+				}
+				sg.l += lab.L[i]
+				sg.a += lab.A[i]
+				sg.b += lab.B[i]
+				sg.x += float64(x)
+				sg.y += float64(y)
+				sg.n++
+			}
+		}
+		if sg.n == 0 {
+			continue
+		}
+		n := float64(sg.n)
+		nx, ny := sg.x/n, sg.y/n
+		move += math.Abs(nx-c.X) + math.Abs(ny-c.Y)
+		c.L, c.A, c.B, c.X, c.Y = sg.l/n, sg.a/n, sg.b/n, nx, ny
+	}
+	return move
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package sslic
+
+import (
+	"testing"
+)
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestParallelMatchesSerial is the determinism contract of the Workers
+// knob: any worker count must produce the serial labeling, the same
+// work counters, and centers equal up to floating-point summation order.
+func TestParallelMatchesSerial(t *testing.T) {
+	im := testImage(128, 96)
+	serial := func() *Result {
+		p := DefaultParams(48, 0.5)
+		r, err := Segment(im, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	for _, workers := range []int{2, 3, 8, -1} {
+		p := DefaultParams(48, 0.5)
+		p.Workers = workers
+		r, err := Segment(im, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial.Labels.Labels {
+			if serial.Labels.Labels[i] != r.Labels.Labels[i] {
+				t.Fatalf("workers=%d: label mismatch at %d", workers, i)
+			}
+		}
+		if serial.Stats.DistanceCalcs != r.Stats.DistanceCalcs {
+			t.Fatalf("workers=%d: calcs %d vs %d", workers,
+				r.Stats.DistanceCalcs, serial.Stats.DistanceCalcs)
+		}
+		for ci := range serial.Centers {
+			a, b := serial.Centers[ci], r.Centers[ci]
+			if abs(a.X-b.X) > 1e-6 || abs(a.Y-b.Y) > 1e-6 || abs(a.L-b.L) > 1e-6 {
+				t.Fatalf("workers=%d: center %d differs beyond FP tolerance", workers, ci)
+			}
+		}
+	}
+}
+
+// TestParallelMoreWorkersThanRows clamps gracefully.
+func TestParallelMoreWorkersThanRows(t *testing.T) {
+	im := testImage(40, 24)
+	p := DefaultParams(4, 1) // 2 tile rows
+	p.Workers = 64
+	r, err := Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.Labels.Labels {
+		if v < 0 {
+			t.Fatalf("pixel %d unassigned", i)
+		}
+	}
+}
+
+// TestParallelWithPreemption exercises the settled-flag read path under
+// concurrency (flags are only written between passes).
+func TestParallelWithPreemption(t *testing.T) {
+	im := testImage(96, 96)
+	p := DefaultParams(36, 0.5)
+	p.Workers = 4
+	p.Preemptive = true
+	p.FullIters = 12
+	r, err := Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Labels.NumRegions() == 0 {
+		t.Fatal("no regions")
+	}
+}
+
+// TestParallelRepeatable: the same worker count twice gives bit-identical
+// results.
+func TestParallelRepeatable(t *testing.T) {
+	im := testImage(96, 64)
+	run := func() *Result {
+		p := DefaultParams(24, 0.5)
+		p.Workers = 4
+		r, err := Segment(im, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for i := range a.Labels.Labels {
+		if a.Labels.Labels[i] != b.Labels.Labels[i] {
+			t.Fatal("parallel run not repeatable")
+		}
+	}
+	for ci := range a.Centers {
+		if a.Centers[ci] != b.Centers[ci] {
+			t.Fatal("parallel centers not repeatable")
+		}
+	}
+}

@@ -1,0 +1,522 @@
+// Package sslic implements Subsampled SLIC (S-SLIC), the paper's primary
+// contribution (§3): at each iteration only a subset of the image pixels
+// (or of the superpixel centers) is used to update the cluster state, in
+// round-robin order over equal-size subsets — an ordered-subsets /
+// stochastic-gradient style acceleration that cuts distance computations
+// and memory bandwidth while preserving convergence.
+//
+// Two dataflow architectures are provided (§4.2):
+//
+//   - PPA (pixel perspective): each visited pixel evaluates the 9
+//     spatially closest initial centers from a precomputed static tiling
+//     and claims the nearest; superpixel sigma accumulators are updated
+//     on the fly. Reads the image once per pass.
+//   - CPA (center perspective): each updated center scans its 2S×2S patch
+//     like original SLIC; overlapping patches re-read pixels ~4×.
+//
+// The package also exposes the operation-count and DRAM-traffic analysis
+// behind Table 2 and the preemptive per-cluster early-halt extension the
+// paper cites as composable future work (§8).
+package sslic
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/slic"
+)
+
+// Arch selects the dataflow architecture of §4.2.
+type Arch int
+
+const (
+	// PPA is the pixel perspective architecture, the paper's choice.
+	PPA Arch = iota
+	// CPA is the center perspective architecture baseline.
+	CPA
+)
+
+// String returns the paper's name for the architecture.
+func (a Arch) String() string {
+	if a == CPA {
+		return "CPA"
+	}
+	return "PPA"
+}
+
+// Scheme selects how pixels (PPA) or centers (CPA) are split into
+// subsets — the "different subsampling mechanisms" the paper explores.
+type Scheme int
+
+const (
+	// Interleaved assigns pixel (x, y) to subset (x+y) mod k: diagonal
+	// stripes, a checkerboard for k=2. Spatially uniform, the default.
+	Interleaved Scheme = iota
+	// Rows assigns by y mod k: horizontal stripe interleave, the most
+	// DRAM-friendly streaming pattern.
+	Rows
+	// Blocks splits the image into k contiguous horizontal bands. The
+	// spatially worst choice — included to show why subset design matters
+	// for convergence (cf. the OS-EM subset balance requirement).
+	Blocks
+	// Hashed assigns by a pixel-position hash: an unstructured
+	// stochastic-gradient-like subset.
+	Hashed
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Rows:
+		return "rows"
+	case Blocks:
+		return "blocks"
+	case Hashed:
+		return "hashed"
+	default:
+		return "interleaved"
+	}
+}
+
+// Params configures an S-SLIC run.
+type Params struct {
+	// K is the requested superpixel count.
+	K int
+	// Compactness is m in Equation 5.
+	Compactness float64
+	// FullIters is the number of full-image-equivalent iterations; the
+	// run performs FullIters × Subsets subset passes so every
+	// configuration visits each pixel the same number of times.
+	FullIters int
+	// Threshold stops early when the mean per-center movement in a pass
+	// falls below it (0 disables).
+	Threshold float64
+	// SubsampleRatio is 1/Subsets: 1 disables subsampling, 0.5 and 0.25
+	// are the paper's S-SLIC(0.5) and S-SLIC(0.25).
+	SubsampleRatio float64
+	// Arch selects PPA or CPA.
+	Arch Arch
+	// Scheme selects the subset construction.
+	Scheme Scheme
+	// PerturbCenters applies the 3×3 gradient perturbation at init.
+	PerturbCenters bool
+	// EnforceConnectivity runs the final stray-pixel pass.
+	EnforceConnectivity bool
+	// MinRegionDivisor sets the connectivity minimum size S²/divisor.
+	MinRegionDivisor int
+	// Datapath optionally models the reduced-precision hardware datapath.
+	Datapath slic.Datapath
+	// Preemptive enables the per-cluster early halt of Preemptive SLIC
+	// (Neubert & Protzel, ICPR 2014) composed with subsampling: tiles
+	// whose 9 candidate centers have all stopped moving are skipped.
+	Preemptive bool
+	// PreemptThreshold is the per-center movement (pixels, L1) below
+	// which a center counts as settled. Zero selects 0.5.
+	PreemptThreshold float64
+	// InitialCenters seeds the superpixel centers instead of grid
+	// initialization — the warm-start path video pipelines use to carry
+	// centers across frames. Length must equal the effective K (the
+	// center grid size for the image and K).
+	InitialCenters []slic.Center
+	// Workers sets the number of goroutines for the PPA cluster-update
+	// pass: 0 or 1 runs serially, n > 1 uses n workers, -1 uses
+	// runtime.GOMAXPROCS(0). Tiles are partitioned by row bands with
+	// per-worker sigma accumulators merged in fixed order, so results
+	// are deterministic for a given worker count; center coordinates can
+	// differ from the serial path in the last floating-point bits
+	// because summation order changes.
+	Workers int
+	// SoftwareCenterUpdate selects the paper's CPU software organization
+	// for the center update phase: after every subset pass, a separate
+	// full-image accumulation recomputes all centers from the current
+	// labels (this is what Table 1 profiles — its cost grows with the
+	// subset count, 10.2%→17.9%). The default (false) is the
+	// hardware-faithful fused path, where sigma accumulators are updated
+	// inside the cluster-update pass and only the averages are computed
+	// afterwards.
+	SoftwareCenterUpdate bool
+}
+
+// DefaultParams mirrors the paper's evaluation setup: m=10, 10 full
+// iterations, PPA with interleaved subsets at the given ratio.
+func DefaultParams(k int, ratio float64) Params {
+	return Params{
+		K:                   k,
+		Compactness:         10,
+		FullIters:           10,
+		SubsampleRatio:      ratio,
+		Arch:                PPA,
+		Scheme:              Interleaved,
+		PerturbCenters:      true,
+		EnforceConnectivity: true,
+		MinRegionDivisor:    4,
+	}
+}
+
+// Subsets returns the subset count k = round(1/ratio).
+func (p Params) Subsets() int {
+	if p.SubsampleRatio >= 1 {
+		return 1
+	}
+	return int(math.Round(1 / p.SubsampleRatio))
+}
+
+// Validate reports whether the parameters are usable for a w×h image.
+func (p Params) Validate(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("sslic: invalid image size %dx%d", w, h)
+	}
+	if p.K < 1 || p.K > w*h {
+		return fmt.Errorf("sslic: K = %d out of range [1, %d]", p.K, w*h)
+	}
+	if p.Compactness <= 0 {
+		return fmt.Errorf("sslic: compactness %g, want > 0", p.Compactness)
+	}
+	if p.FullIters < 1 {
+		return fmt.Errorf("sslic: FullIters = %d, want >= 1", p.FullIters)
+	}
+	if p.SubsampleRatio <= 0 || p.SubsampleRatio > 1 {
+		return fmt.Errorf("sslic: subsample ratio %g out of (0, 1]", p.SubsampleRatio)
+	}
+	return nil
+}
+
+// Stats extends the SLIC phase accounting with subsampling counters.
+type Stats struct {
+	slic.Stats
+	SubsetPasses int
+	// SkippedTiles counts tiles the preemptive extension skipped.
+	SkippedTiles int64
+	// SavedDistanceCalcs counts Equation 5 evaluations avoided by
+	// preemption.
+	SavedDistanceCalcs int64
+}
+
+// Result is the output of an S-SLIC run.
+type Result struct {
+	Labels  *imgio.LabelMap
+	Centers []slic.Center
+	Tiling  *Tiling
+	Stats   Stats
+}
+
+// Segment runs S-SLIC per Figure 1b (PPA) or the CPA variant.
+func Segment(im *imgio.Image, p Params) (*Result, error) {
+	if err := p.Validate(im.W, im.H); err != nil {
+		return nil, err
+	}
+	if p.Arch == CPA {
+		return segmentCPA(im, p)
+	}
+	return segmentPPA(im, p)
+}
+
+// subsetOf reports the subset index of pixel (x, y) under the scheme.
+func subsetOf(scheme Scheme, x, y, w, h, k int) int {
+	switch scheme {
+	case Rows:
+		return y % k
+	case Blocks:
+		return y * k / h
+	case Hashed:
+		hsh := uint32(x)*0x9E3779B9 + uint32(y)*0x85EBCA6B
+		hsh ^= hsh >> 16
+		return int(hsh % uint32(k))
+	default: // Interleaved
+		return (x + y) % k
+	}
+}
+
+// sigma is the accumulator register file of the Cluster Update Unit: the
+// six fields (L, a, b, x, y, count) the hardware updates with six adders.
+type sigma struct {
+	l, a, b, x, y float64
+	n             int
+}
+
+func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
+	var st Stats
+
+	t0 := time.Now()
+	lab := slic.ToLab(im)
+	p.Datapath.QuantizeLab(lab)
+	st.ColorConvTime = time.Since(t0)
+
+	t0 = time.Now()
+	tiling := NewTiling(im.W, im.H, p.K)
+	var centers []slic.Center
+	if p.InitialCenters != nil {
+		if len(p.InitialCenters) != tiling.NumTiles() {
+			return nil, fmt.Errorf("sslic: %d initial centers, want %d", len(p.InitialCenters), tiling.NumTiles())
+		}
+		centers = append([]slic.Center(nil), p.InitialCenters...)
+	} else {
+		centers = slic.InitCenters(lab, p.K, p.PerturbCenters)
+	}
+	if len(centers) != tiling.NumTiles() {
+		return nil, fmt.Errorf("sslic: internal: %d centers vs %d tiles", len(centers), tiling.NumTiles())
+	}
+	// Static initial assignment: every pixel starts labeled with its own
+	// cell center (the paper initializes the external-memory copy of the
+	// assignments before the first pass).
+	labels := imgio.NewLabelMap(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			labels.Set(x, y, tiling.OwnCenter(x, y))
+		}
+	}
+	st.InitTime = time.Since(t0)
+
+	s := slic.GridInterval(im.W, im.H, p.K)
+	invS2 := p.Compactness * p.Compactness / (s * s)
+	quant := p.Datapath.DistQuantizer()
+
+	k := p.Subsets()
+	totalPasses := p.FullIters * k
+	preemptThresh := p.PreemptThreshold
+	if preemptThresh == 0 {
+		preemptThresh = 0.5
+	}
+	settled := make([]bool, len(centers))
+
+	acc := make([]sigma, len(centers))
+	for pass := 0; pass < totalPasses; pass++ {
+		subset := pass % k
+
+		t0 = time.Now()
+		for i := range acc {
+			acc[i] = sigma{}
+		}
+		calcs, skipped, saved := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, p, settled)
+		st.DistanceCalcs += calcs
+		st.SkippedTiles += skipped
+		st.SavedDistanceCalcs += saved
+		st.AssignTime += time.Since(t0)
+
+		t0 = time.Now()
+		var move float64
+		if p.SoftwareCenterUpdate {
+			var prev []slic.Center
+			if p.Preemptive {
+				prev = append([]slic.Center(nil), centers...)
+			}
+			move = slic.UpdateCenters(lab, labels, centers)
+			for ci := range prev {
+				m := math.Abs(centers[ci].X-prev[ci].X) + math.Abs(centers[ci].Y-prev[ci].Y)
+				settled[ci] = m < preemptThresh
+			}
+		} else {
+			move = applySigma(centers, acc, settled, preemptThresh, p.Preemptive)
+		}
+		st.CenterUpdates += int64(len(centers))
+		st.UpdateTime += time.Since(t0)
+		st.SubsetPasses = pass + 1
+		st.Iterations = (pass + k) / k
+		st.MoveHistory = append(st.MoveHistory, move/float64(len(centers)))
+
+		if p.Threshold > 0 && move/float64(len(centers)) < p.Threshold {
+			st.Converged = true
+			break
+		}
+	}
+
+	t0 = time.Now()
+	if p.EnforceConnectivity {
+		minSize := int(s*s) / maxInt(1, p.MinRegionDivisor)
+		slic.EnforceConnectivity(labels, minSize)
+	}
+	st.OtherTime = time.Since(t0)
+
+	return &Result{Labels: labels, Centers: centers, Tiling: tiling, Stats: st}, nil
+}
+
+// runPPAPass executes one subset pass, serially or across worker
+// goroutines per Params.Workers. Parallel runs partition the tile rows;
+// each worker accumulates into its own sigma slice, merged afterwards in
+// worker order so results match the serial path exactly.
+func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, labels *imgio.LabelMap,
+	acc []sigma, subset, k int, invS2 float64, quant func(float64) float64, p Params, settled []bool) (calcs, skippedTiles, saved int64) {
+
+	workers := p.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tiling.NY {
+		workers = tiling.NY
+	}
+	if workers <= 1 {
+		return ppaPassRange(lab, tiling, centers, labels, acc, 0, tiling.NY, subset, k, invS2, quant, p, settled)
+	}
+
+	type partial struct {
+		acc                   []sigma
+		calcs, skipped, saved int64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wkr := wkr
+		ty0 := wkr * tiling.NY / workers
+		ty1 := (wkr + 1) * tiling.NY / workers
+		parts[wkr].acc = make([]sigma, len(centers))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[wkr].calcs, parts[wkr].skipped, parts[wkr].saved =
+				ppaPassRange(lab, tiling, centers, labels, parts[wkr].acc, ty0, ty1, subset, k, invS2, quant, p, settled)
+		}()
+	}
+	wg.Wait()
+	for i := range parts {
+		for ci := range acc {
+			a := &acc[ci]
+			b := &parts[i].acc[ci]
+			a.l += b.l
+			a.a += b.a
+			a.b += b.b
+			a.x += b.x
+			a.y += b.y
+			a.n += b.n
+		}
+		calcs += parts[i].calcs
+		skippedTiles += parts[i].skipped
+		saved += parts[i].saved
+	}
+	return calcs, skippedTiles, saved
+}
+
+// ppaPassRange visits every pixel of the given subset within tile rows
+// [tyFrom, tyTo), performing the 9-candidate distance + minimum + sigma
+// accumulation of the Cluster Update Unit. Returns (distance calcs,
+// skipped tiles, saved calcs).
+func ppaPassRange(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, labels *imgio.LabelMap,
+	acc []sigma, tyFrom, tyTo, subset, k int, invS2 float64, quant func(float64) float64, p Params, settled []bool) (calcs, skippedTiles, saved int64) {
+
+	w, h := lab.W, lab.H
+	for ty := tyFrom; ty < tyTo; ty++ {
+		y0 := ty * h / tiling.NY
+		y1 := (ty + 1) * h / tiling.NY
+		for tx := 0; tx < tiling.NX; tx++ {
+			tileIdx := ty*tiling.NX + tx
+			cand := tiling.Candidates[tileIdx]
+
+			if p.Preemptive && allSettled(cand, settled) {
+				skippedTiles++
+				// Estimate saved work: subset pixels in tile × candidates.
+				x0 := tx * w / tiling.NX
+				x1 := (tx + 1) * w / tiling.NX
+				saved += int64((x1 - x0) * (y1 - y0) / k * len(cand))
+				continue
+			}
+
+			x0 := tx * w / tiling.NX
+			x1 := (tx + 1) * w / tiling.NX
+			for y := y0; y < y1; y++ {
+				row := y * w
+				// The Interleaved and Rows schemes admit strided iteration,
+				// so a ratio-1/k pass visits (and pays for) only ~1/k of the
+				// pixels — the bandwidth/compute saving S-SLIC exists for.
+				startX, stepX := x0, 1
+				if k > 1 {
+					switch p.Scheme {
+					case Interleaved:
+						startX = x0 + mod(subset-(x0+y), k)
+						stepX = k
+					case Rows:
+						if y%k != subset {
+							continue
+						}
+					case Blocks:
+						if y*k/h != subset {
+							continue
+						}
+					}
+				}
+				for x := startX; x < x1; x += stepX {
+					if k > 1 && p.Scheme == Hashed && subsetOf(p.Scheme, x, y, w, h, k) != subset {
+						continue
+					}
+					i := row + x
+					l, a, b := lab.L[i], lab.A[i], lab.B[i]
+					best := int32(-1)
+					bestD := math.Inf(1)
+					for _, ci := range cand {
+						d := slic.Distance5(l, a, b, float64(x), float64(y), &centers[ci], invS2)
+						if quant != nil {
+							d = quant(d)
+						}
+						calcs++
+						if d < bestD {
+							bestD = d
+							best = ci
+						}
+					}
+					labels.Labels[i] = best
+					if !p.SoftwareCenterUpdate {
+						sg := &acc[best]
+						sg.l += l
+						sg.a += a
+						sg.b += b
+						sg.x += float64(x)
+						sg.y += float64(y)
+						sg.n++
+					}
+				}
+			}
+		}
+	}
+	return calcs, skippedTiles, saved
+}
+
+// applySigma is the Center Update Unit: each superpixel's new 5-D center
+// is the average of its sigma accumulator. It returns the summed L1
+// center movement in the (x, y) plane and updates the settled flags when
+// preemption is active.
+func applySigma(centers []slic.Center, acc []sigma, settled []bool, preemptThresh float64, preemptive bool) float64 {
+	var move float64
+	for ci := range centers {
+		sg := acc[ci]
+		if sg.n == 0 {
+			continue
+		}
+		n := float64(sg.n)
+		c := &centers[ci]
+		nx, ny := sg.x/n, sg.y/n
+		m := math.Abs(nx-c.X) + math.Abs(ny-c.Y)
+		move += m
+		c.L, c.A, c.B, c.X, c.Y = sg.l/n, sg.a/n, sg.b/n, nx, ny
+		if preemptive {
+			settled[ci] = m < preemptThresh
+		}
+	}
+	return move
+}
+
+func allSettled(cand []int32, settled []bool) bool {
+	for _, ci := range cand {
+		if !settled[ci] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mod returns a mod k in [0, k), also for negative a.
+func mod(a, k int) int {
+	m := a % k
+	if m < 0 {
+		m += k
+	}
+	return m
+}

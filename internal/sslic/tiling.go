@@ -1,0 +1,64 @@
+package sslic
+
+import "sslic/internal/slic"
+
+// Tiling is the static pixel→candidate-centers structure of the PPA
+// (paper §4.3): the image is split into grid cells matching the initial
+// center grid, and every pixel of a cell shares the same list of (up to)
+// 9 spatially closest initial centers — the cell's own center plus its 8
+// neighbors. The paper precomputes these lists offline and stores them in
+// external memory; "statically assigning these values has minimal effect
+// on the accuracy".
+type Tiling struct {
+	W, H   int
+	NX, NY int
+	// Candidates[t] holds the center indices for tile t (gy*NX+gx).
+	// Interior tiles have 9; border tiles fewer.
+	Candidates [][]int32
+}
+
+// NewTiling builds the static tiling for a w×h image and k requested
+// superpixels, matching the center grid produced by slic.InitCenters.
+func NewTiling(w, h, k int) *Tiling {
+	nx, ny := slic.CenterGridDims(w, h, k)
+	t := &Tiling{W: w, H: h, NX: nx, NY: ny, Candidates: make([][]int32, nx*ny)}
+	for gy := 0; gy < ny; gy++ {
+		for gx := 0; gx < nx; gx++ {
+			list := make([]int32, 0, 9)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					cx, cy := gx+dx, gy+dy
+					if cx < 0 || cx >= nx || cy < 0 || cy >= ny {
+						continue
+					}
+					list = append(list, int32(cy*nx+cx))
+				}
+			}
+			t.Candidates[gy*nx+gx] = list
+		}
+	}
+	return t
+}
+
+// TileOf returns the tile index of pixel (x, y).
+func (t *Tiling) TileOf(x, y int) int {
+	gx := x * t.NX / t.W
+	if gx >= t.NX {
+		gx = t.NX - 1
+	}
+	gy := y * t.NY / t.H
+	if gy >= t.NY {
+		gy = t.NY - 1
+	}
+	return gy*t.NX + gx
+}
+
+// OwnCenter returns the index of the pixel's own cell center, the static
+// initial assignment (the paper initializes the external-memory label copy
+// before the first cluster-update pass).
+func (t *Tiling) OwnCenter(x, y int) int32 {
+	return int32(t.TileOf(x, y))
+}
+
+// NumTiles returns NX*NY, which equals the effective superpixel count.
+func (t *Tiling) NumTiles() int { return t.NX * t.NY }

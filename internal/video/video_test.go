@@ -1,0 +1,149 @@
+package video
+
+import (
+	"testing"
+
+	"sslic/internal/dataset"
+	"sslic/internal/imgio"
+)
+
+func smallStream(t *testing.T, motion Motion, speed int) *Stream {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 96, 64
+	cfg.Regions = 8
+	s, err := NewStream(cfg, 3, motion, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	if _, err := NewStream(cfg, 1, Pan, -1); err == nil {
+		t.Error("negative speed accepted")
+	}
+	cfg.W = 0
+	if _, err := NewStream(cfg, 1, Pan, 1); err == nil {
+		t.Error("invalid dataset config accepted")
+	}
+}
+
+func TestFrameZeroIsMaster(t *testing.T) {
+	s := smallStream(t, Pan, 3)
+	img, gt, err := s.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx, dy := s.Displacement(0); dx != 0 || dy != 0 {
+		t.Fatalf("frame 0 displaced (%d,%d)", dx, dy)
+	}
+	w, h := s.Size()
+	if img.W != w || img.H != h || gt.W != w || gt.H != h {
+		t.Fatal("frame size mismatch")
+	}
+}
+
+func TestFrameMotionShiftsContent(t *testing.T) {
+	s := smallStream(t, Pan, 3)
+	img0, gt0, _ := s.Frame(0)
+	img1, gt1, err := s.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 1 at (x, y) must equal frame 0 at (x+3, y) with wraparound.
+	w, _ := s.Size()
+	for _, probe := range [][2]int{{0, 0}, {10, 20}, {90, 63}} {
+		x, y := probe[0], probe[1]
+		sx := (x + 3) % w
+		c0a, c1a, c2a := img1.At(x, y)
+		c0b, c1b, c2b := img0.At(sx, y)
+		if c0a != c0b || c1a != c1b || c2a != c2b {
+			t.Fatalf("pixel (%d,%d) not shifted copy", x, y)
+		}
+		if gt1.At(x, y) != gt0.At(sx, y) {
+			t.Fatalf("gt (%d,%d) not shifted copy", x, y)
+		}
+	}
+}
+
+func TestFrameNegativeIndex(t *testing.T) {
+	s := smallStream(t, Pan, 1)
+	if _, _, err := s.Frame(-1); err == nil {
+		t.Error("negative frame accepted")
+	}
+}
+
+func TestDisplacementModes(t *testing.T) {
+	pan := smallStream(t, Pan, 2)
+	if dx, dy := pan.Displacement(3); dx != 6 || dy != 0 {
+		t.Errorf("pan displacement (%d,%d)", dx, dy)
+	}
+	drift := smallStream(t, Drift, 2)
+	if dx, dy := drift.Displacement(3); dx != 6 || dy != 3 {
+		t.Errorf("drift displacement (%d,%d)", dx, dy)
+	}
+	shake := smallStream(t, Shake, 2)
+	if dx, _ := shake.Displacement(1); dx != 2 {
+		t.Errorf("shake odd displacement %d", dx)
+	}
+	if dx, _ := shake.Displacement(2); dx != 0 {
+		t.Errorf("shake even displacement %d", dx)
+	}
+}
+
+func TestMotionStrings(t *testing.T) {
+	if Pan.String() != "pan" || Drift.String() != "drift" || Shake.String() != "shake" {
+		t.Fatal("motion names")
+	}
+}
+
+func TestTemporalConsistencyPerfectForShiftedLabels(t *testing.T) {
+	s := smallStream(t, Pan, 4)
+	_, gt0, _ := s.Frame(0)
+	_, gt1, _ := s.Frame(1)
+	// The ground truth moves rigidly with the content, so consistency
+	// against it must be perfect.
+	tc, err := TemporalConsistency(gt0, gt1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != 1 {
+		t.Fatalf("rigid ground truth consistency %g, want 1", tc)
+	}
+}
+
+func TestTemporalConsistencyDetectsScramble(t *testing.T) {
+	s := smallStream(t, Pan, 4)
+	_, gt0, _ := s.Frame(0)
+	// A checkerboard bears no relation to the scene.
+	scramble := imgio.NewLabelMap(gt0.W, gt0.H)
+	for y := 0; y < gt0.H; y++ {
+		for x := 0; x < gt0.W; x++ {
+			scramble.Set(x, y, int32((x/2+y/2)%2))
+		}
+	}
+	tc, err := TemporalConsistency(gt0, scramble, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, _ := TemporalConsistency(gt0, gt0, 0, 0)
+	if perfect != 1 {
+		t.Fatalf("self consistency %g", perfect)
+	}
+	if tc >= perfect {
+		t.Fatalf("scramble consistency %g not below self consistency", tc)
+	}
+}
+
+func TestTemporalConsistencyErrors(t *testing.T) {
+	a := imgio.NewLabelMap(8, 8)
+	b := imgio.NewLabelMap(9, 8)
+	if _, err := TemporalConsistency(a, b, 0, 0); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := TemporalConsistency(a, a, 1000, 1000); err == nil {
+		t.Error("out-of-range motion accepted")
+	}
+}

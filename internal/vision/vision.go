@@ -1,0 +1,290 @@
+// Package vision implements the downstream stages the paper's
+// introduction motivates superpixels with: "object classification, depth
+// estimation, and region segmentation" all consume superpixels instead
+// of raw pixels to cut later-pipeline complexity. The package provides
+// per-region feature extraction, a weighted region adjacency graph, and
+// graph-based region merging — enough to build the classic
+// superpixel-then-merge segmentation pipeline on top of any label map.
+package vision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sslic/internal/imgio"
+)
+
+// Features summarizes one superpixel for downstream consumption.
+type Features struct {
+	Label int32
+	// Area is the pixel count.
+	Area int
+	// MeanColor is the per-channel mean.
+	MeanColor [3]float64
+	// ColorVar is the per-channel variance — a cheap texture statistic.
+	ColorVar [3]float64
+	// CentroidX, CentroidY locate the region.
+	CentroidX, CentroidY float64
+	// MinX, MinY, MaxX, MaxY is the bounding box.
+	MinX, MinY, MaxX, MaxY int
+	// Perimeter counts boundary edge segments.
+	Perimeter int
+}
+
+// ExtractFeatures computes Features for every region of lm over im.
+// The result is indexed by label; labels must be dense in [0, n).
+func ExtractFeatures(im *imgio.Image, lm *imgio.LabelMap) ([]Features, error) {
+	if im.W != lm.W || im.H != lm.H {
+		return nil, fmt.Errorf("vision: image %dx%d vs labels %dx%d", im.W, im.H, lm.W, lm.H)
+	}
+	n := int(lm.MaxLabel()) + 1
+	if n <= 0 {
+		return nil, fmt.Errorf("vision: label map has no regions")
+	}
+	feats := make([]Features, n)
+	for i := range feats {
+		feats[i] = Features{Label: int32(i), MinX: im.W, MinY: im.H, MaxX: -1, MaxY: -1}
+	}
+	// First pass: sums.
+	type acc struct {
+		s, s2 [3]float64
+		x, y  float64
+	}
+	accs := make([]acc, n)
+	for y := 0; y < lm.H; y++ {
+		for x := 0; x < lm.W; x++ {
+			i := y*lm.W + x
+			v := lm.Labels[i]
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("vision: label %d at (%d,%d) out of range [0,%d)", v, x, y, n)
+			}
+			f := &feats[v]
+			a := &accs[v]
+			f.Area++
+			for c, ch := range [][]uint8{im.C0, im.C1, im.C2} {
+				val := float64(ch[i])
+				a.s[c] += val
+				a.s2[c] += val * val
+			}
+			a.x += float64(x)
+			a.y += float64(y)
+			if x < f.MinX {
+				f.MinX = x
+			}
+			if x > f.MaxX {
+				f.MaxX = x
+			}
+			if y < f.MinY {
+				f.MinY = y
+			}
+			if y > f.MaxY {
+				f.MaxY = y
+			}
+			if lm.IsBoundary(x, y) {
+				f.Perimeter++
+			}
+		}
+	}
+	for i := range feats {
+		f := &feats[i]
+		if f.Area == 0 {
+			continue
+		}
+		fn := float64(f.Area)
+		for c := 0; c < 3; c++ {
+			mean := accs[i].s[c] / fn
+			f.MeanColor[c] = mean
+			f.ColorVar[c] = accs[i].s2[c]/fn - mean*mean
+			if f.ColorVar[c] < 0 {
+				f.ColorVar[c] = 0 // numerical floor
+			}
+		}
+		f.CentroidX = accs[i].x / fn
+		f.CentroidY = accs[i].y / fn
+	}
+	return feats, nil
+}
+
+// Edge is a weighted adjacency between two regions; the weight is the
+// Euclidean distance of the mean colors.
+type Edge struct {
+	A, B   int32
+	Weight float64
+}
+
+// Graph is the weighted region adjacency graph.
+type Graph struct {
+	NumRegions int
+	Edges      []Edge // sorted by ascending weight
+}
+
+// BuildGraph constructs the RAG of lm with color-distance weights from
+// the features.
+func BuildGraph(feats []Features, lm *imgio.LabelMap) (*Graph, error) {
+	n := len(feats)
+	if n == 0 {
+		return nil, fmt.Errorf("vision: no features")
+	}
+	seen := make(map[[2]int32]bool)
+	var edges []Edge
+	add := func(a, b int32) error {
+		if a == b {
+			return nil
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int32{a, b}
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		if int(b) >= n {
+			return fmt.Errorf("vision: label %d outside feature table", b)
+		}
+		edges = append(edges, Edge{A: a, B: b, Weight: colorDistance(feats[a].MeanColor, feats[b].MeanColor)})
+		return nil
+	}
+	for y := 0; y < lm.H; y++ {
+		for x := 0; x < lm.W; x++ {
+			v := lm.At(x, y)
+			if x+1 < lm.W {
+				if err := add(v, lm.At(x+1, y)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < lm.H {
+				if err := add(v, lm.At(x, y+1)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight < edges[j].Weight
+		}
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return &Graph{NumRegions: n, Edges: edges}, nil
+}
+
+func colorDistance(a, b [3]float64) float64 {
+	var d2 float64
+	for c := 0; c < 3; c++ {
+		d := a[c] - b[c]
+		d2 += d * d
+	}
+	return math.Sqrt(d2)
+}
+
+// MergeParams configure GreedyMerge.
+type MergeParams struct {
+	// Threshold is the maximum mean-color distance at which two adjacent
+	// regions merge.
+	Threshold float64
+	// MinRegions stops merging when this many proposals remain (0 = no
+	// floor).
+	MinRegions int
+	// AdaptiveK, when positive, switches to the Felzenszwalb-Huttenlocher
+	// criterion: regions a and b merge if the edge weight is below
+	// min(int(a)+K/|a|, int(b)+K/|b|), where int(·) is the largest weight
+	// already absorbed into the component. Threshold is ignored.
+	AdaptiveK float64
+}
+
+// MergeResult maps every input region to its proposal and reports the
+// proposal count.
+type MergeResult struct {
+	Proposal      []int32 // indexed by input label, values dense in [0, Num)
+	Num           int
+	MergesApplied int
+}
+
+// GreedyMerge clusters the graph's regions into proposals by ascending
+// edge weight — the classic superpixel merging stage.
+func GreedyMerge(g *Graph, feats []Features, p MergeParams) (*MergeResult, error) {
+	if g == nil || g.NumRegions == 0 {
+		return nil, fmt.Errorf("vision: empty graph")
+	}
+	if p.Threshold <= 0 && p.AdaptiveK <= 0 {
+		return nil, fmt.Errorf("vision: merge needs Threshold or AdaptiveK")
+	}
+	parent := make([]int32, g.NumRegions)
+	size := make([]int, g.NumRegions)
+	internal := make([]float64, g.NumRegions)
+	for i := range parent {
+		parent[i] = int32(i)
+		if i < len(feats) {
+			size[i] = feats[i].Area
+		} else {
+			size[i] = 1
+		}
+	}
+	var find func(int32) int32
+	find = func(v int32) int32 {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	remaining := g.NumRegions
+	merges := 0
+	for _, e := range g.Edges {
+		if p.MinRegions > 0 && remaining <= p.MinRegions {
+			break
+		}
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			continue
+		}
+		ok := false
+		if p.AdaptiveK > 0 {
+			ta := internal[ra] + p.AdaptiveK/float64(size[ra])
+			tb := internal[rb] + p.AdaptiveK/float64(size[rb])
+			ok = e.Weight <= math.Min(ta, tb)
+		} else {
+			ok = e.Weight <= p.Threshold
+		}
+		if !ok {
+			continue
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		if e.Weight > internal[ra] {
+			internal[ra] = e.Weight
+		}
+		remaining--
+		merges++
+	}
+	// Dense renumbering.
+	remap := make(map[int32]int32)
+	out := make([]int32, g.NumRegions)
+	for i := range out {
+		root := find(int32(i))
+		id, ok := remap[root]
+		if !ok {
+			id = int32(len(remap))
+			remap[root] = id
+		}
+		out[i] = id
+	}
+	return &MergeResult{Proposal: out, Num: len(remap), MergesApplied: merges}, nil
+}
+
+// ApplyMerge relabels lm in place according to the merge result,
+// returning the proposal label map.
+func ApplyMerge(lm *imgio.LabelMap, mr *MergeResult) (*imgio.LabelMap, error) {
+	out := imgio.NewLabelMap(lm.W, lm.H)
+	for i, v := range lm.Labels {
+		if v < 0 || int(v) >= len(mr.Proposal) {
+			return nil, fmt.Errorf("vision: label %d outside merge table", v)
+		}
+		out.Labels[i] = mr.Proposal[v]
+	}
+	return out, nil
+}

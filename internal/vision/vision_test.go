@@ -1,0 +1,257 @@
+package vision
+
+import (
+	"math"
+	"testing"
+
+	"sslic/internal/imgio"
+)
+
+// twoRegionScene builds a 16×8 image split vertically: left solid red,
+// right solid blue, with the matching label map.
+func twoRegionScene() (*imgio.Image, *imgio.LabelMap) {
+	im := imgio.NewImage(16, 8)
+	lm := imgio.NewLabelMap(16, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			if x < 8 {
+				im.Set(x, y, 200, 10, 10)
+				lm.Set(x, y, 0)
+			} else {
+				im.Set(x, y, 10, 10, 200)
+				lm.Set(x, y, 1)
+			}
+		}
+	}
+	return im, lm
+}
+
+func TestExtractFeaturesBasic(t *testing.T) {
+	im, lm := twoRegionScene()
+	feats, err := ExtractFeatures(im, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("%d features", len(feats))
+	}
+	f0 := feats[0]
+	if f0.Area != 64 {
+		t.Errorf("area %d, want 64", f0.Area)
+	}
+	if f0.MeanColor != [3]float64{200, 10, 10} {
+		t.Errorf("mean color %v", f0.MeanColor)
+	}
+	for c, v := range f0.ColorVar {
+		if v != 0 {
+			t.Errorf("solid region channel %d variance %g", c, v)
+		}
+	}
+	if math.Abs(f0.CentroidX-3.5) > 1e-9 || math.Abs(f0.CentroidY-3.5) > 1e-9 {
+		t.Errorf("centroid (%g,%g), want (3.5,3.5)", f0.CentroidX, f0.CentroidY)
+	}
+	if f0.MinX != 0 || f0.MaxX != 7 || f0.MinY != 0 || f0.MaxY != 7 {
+		t.Errorf("bbox [%d,%d]x[%d,%d]", f0.MinX, f0.MaxX, f0.MinY, f0.MaxY)
+	}
+	if f0.Perimeter != 8 { // only the boundary column x=7 faces region 1
+		t.Errorf("perimeter %d, want 8", f0.Perimeter)
+	}
+}
+
+func TestExtractFeaturesVariance(t *testing.T) {
+	im := imgio.NewImage(2, 1)
+	im.Set(0, 0, 0, 100, 50)
+	im.Set(1, 0, 200, 100, 50)
+	lm := imgio.NewLabelMap(2, 1)
+	lm.Set(0, 0, 0)
+	lm.Set(1, 0, 0)
+	feats, err := ExtractFeatures(im, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0: values {0, 200} → mean 100, variance 10000.
+	if math.Abs(feats[0].ColorVar[0]-10000) > 1e-6 {
+		t.Errorf("variance %g, want 10000", feats[0].ColorVar[0])
+	}
+	if feats[0].ColorVar[1] != 0 {
+		t.Errorf("constant channel variance %g", feats[0].ColorVar[1])
+	}
+}
+
+func TestExtractFeaturesErrors(t *testing.T) {
+	im := imgio.NewImage(4, 4)
+	if _, err := ExtractFeatures(im, imgio.NewLabelMap(5, 4)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	lm := imgio.NewLabelMap(4, 4) // all Unassigned
+	if _, err := ExtractFeatures(im, lm); err == nil {
+		t.Error("unassigned labels accepted")
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	im, lm := twoRegionScene()
+	feats, err := ExtractFeatures(im, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(feats, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRegions != 2 || len(g.Edges) != 1 {
+		t.Fatalf("graph %d regions, %d edges", g.NumRegions, len(g.Edges))
+	}
+	e := g.Edges[0]
+	if e.A != 0 || e.B != 1 {
+		t.Fatalf("edge %d-%d", e.A, e.B)
+	}
+	want := math.Sqrt(190*190 + 0 + 190*190)
+	if math.Abs(e.Weight-want) > 1e-9 {
+		t.Fatalf("weight %g, want %g", e.Weight, want)
+	}
+}
+
+func TestBuildGraphEdgesSorted(t *testing.T) {
+	// Three stripes: 0 (dark), 1 (medium), 2 (bright). Edge 0-1 and 1-2
+	// are closer in color than... construct so weights differ.
+	im := imgio.NewImage(9, 3)
+	lm := imgio.NewLabelMap(9, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 9; x++ {
+			switch {
+			case x < 3:
+				im.Set(x, y, 0, 0, 0)
+				lm.Set(x, y, 0)
+			case x < 6:
+				im.Set(x, y, 50, 50, 50)
+				lm.Set(x, y, 1)
+			default:
+				im.Set(x, y, 250, 250, 250)
+				lm.Set(x, y, 2)
+			}
+		}
+	}
+	feats, _ := ExtractFeatures(im, lm)
+	g, err := BuildGraph(feats, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("%d edges, want 2 (stripes touch only neighbors)", len(g.Edges))
+	}
+	if g.Edges[0].Weight > g.Edges[1].Weight {
+		t.Fatal("edges not sorted by weight")
+	}
+	// The 0-1 edge (Δ50) must sort before 1-2 (Δ200).
+	if g.Edges[0].A != 0 || g.Edges[0].B != 1 {
+		t.Fatalf("first edge %d-%d, want 0-1", g.Edges[0].A, g.Edges[0].B)
+	}
+}
+
+func TestGreedyMergeThreshold(t *testing.T) {
+	im := imgio.NewImage(9, 3)
+	lm := imgio.NewLabelMap(9, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 9; x++ {
+			switch {
+			case x < 3:
+				im.Set(x, y, 0, 0, 0)
+				lm.Set(x, y, 0)
+			case x < 6:
+				im.Set(x, y, 30, 30, 30)
+				lm.Set(x, y, 1)
+			default:
+				im.Set(x, y, 250, 250, 250)
+				lm.Set(x, y, 2)
+			}
+		}
+	}
+	feats, _ := ExtractFeatures(im, lm)
+	g, _ := BuildGraph(feats, lm)
+	mr, err := GreedyMerge(g, feats, MergeParams{Threshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 and 1 merge (Δ≈52), 2 stays (Δ≈381 from 1).
+	if mr.Num != 2 {
+		t.Fatalf("proposals %d, want 2", mr.Num)
+	}
+	if mr.Proposal[0] != mr.Proposal[1] || mr.Proposal[0] == mr.Proposal[2] {
+		t.Fatalf("merge table %v", mr.Proposal)
+	}
+	if mr.MergesApplied != 1 {
+		t.Fatalf("merges %d, want 1", mr.MergesApplied)
+	}
+}
+
+func TestGreedyMergeMinRegionsFloor(t *testing.T) {
+	im, lm := twoRegionScene()
+	feats, _ := ExtractFeatures(im, lm)
+	g, _ := BuildGraph(feats, lm)
+	mr, err := GreedyMerge(g, feats, MergeParams{Threshold: 1e9, MinRegions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Num != 2 {
+		t.Fatalf("floor ignored: %d proposals", mr.Num)
+	}
+}
+
+func TestGreedyMergeAdaptive(t *testing.T) {
+	// With the FH criterion and a large K, similar stripes merge; with a
+	// tiny K nothing merges.
+	im := imgio.NewImage(9, 3)
+	lm := imgio.NewLabelMap(9, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 9; x++ {
+			lvl := uint8(40 * (x / 3))
+			im.Set(x, y, lvl, lvl, lvl)
+			lm.Set(x, y, int32(x/3))
+		}
+	}
+	feats, _ := ExtractFeatures(im, lm)
+	g, _ := BuildGraph(feats, lm)
+	big, err := GreedyMerge(g, feats, MergeParams{AdaptiveK: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Num != 1 {
+		t.Fatalf("large K should merge everything, got %d", big.Num)
+	}
+	small, err := GreedyMerge(g, feats, MergeParams{AdaptiveK: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Num != 3 {
+		t.Fatalf("tiny K should merge nothing, got %d", small.Num)
+	}
+}
+
+func TestGreedyMergeValidation(t *testing.T) {
+	if _, err := GreedyMerge(nil, nil, MergeParams{Threshold: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := &Graph{NumRegions: 2}
+	if _, err := GreedyMerge(g, nil, MergeParams{}); err == nil {
+		t.Error("missing criterion accepted")
+	}
+}
+
+func TestApplyMerge(t *testing.T) {
+	im, lm := twoRegionScene()
+	feats, _ := ExtractFeatures(im, lm)
+	g, _ := BuildGraph(feats, lm)
+	mr, _ := GreedyMerge(g, feats, MergeParams{Threshold: 1e9})
+	out, err := ApplyMerge(lm, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRegions() != 1 {
+		t.Fatalf("applied map has %d regions, want 1", out.NumRegions())
+	}
+	// Original untouched.
+	if lm.NumRegions() != 2 {
+		t.Fatal("ApplyMerge mutated its input")
+	}
+}
