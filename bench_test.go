@@ -8,14 +8,18 @@ package sslic
 // benchmark wall time sane; cmd/sslic-bench runs them at paper scale.
 
 import (
+	"context"
 	"image"
+	"runtime"
 	"testing"
 
 	"sslic/internal/bench"
 	"sslic/internal/dataset"
 	"sslic/internal/hw"
+	"sslic/internal/pipeline"
 	"sslic/internal/slic"
 	islic "sslic/internal/sslic"
+	"sslic/internal/video"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -92,6 +96,7 @@ func sample(b *testing.B) *dataset.Sample {
 // frame (K=900, 10 iterations).
 func BenchmarkSegmentSLIC(b *testing.B) {
 	s := sample(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := slic.Segment(s.Image, slic.DefaultParams(900)); err != nil {
@@ -103,6 +108,7 @@ func BenchmarkSegmentSLIC(b *testing.B) {
 // BenchmarkSegmentSSLICHalf measures S-SLIC(0.5) on the same frame.
 func BenchmarkSegmentSSLICHalf(b *testing.B) {
 	s := sample(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := islic.Segment(s.Image, islic.DefaultParams(900, 0.5)); err != nil {
@@ -114,6 +120,7 @@ func BenchmarkSegmentSSLICHalf(b *testing.B) {
 // BenchmarkSegmentSSLICQuarter measures S-SLIC(0.25).
 func BenchmarkSegmentSSLICQuarter(b *testing.B) {
 	s := sample(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := islic.Segment(s.Image, islic.DefaultParams(900, 0.25)); err != nil {
@@ -126,6 +133,7 @@ func BenchmarkSegmentSSLICQuarter(b *testing.B) {
 // on one frame.
 func BenchmarkColorConversion(b *testing.B) {
 	s := sample(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		slic.ToLab(s.Image)
@@ -136,6 +144,7 @@ func BenchmarkColorConversion(b *testing.B) {
 // model.
 func BenchmarkAcceleratorSim(b *testing.B) {
 	cfg := hw.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hw.Simulate(cfg); err != nil {
@@ -152,6 +161,7 @@ func BenchmarkFacadeSegment(b *testing.B) {
 		img.Pix[i] = uint8(i * 31)
 	}
 	opt := DefaultOptions(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Segment(img, opt); err != nil {
@@ -191,6 +201,7 @@ func BenchmarkFuncSimFrame(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs, err := hw.NewFuncSim(cfg)
@@ -225,10 +236,67 @@ func BenchmarkSegmentSSLICParallel(b *testing.B) {
 	s := sample(b)
 	p := islic.DefaultParams(900, 0.5)
 	p.Workers = -1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := islic.Segment(s.Image, p); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineThroughput compares the sequential frame loop against
+// the concurrent frame pipeline on the same cold-start workload and
+// reports frames/sec. On a multi-core host the pipeline with NumCPU
+// workers should beat the sequential loop by well over 1.5×; on one core
+// only the source/sink overlap remains.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	const frames = 8
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 160, 120
+	cfg.Regions = 12
+	stream, err := video.NewStream(cfg, 5, video.Pan, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := islic.DefaultParams(64, 0.5)
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for f := 0; f < frames; f++ {
+				img, _, err := stream.Frame(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := islic.Segment(img, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*frames)/b.Elapsed().Seconds(), "frames/sec")
+	})
+
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportAllocs()
+		w, h := stream.Size()
+		for i := 0; i < b.N; i++ {
+			var pl *pipeline.Pipeline
+			pl, err := pipeline.New(pipeline.Config{
+				Width: w, Height: h, Frames: frames,
+				Workers: runtime.GOMAXPROCS(0),
+				Params:  params,
+			}, stream.FrameInto, func(r *pipeline.Result) error {
+				pl.Recycle(r)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pl.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*frames)/b.Elapsed().Seconds(), "frames/sec")
+	})
 }

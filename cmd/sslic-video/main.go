@@ -1,24 +1,29 @@
-// Command sslic-video simulates a frame stream end to end: a synthetic
-// moving scene is segmented frame by frame (warm-starting from the
-// previous centers), and each frame is scored for quality against exact
-// ground truth and for temporal label consistency.
+// Command sslic-video simulates a frame stream end to end through the
+// concurrent frame pipeline: a synthetic moving scene is rendered,
+// segmented by a worker pool (warm-starting from previous centers), and
+// each frame is scored for quality against exact ground truth and for
+// temporal label consistency. Results are delivered in frame order
+// regardless of worker count.
 //
 // Usage:
 //
 //	sslic-video -frames 10 -motion pan -speed 3
 //	sslic-video -frames 6 -motion shake -cold
+//	sslic-video -frames 32 -cold -pipeline-workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sslic/internal/dataset"
 	"sslic/internal/imgio"
 	"sslic/internal/metrics"
-	"sslic/internal/slic"
+	"sslic/internal/pipeline"
 	"sslic/internal/sslic"
 	"sslic/internal/video"
 )
@@ -33,6 +38,8 @@ func main() {
 		cold     = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
 		warmIter = flag.Int("warm-iters", 3, "iterations for warm-started frames")
 		outDir   = flag.String("out", "", "write per-frame overlays to this directory")
+		workers  = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
+		queue    = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
 	)
 	flag.Parse()
 
@@ -48,6 +55,10 @@ func main() {
 		fatal(fmt.Errorf("unknown motion %q", *motion))
 	}
 
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
 	stream, err := video.NewStream(dataset.DefaultConfig(), *seed, m, *speed)
 	if err != nil {
 		fatal(err)
@@ -61,61 +72,71 @@ func main() {
 	fmt.Printf("stream: %s at %d px/frame, K=%d, %d frames\n", m, *speed, *k, *frames)
 	fmt.Printf("%5s %5s %9s %8s %8s %12s\n", "frame", "mode", "time", "USE", "BR", "consistency")
 
-	var prevCenters []slic.Center
-	var prevLabels *imgio.LabelMap
-	var total time.Duration
-	for f := 0; f < *frames; f++ {
-		img, gt, err := stream.Frame(f)
+	w, h := stream.Size()
+	var pl *pipeline.Pipeline
+	var prev *pipeline.Result
+	sink := func(r *pipeline.Result) error {
+		use, err := metrics.UndersegmentationError(r.Labels, r.GT)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		p := sslic.DefaultParams(*k, 0.5)
-		mode := "cold"
-		if prevCenters != nil && !*cold {
-			p.InitialCenters = prevCenters
-			p.FullIters = *warmIter
-			mode = "warm"
-		}
-		t0 := time.Now()
-		r, err := sslic.Segment(img, p)
+		br, err := metrics.BoundaryRecall(r.Labels, r.GT, 2)
 		if err != nil {
-			fatal(err)
-		}
-		dt := time.Since(t0)
-		total += dt
-
-		use, err := metrics.UndersegmentationError(r.Labels, gt)
-		if err != nil {
-			fatal(err)
-		}
-		br, err := metrics.BoundaryRecall(r.Labels, gt, 2)
-		if err != nil {
-			fatal(err)
+			return err
 		}
 		tc := "-"
-		if prevLabels != nil {
-			dxc, dyc := stream.Displacement(f)
-			dxp, dyp := stream.Displacement(f - 1)
-			c, err := video.TemporalConsistency(prevLabels, r.Labels, dxc-dxp, dyc-dyp)
+		if prev != nil {
+			dxc, dyc := stream.Displacement(r.Index)
+			dxp, dyp := stream.Displacement(r.Index - 1)
+			c, err := video.TemporalConsistency(prev.Labels, r.Labels, dxc-dxp, dyc-dyp)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			tc = fmt.Sprintf("%.3f", c)
 		}
+		mode := "cold"
+		if r.Warm {
+			mode = "warm"
+		}
 		fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s\n",
-			f, mode, dt.Round(time.Millisecond), use, br, tc)
+			r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc)
 
 		if *outDir != "" {
-			path := fmt.Sprintf("%s/frame%03d.ppm", *outDir, f)
-			if err := imgio.WritePPMFile(path, imgio.Overlay(img, r.Labels, 255, 0, 0)); err != nil {
-				fatal(err)
+			path := fmt.Sprintf("%s/frame%03d.ppm", *outDir, r.Index)
+			if err := imgio.WritePPMFile(path, imgio.Overlay(r.Image, r.Labels, 255, 0, 0)); err != nil {
+				return err
 			}
 		}
-		prevCenters = r.Centers
-		prevLabels = r.Labels
+		// The previous result was only kept for temporal consistency; its
+		// buffers can go back to the pool now.
+		pl.Recycle(prev)
+		prev = r
+		return nil
 	}
-	fps := float64(*frames) / total.Seconds()
+
+	pl, err = pipeline.New(pipeline.Config{
+		Width: w, Height: h, Frames: *frames,
+		Workers: *workers, QueueDepth: *queue,
+		Params: sslic.DefaultParams(*k, 0.5),
+		Warm:   !*cold, WarmIters: *warmIter,
+	}, stream.FrameInto, sink)
+	if err != nil {
+		fatal(err)
+	}
+
+	t0 := time.Now()
+	if err := pl.Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(t0)
+
+	st := pl.Stats()
+	fps := float64(st.Delivered) / wall.Seconds()
 	fmt.Printf("throughput: %.1f frames/s software on this host (the accelerator model sustains 30 at 1080p)\n", fps)
+	fmt.Printf("pipeline: workers=%d reorder-high-water=%d\n", *workers, st.ReorderHighWater)
+	fmt.Printf("  source:  %s\n", st.Source)
+	fmt.Printf("  segment: %s\n", st.Segment)
+	fmt.Printf("  sink:    %s\n", st.Sink)
 }
 
 func fatal(err error) {

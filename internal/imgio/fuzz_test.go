@@ -56,6 +56,126 @@ func FuzzDecodePPM(f *testing.F) {
 	})
 }
 
+// FuzzDecodeLabelMap drives the binary label-map parser with arbitrary
+// bytes: malformed magics, truncated headers, zero/negative/huge
+// dimensions and short payloads must all error, never panic, and any
+// accepted map must be internally consistent and round-trip.
+func FuzzDecodeLabelMap(f *testing.F) {
+	valid := func(w, h int) []byte {
+		lm := NewLabelMap(w, h)
+		for i := range lm.Labels {
+			lm.Labels[i] = int32(i % 5)
+		}
+		var buf bytes.Buffer
+		if err := EncodeLabelMap(&buf, lm); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seeds := [][]byte{
+		valid(4, 3),
+		valid(1, 1),
+		valid(4, 3)[:7],  // truncated header
+		valid(4, 3)[:20], // truncated payload
+		[]byte("SLBX\x04\x00\x00\x00\x03\x00\x00\x00"), // bad magic
+		[]byte("SLBL\x00\x00\x00\x00\x00\x00\x00\x00"), // zero dims
+		[]byte("SLBL\xff\xff\xff\xff\x01\x00\x00\x00"), // dim wraps negative
+		[]byte("SLBL\xff\xff\xff\x7f\xff\xff\xff\x7f"), // absurd dims
+		[]byte(""),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		lm, err := DecodeLabelMap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if lm.W <= 0 || lm.H <= 0 {
+			t.Fatalf("decoder accepted dimensions %dx%d", lm.W, lm.H)
+		}
+		if len(lm.Labels) != lm.W*lm.H {
+			t.Fatalf("label plane size %d for %dx%d", len(lm.Labels), lm.W, lm.H)
+		}
+		var buf bytes.Buffer
+		if err := EncodeLabelMap(&buf, lm); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := DecodeLabelMap(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.W != lm.W || back.H != lm.H {
+			t.Fatal("round trip changed dimensions")
+		}
+		for i := range lm.Labels {
+			if back.Labels[i] != lm.Labels[i] {
+				t.Fatalf("round trip changed label %d", i)
+			}
+		}
+	})
+}
+
+// FuzzResize drives Resize and ResizeLabels with arbitrary target
+// dimensions: zero and negative targets must error, never panic, and
+// accepted targets must produce exactly-sized output.
+func FuzzResize(f *testing.F) {
+	f.Add(4, 4, 8, 8)
+	f.Add(16, 9, 1, 1)
+	f.Add(3, 5, 0, 7)    // zero width
+	f.Add(3, 5, 7, -2)   // negative height
+	f.Add(1, 1, -1, -1)  // both negative
+	f.Add(7, 3, 200, 10) // upscale
+	f.Fuzz(func(t *testing.T, srcW, srcH, dstW, dstH int) {
+		// The source must be a legal image (NewImage panics otherwise by
+		// contract); the *target* dimensions are the attack surface.
+		if srcW < 1 || srcH < 1 || srcW > 64 || srcH > 64 {
+			return
+		}
+		// Cap accepted targets only to bound allocation, far above any
+		// boundary case worth exploring.
+		if dstW > 1<<12 || dstH > 1<<12 {
+			return
+		}
+		im := NewImage(srcW, srcH)
+		for i := range im.C0 {
+			im.C0[i], im.C1[i], im.C2[i] = uint8(i), uint8(i*3), uint8(i*7)
+		}
+		out, err := Resize(im, dstW, dstH)
+		if dstW <= 0 || dstH <= 0 {
+			if err == nil {
+				t.Fatalf("Resize accepted target %dx%d", dstW, dstH)
+			}
+		} else if err != nil {
+			t.Fatalf("Resize rejected legal target %dx%d: %v", dstW, dstH, err)
+		} else if out.W != dstW || out.H != dstH || len(out.C0) != dstW*dstH {
+			t.Fatalf("Resize produced %dx%d (plane %d) for target %dx%d",
+				out.W, out.H, len(out.C0), dstW, dstH)
+		}
+
+		lm := NewLabelMap(srcW, srcH)
+		for i := range lm.Labels {
+			lm.Labels[i] = int32(i % 9)
+		}
+		lout, err := ResizeLabels(lm, dstW, dstH)
+		if dstW <= 0 || dstH <= 0 {
+			if err == nil {
+				t.Fatalf("ResizeLabels accepted target %dx%d", dstW, dstH)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ResizeLabels rejected legal target %dx%d: %v", dstW, dstH, err)
+		}
+		if lout.W != dstW || lout.H != dstH || len(lout.Labels) != dstW*dstH {
+			t.Fatalf("ResizeLabels produced %dx%d for target %dx%d", lout.W, lout.H, dstW, dstH)
+		}
+	})
+}
+
 // FuzzDecodePGM mirrors FuzzDecodePPM for the single-channel codec.
 func FuzzDecodePGM(f *testing.F) {
 	for _, s := range [][]byte{

@@ -1,0 +1,356 @@
+// Package pipeline runs the inter-frame concurrency layer of the video
+// path: a multi-stage source → segment → sink pipeline that overlaps
+// frame rendering, S-SLIC segmentation and result consumption the way
+// the accelerator overlaps its DMA and compute phases. The intra-frame
+// parallelism of sslic.Params.Workers scales one frame across cores;
+// this package scales the *stream*, which is what a real-time claim is
+// about (gSLICr frames-per-second framing rather than seconds-per-image).
+//
+// Design:
+//
+//   - Stages are connected by bounded channels, so a slow sink
+//     backpressures segmentation and a slow segmenter backpressures the
+//     source. Nothing buffers unboundedly.
+//   - A configurable worker pool runs the segment stage. Cold mode fans
+//     frames out to any idle worker; warm mode shards the stream — frame
+//     f belongs to shard f mod Workers and stays on that shard's sticky
+//     worker, so each warm-start chain (frame f seeded with the centers
+//     of frame f−Workers) is deterministic.
+//   - Delivery order is restored by a reorder buffer keyed by frame
+//     index before the sink runs, so temporal metrics (label consistency
+//     between consecutive frames) and golden comparisons against the
+//     sequential loop remain valid.
+//   - Frame and label buffers cycle through sync.Pools; the steady-state
+//     hot loop allocates no image-sized buffers. The sink calls Recycle
+//     when it is done with a Result.
+//   - Cancellation via context.Context drains gracefully: in-flight
+//     frames finish or are recycled, every goroutine exits, and Run
+//     returns the first error (or the context error).
+//
+// Per-stage counters (frames in/out, bounded-queue high-water mark,
+// latency min/mean/max) are available from Stats at any time.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/slic"
+	"sslic/internal/sslic"
+)
+
+// RenderFunc fills caller-owned buffers with frame t of a stream. It is
+// called from the single source goroutine, in frame order.
+// (*video.Stream).FrameInto satisfies this signature.
+type RenderFunc func(t int, img *imgio.Image, gt *imgio.LabelMap) error
+
+// SinkFunc consumes results strictly in frame order, one call at a time.
+// Returning an error cancels the pipeline. The sink owns the Result's
+// buffers until it passes them to Pipeline.Recycle; holding a Result
+// across calls (e.g. for temporal-consistency scoring against the
+// previous frame) is fine.
+type SinkFunc func(r *Result) error
+
+// Config sizes the pipeline.
+type Config struct {
+	// Width, Height are the frame dimensions (they size the buffer pools).
+	Width, Height int
+	// Frames is the number of frames to pull from the source.
+	Frames int
+	// Workers is the segment-stage pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds each inter-stage channel; <= 0 selects
+	// 2 × Workers.
+	QueueDepth int
+	// Params is the base segmentation configuration for cold frames.
+	Params sslic.Params
+	// Warm enables warm-start chains: frame f seeds its centers from
+	// frame f−Workers on the same sticky worker. The first frame of each
+	// shard runs cold. With Workers = 1 this reproduces the sequential
+	// warm loop exactly.
+	Warm bool
+	// WarmIters is FullIters for warm-started frames; <= 0 selects 3.
+	WarmIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.WarmIters <= 0 {
+		c.WarmIters = 3
+	}
+	return c
+}
+
+// Result is one segmented frame, delivered to the sink in frame order.
+type Result struct {
+	Index   int
+	Image   *imgio.Image
+	GT      *imgio.LabelMap
+	Labels  *imgio.LabelMap
+	Centers []slic.Center
+	// Warm reports whether the frame was warm-started.
+	Warm bool
+	// SegLatency is the segment-stage service time for this frame.
+	SegLatency time.Duration
+}
+
+// task is a rendered frame travelling source → segment.
+type task struct {
+	index int
+	img   *imgio.Image
+	gt    *imgio.LabelMap
+}
+
+// Pipeline is a single-use frame pipeline: construct with New, drive
+// with Run, inspect with Stats.
+type Pipeline struct {
+	cfg    Config
+	render RenderFunc
+	sink   SinkFunc
+
+	imgPool sync.Pool
+	lblPool sync.Pool
+
+	srcStats stageMetrics
+	segStats stageMetrics
+	snkStats stageMetrics
+
+	reorderHW atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+
+	errOnce  sync.Once
+	firstErr error
+	cancel   context.CancelFunc
+}
+
+// New validates the configuration and builds a pipeline.
+func New(cfg Config, render RenderFunc, sink SinkFunc) (*Pipeline, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid frame size %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.Frames < 0 {
+		return nil, fmt.Errorf("pipeline: negative frame count %d", cfg.Frames)
+	}
+	if render == nil || sink == nil {
+		return nil, fmt.Errorf("pipeline: nil render or sink func")
+	}
+	cfg = cfg.withDefaults()
+	p := &Pipeline{cfg: cfg, render: render, sink: sink}
+	w, h := cfg.Width, cfg.Height
+	p.imgPool.New = func() any { return imgio.NewImage(w, h) }
+	p.lblPool.New = func() any { return imgio.NewLabelMap(w, h) }
+	return p, nil
+}
+
+// Recycle returns a Result's buffers to the pipeline's pools. The Result
+// and its buffers must not be used afterwards. Never recycling is safe —
+// the pools just miss and allocate.
+func (p *Pipeline) Recycle(r *Result) {
+	if r == nil {
+		return
+	}
+	if r.Image != nil {
+		p.imgPool.Put(r.Image)
+		r.Image = nil
+	}
+	if r.GT != nil {
+		p.lblPool.Put(r.GT)
+		r.GT = nil
+	}
+	if r.Labels != nil {
+		p.lblPool.Put(r.Labels)
+		r.Labels = nil
+	}
+	r.Centers = nil
+}
+
+func (p *Pipeline) recycleTask(tk *task) {
+	p.imgPool.Put(tk.img)
+	p.lblPool.Put(tk.gt)
+}
+
+// fail records the first error and cancels the run.
+func (p *Pipeline) fail(err error) {
+	p.errOnce.Do(func() {
+		p.firstErr = err
+		p.cancel()
+	})
+}
+
+// Run executes the pipeline until all frames are delivered, the context
+// is cancelled, or a stage fails. It blocks; the sink runs on the
+// calling goroutine. Run must be called at most once.
+func (p *Pipeline) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	p.cancel = cancel
+
+	cfg := p.cfg
+	// Cold mode shares one queue across the pool; warm mode gives every
+	// shard its own queue so sticky workers preserve chain order.
+	var queues []chan *task
+	if cfg.Warm {
+		queues = make([]chan *task, cfg.Workers)
+		for i := range queues {
+			queues[i] = make(chan *task, cfg.QueueDepth)
+		}
+	} else {
+		queues = []chan *task{make(chan *task, cfg.QueueDepth)}
+	}
+	results := make(chan *Result, cfg.QueueDepth)
+
+	// Source stage: render frames in order into pooled buffers.
+	go func() {
+		defer func() {
+			for _, q := range queues {
+				close(q)
+			}
+		}()
+		for t := 0; t < cfg.Frames; t++ {
+			if ctx.Err() != nil {
+				return
+			}
+			img := p.imgPool.Get().(*imgio.Image)
+			gt := p.lblPool.Get().(*imgio.LabelMap)
+			p.srcStats.noteIn(0)
+			t0 := time.Now()
+			if err := p.render(t, img, gt); err != nil {
+				p.imgPool.Put(img)
+				p.lblPool.Put(gt)
+				p.fail(fmt.Errorf("pipeline: source frame %d: %w", t, err))
+				return
+			}
+			lat := time.Since(t0)
+			q := queues[0]
+			if cfg.Warm {
+				q = queues[t%cfg.Workers]
+			}
+			select {
+			case q <- &task{index: t, img: img, gt: gt}:
+				p.srcStats.noteOut(lat, len(q))
+			case <-ctx.Done():
+				p.imgPool.Put(img)
+				p.lblPool.Put(gt)
+				return
+			}
+		}
+	}()
+
+	// Segment stage: the worker pool.
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		in := queues[0]
+		if cfg.Warm {
+			in = queues[w]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// prevCenters is the warm-start chain state of this worker's
+			// shard; only ever touched by this goroutine.
+			var prevCenters []slic.Center
+			for tk := range in {
+				if ctx.Err() != nil {
+					// Drain mode: the run is over, return buffers and move on.
+					p.recycleTask(tk)
+					p.dropped.Add(1)
+					continue
+				}
+				p.segStats.noteIn(0)
+				params := cfg.Params
+				warm := false
+				if cfg.Warm && prevCenters != nil {
+					params.InitialCenters = prevCenters
+					params.FullIters = cfg.WarmIters
+					warm = true
+				}
+				params.LabelBuf = p.lblPool.Get().(*imgio.LabelMap)
+				t0 := time.Now()
+				r, err := sslic.Segment(tk.img, params)
+				if err != nil {
+					p.lblPool.Put(params.LabelBuf)
+					p.recycleTask(tk)
+					p.fail(fmt.Errorf("pipeline: segment frame %d: %w", tk.index, err))
+					continue
+				}
+				lat := time.Since(t0)
+				if cfg.Warm {
+					prevCenters = r.Centers
+				}
+				res := &Result{
+					Index:      tk.index,
+					Image:      tk.img,
+					GT:         tk.gt,
+					Labels:     r.Labels,
+					Centers:    r.Centers,
+					Warm:       warm,
+					SegLatency: lat,
+				}
+				select {
+				case results <- res:
+					p.segStats.noteOut(lat, len(results))
+				case <-ctx.Done():
+					p.Recycle(res)
+					p.dropped.Add(1)
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Sink stage: reorder by frame index, then deliver in order.
+	pending := make(map[int]*Result)
+	next := 0
+	for res := range results {
+		p.snkStats.noteIn(len(results))
+		pending[res.Index] = res
+		if n := int64(len(pending)); n > p.reorderHW.Load() {
+			p.reorderHW.Store(n)
+		}
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if ctx.Err() != nil {
+				p.Recycle(r)
+				p.dropped.Add(1)
+				continue
+			}
+			t0 := time.Now()
+			if err := p.sink(r); err != nil {
+				p.fail(fmt.Errorf("pipeline: sink frame %d: %w", r.Index, err))
+				continue
+			}
+			p.snkStats.noteOut(time.Since(t0), 0)
+			p.delivered.Add(1)
+		}
+	}
+	// Out-of-order leftovers only exist after cancellation.
+	for _, r := range pending {
+		p.Recycle(r)
+		p.dropped.Add(1)
+	}
+
+	if p.firstErr != nil {
+		return p.firstErr
+	}
+	return ctx.Err()
+}

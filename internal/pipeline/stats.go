@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StageStats is a snapshot of one stage's counters.
+type StageStats struct {
+	// FramesIn counts frames the stage started processing; FramesOut
+	// counts frames it finished and handed downstream. In-flight work is
+	// the difference.
+	FramesIn, FramesOut int64
+	// QueueHighWater is the deepest the stage's outgoing bounded queue
+	// ever got — the backpressure indicator. The sink stage reports its
+	// incoming queue instead (it has no outgoing one).
+	QueueHighWater int
+	// LatencyMin/Mean/Max summarize per-frame service time. Zero when no
+	// frame completed.
+	LatencyMin, LatencyMean, LatencyMax time.Duration
+}
+
+// String formats the stage for log lines.
+func (s StageStats) String() string {
+	return fmt.Sprintf("in=%d out=%d qhw=%d lat=%s/%s/%s",
+		s.FramesIn, s.FramesOut, s.QueueHighWater,
+		s.LatencyMin.Round(time.Microsecond),
+		s.LatencyMean.Round(time.Microsecond),
+		s.LatencyMax.Round(time.Microsecond))
+}
+
+// Stats is a consistent-enough snapshot of the whole pipeline, safe to
+// call concurrently with Run.
+type Stats struct {
+	Source, Segment, Sink StageStats
+	// ReorderHighWater is the most out-of-order results ever held while
+	// waiting for the next in-order frame index.
+	ReorderHighWater int
+	// Delivered counts results the sink accepted; Dropped counts frames
+	// recycled during a cancellation drain.
+	Delivered, Dropped int64
+}
+
+// stageMetrics accumulates one stage's counters. Latencies funnel
+// through one mutex per stage; at frame granularity this is noise next
+// to a segmentation call.
+type stageMetrics struct {
+	mu        sync.Mutex
+	in, out   int64
+	queueHW   int
+	total     time.Duration
+	min, max  time.Duration
+	completed int64
+}
+
+func (m *stageMetrics) noteIn(queueLen int) {
+	m.mu.Lock()
+	m.in++
+	if queueLen > m.queueHW {
+		m.queueHW = queueLen
+	}
+	m.mu.Unlock()
+}
+
+func (m *stageMetrics) noteOut(lat time.Duration, queueLen int) {
+	m.mu.Lock()
+	m.out++
+	m.completed++
+	m.total += lat
+	if m.completed == 1 || lat < m.min {
+		m.min = lat
+	}
+	if lat > m.max {
+		m.max = lat
+	}
+	if queueLen > m.queueHW {
+		m.queueHW = queueLen
+	}
+	m.mu.Unlock()
+}
+
+func (m *stageMetrics) snapshot() StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := StageStats{
+		FramesIn:       m.in,
+		FramesOut:      m.out,
+		QueueHighWater: m.queueHW,
+		LatencyMin:     m.min,
+		LatencyMax:     m.max,
+	}
+	if m.completed > 0 {
+		s.LatencyMean = m.total / time.Duration(m.completed)
+	}
+	return s
+}
+
+// Stats returns a snapshot of all per-stage counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Source:           p.srcStats.snapshot(),
+		Segment:          p.segStats.snapshot(),
+		Sink:             p.snkStats.snapshot(),
+		ReorderHighWater: int(p.reorderHW.Load()),
+		Delivered:        p.delivered.Load(),
+		Dropped:          p.dropped.Load(),
+	}
+}

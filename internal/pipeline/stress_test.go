@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/sslic"
+)
+
+// TestStress hammers the pipeline with many small frames across every
+// worker count up to NumCPU, cancelling at randomized points, to flush
+// out ordering bugs, leaked goroutines and data races. It is designed to
+// run under `go test -race`; `-short` skips it.
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		w, h   = 48, 32
+		frames = 40
+	)
+	// Synthetic render: a gradient that shifts with t, cheap enough that
+	// the channels, not the work, dominate.
+	render := func(ft int, img *imgio.Image, gt *imgio.LabelMap) error {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				img.Set(x, y, uint8(x*4+ft), uint8(y*8), uint8((x+y)*2))
+				gt.Set(x, y, int32((x/8)+(y/8)*6))
+			}
+		}
+		return nil
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers > 8 {
+		maxWorkers = 8
+	}
+	rng := rand.New(rand.NewSource(42))
+	for workers := 1; workers <= maxWorkers; workers++ {
+		for _, warm := range []bool{false, true} {
+			for trial := 0; trial < 3; trial++ {
+				// Cancel somewhere between "immediately" and "after the run
+				// would have finished anyway".
+				cancelAfter := time.Duration(rng.Intn(30)) * time.Millisecond
+				name := fmt.Sprintf("workers=%d/warm=%v/trial=%d", workers, warm, trial)
+				ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+				last := -1
+				var pl *Pipeline
+				pl, err := New(Config{
+					Width: w, Height: h, Frames: frames,
+					Workers: workers, QueueDepth: 1 + rng.Intn(4),
+					Params: sslic.DefaultParams(8, 0.5),
+					Warm:   warm, WarmIters: 2,
+				}, render, func(r *Result) error {
+					if r.Index <= last {
+						return fmt.Errorf("out of order: %d after %d", r.Index, last)
+					}
+					if r.Index != last+1 {
+						return fmt.Errorf("gap: %d after %d", r.Index, last)
+					}
+					last = r.Index
+					pl.Recycle(r)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				done := make(chan error, 1)
+				go func() { done <- pl.Run(ctx) }()
+				select {
+				case err := <-done:
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						t.Fatalf("%s: %v", name, err)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatalf("%s: pipeline did not drain within 30s (deadlock?)", name)
+				}
+				cancel()
+				st := pl.Stats()
+				if st.Delivered != int64(last+1) {
+					t.Fatalf("%s: delivered %d but last index %d", name, st.Delivered, last)
+				}
+				if st.Delivered+st.Dropped > int64(st.Source.FramesOut) {
+					t.Fatalf("%s: delivered %d + dropped %d > sourced %d",
+						name, st.Delivered, st.Dropped, st.Source.FramesOut)
+				}
+			}
+		}
+	}
+}

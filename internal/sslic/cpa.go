@@ -24,7 +24,7 @@ func segmentCPA(im *imgio.Image, p Params) (*Result, error) {
 
 	t0 = time.Now()
 	centers := slic.InitCenters(lab, p.K, p.PerturbCenters)
-	labels := imgio.NewLabelMap(im.W, im.H)
+	labels := labelBufOrNew(p.LabelBuf, im.W, im.H, true)
 	st.InitTime = time.Since(t0)
 
 	s := slic.GridInterval(im.W, im.H, p.K)

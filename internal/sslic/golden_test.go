@@ -1,0 +1,111 @@
+package sslic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"sslic/internal/dataset"
+	"sslic/internal/imgio"
+)
+
+// goldenLabelsSHA256 is the SHA-256 of the label map produced by the
+// golden configuration below. It pins the exact segmentation output:
+// any refactor that changes labels — intentionally or not — must update
+// this constant, making silent output drift impossible. The hash is
+// identical for every Workers value per the determinism contract of
+// parallel_test.go (float64 arithmetic in Go is IEEE-754-exact, so the
+// value is stable across conforming platforms).
+const goldenLabelsSHA256 = "1623e5d1261982a00ed6875c811bd33ba109245c9ac70e9fbf4a8dbc44468d30"
+
+// goldenSegment runs the pinned configuration: a fixed-seed synthetic
+// scene through DefaultParams at the given worker count.
+func goldenSegment(t *testing.T, workers int) *imgio.LabelMap {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 160, 120
+	cfg.Regions = 12
+	s, err := dataset.Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(64, 0.5)
+	p.Workers = workers
+	r, err := Segment(s.Image, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Labels
+}
+
+func labelsSHA256(lm *imgio.LabelMap) string {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(lm.W))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(lm.H))
+	h.Write(hdr[:])
+	buf := make([]byte, 4*len(lm.Labels))
+	for i, v := range lm.Labels {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenDeterminism is the output-pinning regression test: the
+// fixed-seed scene must hash to the checked-in constant at every worker
+// count, serial and parallel alike.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4, -1} {
+		got := labelsSHA256(goldenSegment(t, workers))
+		if got != goldenLabelsSHA256 {
+			t.Errorf("workers=%d: label hash %s, want %s (if the change is intentional, update goldenLabelsSHA256)",
+				workers, got, goldenLabelsSHA256)
+		}
+	}
+}
+
+// TestGoldenLabelBufReuse: routing the result through a dirty reused
+// buffer must not change the output for either architecture.
+func TestGoldenLabelBufReuse(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 96, 64
+	cfg.Regions = 8
+	s, err := dataset.Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []Arch{PPA, CPA} {
+		p := DefaultParams(24, 0.5)
+		p.Arch = arch
+		base, err := Segment(s.Image, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty := imgio.NewLabelMap(96, 64)
+		for i := range dirty.Labels {
+			dirty.Labels[i] = int32(i % 7)
+		}
+		p.LabelBuf = dirty
+		reused, err := Segment(s.Image, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused.Labels != dirty {
+			t.Fatalf("%v: result does not alias the provided buffer", arch)
+		}
+		if labelsSHA256(base.Labels) != labelsSHA256(reused.Labels) {
+			t.Fatalf("%v: reused label buffer changed the output", arch)
+		}
+		// A mismatched buffer is ignored, not an error.
+		p.LabelBuf = imgio.NewLabelMap(10, 10)
+		r3, err := Segment(s.Image, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r3.Labels == p.LabelBuf {
+			t.Fatalf("%v: mismatched buffer was used", arch)
+		}
+	}
+}

@@ -130,6 +130,13 @@ type Params struct {
 	// differ from the serial path in the last floating-point bits
 	// because summation order changes.
 	Workers int
+	// LabelBuf optionally supplies a preallocated label map that the run
+	// writes its result into instead of allocating a fresh one — the
+	// buffer-reuse hook streaming pipelines use to keep the per-frame hot
+	// loop allocation-free. It must match the image dimensions (a
+	// mismatched buffer is ignored and a new map is allocated); prior
+	// contents are overwritten. The returned Result.Labels aliases it.
+	LabelBuf *imgio.LabelMap
 	// SoftwareCenterUpdate selects the paper's CPU software organization
 	// for the center update phase: after every subset pass, a separate
 	// full-image accumulation recomputes all centers from the current
@@ -262,8 +269,9 @@ func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
 	}
 	// Static initial assignment: every pixel starts labeled with its own
 	// cell center (the paper initializes the external-memory copy of the
-	// assignments before the first pass).
-	labels := imgio.NewLabelMap(im.W, im.H)
+	// assignments before the first pass). The loop writes every pixel, so
+	// a reused buffer needs no separate reset.
+	labels := labelBufOrNew(p.LabelBuf, im.W, im.H, false)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			labels.Set(x, y, tiling.OwnCenter(x, y))
@@ -503,6 +511,21 @@ func allSettled(cand []int32, settled []bool) bool {
 		}
 	}
 	return true
+}
+
+// labelBufOrNew returns buf when it matches w×h, else a fresh label map.
+// CPA assigns pixels through a running minimum rather than visiting every
+// pixel each pass, so a reused buffer must be reset to Unassigned first.
+func labelBufOrNew(buf *imgio.LabelMap, w, h int, reset bool) *imgio.LabelMap {
+	if buf == nil || buf.W != w || buf.H != h {
+		return imgio.NewLabelMap(w, h)
+	}
+	if reset {
+		for i := range buf.Labels {
+			buf.Labels[i] = imgio.Unassigned
+		}
+	}
+	return buf
 }
 
 func maxInt(a, b int) int {

@@ -79,15 +79,31 @@ func (s *Stream) Displacement(t int) (int, int) {
 	}
 }
 
-// Frame renders frame t and its ground truth.
+// Frame renders frame t and its ground truth into fresh buffers.
 func (s *Stream) Frame(t int) (*imgio.Image, *imgio.LabelMap, error) {
-	if t < 0 {
-		return nil, nil, fmt.Errorf("video: negative frame index %d", t)
-	}
-	dx, dy := s.Displacement(t)
 	w, h := s.Size()
 	img := imgio.NewImage(w, h)
 	gt := imgio.NewLabelMap(w, h)
+	if err := s.FrameInto(t, img, gt); err != nil {
+		return nil, nil, err
+	}
+	return img, gt, nil
+}
+
+// FrameInto renders frame t and its ground truth into caller-owned
+// buffers — the allocation-free source path for streaming pipelines that
+// recycle frame buffers through a pool. Both buffers must match the
+// stream dimensions; prior contents are overwritten.
+func (s *Stream) FrameInto(t int, img *imgio.Image, gt *imgio.LabelMap) error {
+	if t < 0 {
+		return fmt.Errorf("video: negative frame index %d", t)
+	}
+	w, h := s.Size()
+	if img.W != w || img.H != h || gt.W != w || gt.H != h {
+		return fmt.Errorf("video: buffer size %dx%d/%dx%d, want %dx%d",
+			img.W, img.H, gt.W, gt.H, w, h)
+	}
+	dx, dy := s.Displacement(t)
 	for y := 0; y < h; y++ {
 		sy := mod(y+dy, h)
 		for x := 0; x < w; x++ {
@@ -97,7 +113,7 @@ func (s *Stream) Frame(t int) (*imgio.Image, *imgio.LabelMap, error) {
 			gt.Set(x, y, s.master.GT.At(sx, sy))
 		}
 	}
-	return img, gt, nil
+	return nil
 }
 
 func mod(a, n int) int {

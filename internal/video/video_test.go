@@ -68,6 +68,49 @@ func TestFrameMotionShiftsContent(t *testing.T) {
 	}
 }
 
+func TestFrameIntoMatchesFrame(t *testing.T) {
+	s := smallStream(t, Drift, 2)
+	img0, gt0, err := s.Frame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := s.Size()
+	// Dirty buffers must be fully overwritten.
+	img := imgio.NewImage(w, h)
+	gt := imgio.NewLabelMap(w, h)
+	for i := range img.C0 {
+		img.C0[i], img.C1[i], img.C2[i] = 0xAA, 0xBB, 0xCC
+		gt.Labels[i] = 999
+	}
+	if err := s.FrameInto(3, img, gt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.C0 {
+		if img.C0[i] != img0.C0[i] || img.C1[i] != img0.C1[i] || img.C2[i] != img0.C2[i] {
+			t.Fatalf("pixel %d differs from Frame output", i)
+		}
+		if gt.Labels[i] != gt0.Labels[i] {
+			t.Fatalf("gt %d differs from Frame output", i)
+		}
+	}
+}
+
+func TestFrameIntoValidation(t *testing.T) {
+	s := smallStream(t, Pan, 1)
+	w, h := s.Size()
+	img := imgio.NewImage(w, h)
+	gt := imgio.NewLabelMap(w, h)
+	if err := s.FrameInto(-1, img, gt); err == nil {
+		t.Error("negative frame accepted")
+	}
+	if err := s.FrameInto(0, imgio.NewImage(w+1, h), gt); err == nil {
+		t.Error("mismatched image buffer accepted")
+	}
+	if err := s.FrameInto(0, img, imgio.NewLabelMap(w, h+1)); err == nil {
+		t.Error("mismatched label buffer accepted")
+	}
+}
+
 func TestFrameNegativeIndex(t *testing.T) {
 	s := smallStream(t, Pan, 1)
 	if _, _, err := s.Frame(-1); err == nil {
