@@ -6,6 +6,10 @@
 //	sslic-bench -exp table3       # one experiment
 //	sslic-bench -quick            # trimmed sweeps for a fast smoke run
 //	sslic-bench -csv -out results # also write CSV files per experiment
+//
+// With -telemetry-addr the process serves /metrics, /healthz,
+// /debug/vars and /debug/pprof/ while experiments run, so long paper
+// sweeps can be watched and CPU-profiled in flight.
 package main
 
 import (
@@ -17,18 +21,20 @@ import (
 	"time"
 
 	"sslic/internal/bench"
+	"sslic/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (empty = all); use -list to enumerate")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		corpus = flag.Int("corpus", 20, "corpus size for quality experiments")
-		seed   = flag.Int64("seed", 1, "corpus seed")
-		quick  = flag.Bool("quick", false, "trimmed sweeps")
-		csv    = flag.Bool("csv", false, "write CSV files per experiment")
-		md     = flag.Bool("md", false, "write Markdown files per experiment")
-		out    = flag.String("out", ".", "directory for CSV/Markdown output")
+		exp     = flag.String("exp", "", "experiment ID (empty = all); use -list to enumerate")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		corpus  = flag.Int("corpus", 20, "corpus size for quality experiments")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		quick   = flag.Bool("quick", false, "trimmed sweeps")
+		csv     = flag.Bool("csv", false, "write CSV files per experiment")
+		md      = flag.Bool("md", false, "write Markdown files per experiment")
+		out     = flag.String("out", ".", "directory for CSV/Markdown output")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while experiments run; empty disables")
 	)
 	flag.Parse()
 
@@ -37,6 +43,23 @@ func main() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Description)
 		}
 		return
+	}
+
+	reg := telemetry.NewRegistry()
+	expRuns := reg.Counter("sslic_bench_experiments_total",
+		"Experiments completed by this sslic-bench process.")
+	expSeconds := reg.Histogram("sslic_bench_experiment_seconds",
+		"Wall time per experiment.",
+		[]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300})
+	if *telAddr != "" {
+		server, err := telemetry.NewServer(telemetry.ServerConfig{Addr: *telAddr, Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sslic-bench:", err)
+			os.Exit(1)
+		}
+		go server.Serve()
+		defer server.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n\n", server.Addr())
 	}
 
 	opts := bench.Options{CorpusSize: *corpus, Seed: *seed, Quick: *quick}
@@ -62,6 +85,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sslic-bench: %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
+		expRuns.Inc()
+		expSeconds.Observe(time.Since(t0).Seconds())
 		fmt.Print(tbl.Render())
 		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
 		if *csv || *md {

@@ -10,6 +10,12 @@
 //	sslic-video -frames 10 -motion pan -speed 3
 //	sslic-video -frames 6 -motion shake -cold
 //	sslic-video -frames 32 -cold -pipeline-workers 8
+//	sslic-video -frames 120 -telemetry-addr :9090   # curl :9090/metrics
+//
+// With -telemetry-addr the process serves /metrics (Prometheus),
+// /healthz, /debug/vars and /debug/pprof/ while the stream runs: frame
+// counters, per-stage latency histograms, and the accelerator model's
+// DRAM/energy cost of the same stream, all scrapeable live.
 package main
 
 import (
@@ -21,10 +27,12 @@ import (
 	"time"
 
 	"sslic/internal/dataset"
+	"sslic/internal/hw"
 	"sslic/internal/imgio"
 	"sslic/internal/metrics"
 	"sslic/internal/pipeline"
 	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
 	"sslic/internal/video"
 )
 
@@ -40,8 +48,18 @@ func main() {
 		outDir   = flag.String("out", "", "write per-frame overlays to this directory")
 		workers  = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
 		queue    = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090); empty disables")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logs := telemetry.NewLogger(telemetry.LoggerConfig{JSON: *logJSON, Level: level})
+	reg := telemetry.NewRegistry()
 
 	var m video.Motion
 	switch *motion {
@@ -69,10 +87,47 @@ func main() {
 		}
 	}
 
+	w, h := stream.Size()
+	params := sslic.DefaultParams(*k, 0.5)
+	params.Metrics = sslic.NewMetrics(reg)
+
+	// The accelerator model runs alongside the software stream: one
+	// analytic simulation per frame mode (cold frames run the full
+	// iteration budget, warm frames the reduced one), charged to the
+	// hardware metrics as each frame is delivered. A scrape then shows
+	// what this exact stream would cost the paper's accelerator in DRAM
+	// traffic, scratchpad activity, and energy.
+	hwm := hw.NewMetrics(reg)
+	hwCfg := hw.DefaultConfig()
+	hwCfg.Width, hwCfg.Height, hwCfg.K = w, h, *k
+	hwCfg.SubsampleRatio = params.SubsampleRatio
+	hwCfg.Passes = params.FullIters * params.Subsets()
+	coldReport, err := hw.Simulate(hwCfg)
+	if err != nil {
+		fatal(err)
+	}
+	hwCfg.Passes = *warmIter * params.Subsets()
+	warmReport, err := hw.Simulate(hwCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var server *telemetry.Server
+	if *telAddr != "" {
+		server, err = telemetry.NewServer(telemetry.ServerConfig{
+			Addr: *telAddr, Registry: reg, Logger: logs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		go server.Serve()
+		defer server.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n", server.Addr())
+	}
+
 	fmt.Printf("stream: %s at %d px/frame, K=%d, %d frames\n", m, *speed, *k, *frames)
 	fmt.Printf("%5s %5s %9s %8s %8s %12s\n", "frame", "mode", "time", "USE", "BR", "consistency")
 
-	w, h := stream.Size()
 	var pl *pipeline.Pipeline
 	var prev *pipeline.Result
 	sink := func(r *pipeline.Result) error {
@@ -97,6 +152,9 @@ func main() {
 		mode := "cold"
 		if r.Warm {
 			mode = "warm"
+			hwm.ObserveReport(warmReport)
+		} else {
+			hwm.ObserveReport(coldReport)
 		}
 		fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s\n",
 			r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc)
@@ -117,8 +175,9 @@ func main() {
 	pl, err = pipeline.New(pipeline.Config{
 		Width: w, Height: h, Frames: *frames,
 		Workers: *workers, QueueDepth: *queue,
-		Params: sslic.DefaultParams(*k, 0.5),
+		Params: params,
 		Warm:   !*cold, WarmIters: *warmIter,
+		Registry: reg, Logger: logs.Component("pipeline"),
 	}, stream.FrameInto, sink)
 	if err != nil {
 		fatal(err)

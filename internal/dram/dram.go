@@ -6,7 +6,11 @@
 // exposed, which is why small channel buffers miss the real-time target.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"sslic/internal/telemetry"
+)
 
 // Stream identifies a traffic class for accounting.
 type Stream int
@@ -65,6 +69,29 @@ type Model struct {
 	cfg       Config
 	bytes     [numStreams]int64
 	transfers int64
+
+	// Telemetry mirrors, nil until Instrument is called.
+	byteMetrics     [numStreams]*telemetry.Counter
+	transferMetrics *telemetry.Counter
+}
+
+// Instrument mirrors the model's accounting onto registry counters:
+// sslic_dram_bytes_total{stream=...} and sslic_dram_transfers_total,
+// carrying any extra labels given (e.g. a model instance name). Traffic
+// recorded before Instrument is credited immediately, so attaching late
+// never loses bytes. The counters accumulate across Reset calls — they
+// are stream totals, not per-frame snapshots.
+func (m *Model) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	for s := Stream(0); s < numStreams; s++ {
+		lbls := append([]telemetry.Label{{Name: "stream", Value: s.String()}}, labels...)
+		c := reg.Counter("sslic_dram_bytes_total",
+			"External memory traffic by stream.", lbls...)
+		c.Add(float64(m.bytes[s]))
+		m.byteMetrics[s] = c
+	}
+	m.transferMetrics = reg.Counter("sslic_dram_transfers_total",
+		"External memory burst transfers.", labels...)
+	m.transferMetrics.Add(float64(m.transfers))
 }
 
 // NewModel returns a model for the given configuration.
@@ -83,6 +110,10 @@ func (m *Model) Record(s Stream, bytes int64) {
 	}
 	m.bytes[s] += bytes
 	m.transfers++
+	if m.byteMetrics[s] != nil {
+		m.byteMetrics[s].Add(float64(bytes))
+		m.transferMetrics.Inc()
+	}
 }
 
 // RecordBurst accounts a multi-stream burst as a single transfer (e.g.
@@ -92,6 +123,19 @@ func (m *Model) RecordBurst(pixelBytes, labelBytes, centerBytes int64) {
 	m.bytes[StreamLabels] += labelBytes
 	m.bytes[StreamCenters] += centerBytes
 	m.transfers++
+	if m.transferMetrics != nil {
+		m.byteMetrics[StreamPixels].Add(float64(max64(pixelBytes, 0)))
+		m.byteMetrics[StreamLabels].Add(float64(max64(labelBytes, 0)))
+		m.byteMetrics[StreamCenters].Add(float64(max64(centerBytes, 0)))
+		m.transferMetrics.Inc()
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // TotalBytes returns the accumulated traffic across all streams.

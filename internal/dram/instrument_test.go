@@ -1,0 +1,79 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"sslic/internal/telemetry"
+)
+
+func TestInstrumentMirrorsTraffic(t *testing.T) {
+	m, err := NewModel(Config{BandwidthBytesPerSec: 1e9, LatencyCycles: 50, ClockHz: 1e9})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	// Pre-instrument traffic must be credited when the counters attach.
+	m.Record(StreamPixels, 100)
+
+	reg := telemetry.NewRegistry()
+	m.Instrument(reg)
+
+	m.Record(StreamLabels, 50)
+	m.RecordBurst(30, 20, 10)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sslic_dram_bytes_total{stream="pixels"} 130`,
+		`sslic_dram_bytes_total{stream="labels"} 70`,
+		`sslic_dram_bytes_total{stream="centers"} 10`,
+		`sslic_dram_transfers_total 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The model's own accounting is unchanged by instrumentation.
+	if m.TotalBytes() != 210 || m.Transfers() != 3 {
+		t.Fatalf("model accounting drifted: %d bytes, %d transfers",
+			m.TotalBytes(), m.Transfers())
+	}
+
+	// Reset clears the model but the stream-total counters keep counting.
+	m.Reset()
+	m.Record(StreamPixels, 5)
+	if m.TotalBytes() != 5 {
+		t.Fatalf("reset model bytes = %d", m.TotalBytes())
+	}
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	if !strings.Contains(b.String(), `sslic_dram_bytes_total{stream="pixels"} 135`) {
+		t.Fatalf("counter did not survive Reset:\n%s", b.String())
+	}
+}
+
+func TestInstrumentLabels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a, _ := NewModel(Config{BandwidthBytesPerSec: 1, LatencyCycles: 0, ClockHz: 1})
+	b, _ := NewModel(Config{BandwidthBytesPerSec: 1, LatencyCycles: 0, ClockHz: 1})
+	a.Instrument(reg, telemetry.Label{Name: "model", Value: "cc"})
+	b.Instrument(reg, telemetry.Label{Name: "model", Value: "cluster"})
+	a.Record(StreamPixels, 7)
+	b.Record(StreamPixels, 9)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `sslic_dram_bytes_total{model="cc",stream="pixels"} 7`) ||
+		!strings.Contains(out, `sslic_dram_bytes_total{model="cluster",stream="pixels"} 9`) {
+		t.Fatalf("labeled models not distinct:\n%s", out)
+	}
+}

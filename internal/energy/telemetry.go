@@ -1,0 +1,67 @@
+package energy
+
+import (
+	"sync"
+
+	"sslic/internal/telemetry"
+)
+
+// picojoulesPerJoule converts the SI joules every model function returns
+// into the picojoule unit the paper's per-frame tables use.
+const picojoulesPerJoule = 1e12
+
+// Accumulator sums estimated energy into telemetry counters, itemized by
+// component — the live version of the paper's per-frame energy columns.
+// Counters are monotonic: each Add charges more consumed energy, so a
+// scraper can rate() them into watts.
+type Accumulator struct {
+	total *telemetry.Counter
+
+	mu  sync.Mutex
+	reg *telemetry.Registry
+	by  map[string]*telemetry.Counter
+}
+
+// NewAccumulator registers the energy counters on the registry:
+// sslic_energy_picojoules_total, plus one labeled series per component
+// as components are first charged.
+func NewAccumulator(reg *telemetry.Registry) *Accumulator {
+	return &Accumulator{
+		total: reg.Counter("sslic_energy_picojoules_total",
+			"Estimated accelerator energy consumed, all components."),
+		reg: reg,
+		by:  map[string]*telemetry.Counter{},
+	}
+}
+
+// Add charges joules of consumed energy to a component (e.g. "cluster",
+// "dram"). Component names become label values on
+// sslic_energy_component_picojoules_total.
+func (a *Accumulator) Add(component string, joules float64) {
+	if a == nil || joules <= 0 {
+		return
+	}
+	a.component(component).Add(joules * picojoulesPerJoule)
+	a.total.Add(joules * picojoulesPerJoule)
+}
+
+// TotalPicojoules returns the accumulated total.
+func (a *Accumulator) TotalPicojoules() float64 {
+	if a == nil {
+		return 0
+	}
+	return a.total.Value()
+}
+
+func (a *Accumulator) component(name string) *telemetry.Counter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.by[name]
+	if c == nil {
+		c = a.reg.Counter("sslic_energy_component_picojoules_total",
+			"Estimated energy consumed per accelerator component.",
+			telemetry.Label{Name: "component", Value: name})
+		a.by[name] = c
+	}
+	return c
+}

@@ -1,0 +1,47 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"sslic/internal/telemetry"
+)
+
+func TestAccumulator(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewAccumulator(reg)
+
+	// Exactly representable values, so the scraped text is exact too.
+	a.Add("cluster", 1)    // 1 J = 1e12 pJ
+	a.Add("dram", 0.5)     // 5e11 pJ
+	a.Add("cluster", 0.25) // accumulate on the same component
+	a.Add("dram", 0)       // zero charge is a no-op
+	a.Add("dram", -1)      // negative charge is a no-op, not a panic
+
+	if got := a.TotalPicojoules(); got != 1.75e12 {
+		t.Fatalf("total = %g pJ, want 1.75e12", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sslic_energy_picojoules_total 1750000000000`,
+		`sslic_energy_component_picojoules_total{component="cluster"} 1250000000000`,
+		`sslic_energy_component_picojoules_total{component="dram"} 500000000000`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccumulatorNilSafe(t *testing.T) {
+	var a *Accumulator
+	a.Add("cluster", 1)
+	if a.TotalPicojoules() != 0 {
+		t.Fatalf("nil accumulator total nonzero")
+	}
+}

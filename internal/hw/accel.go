@@ -114,6 +114,13 @@ type Report struct {
 	// the number of bursts.
 	TrafficBytes int64
 	Transfers    int64
+	// ScratchAccesses is the on-chip scratchpad port activity per frame
+	// (reads + writes): 12 accesses per pixel in color conversion (fill,
+	// read, write, drain across three channels) plus 4 per visited pixel
+	// per cluster pass (three channel reads and an index write). Together
+	// with Transfers (the burst/miss count) it drives the telemetry
+	// hit-rate gauge.
+	ScratchAccesses int64
 
 	// Physical estimates.
 	AreaMM2        float64
@@ -256,6 +263,7 @@ func Simulate(cfg Config) (*Report, error) {
 
 	r.TrafficBytes = mem.TotalBytes() + ccMem.TotalBytes()
 	r.Transfers = mem.Transfers() + ccMem.Transfers()
+	r.ScratchAccesses = int64(12*n) + int64(float64(cfg.Passes)*visitedPerPass*4)
 
 	// Physical estimates.
 	r.OnChipBytes = 4 * cfg.BufferBytesPerChannel

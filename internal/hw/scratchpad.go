@@ -13,6 +13,8 @@ type Scratchpad struct {
 
 	reads  int64
 	writes int64
+	fills  int64
+	drains int64
 }
 
 // NewScratchpad allocates a scratchpad of the given capacity.
@@ -57,6 +59,7 @@ func (sp *Scratchpad) Fill(addr int, src []uint8) error {
 	}
 	copy(sp.data[addr:], src)
 	sp.writes += int64(len(src))
+	sp.fills++
 	return nil
 }
 
@@ -68,6 +71,7 @@ func (sp *Scratchpad) Drain(addr int, dst []uint8) error {
 	}
 	copy(dst, sp.data[addr:])
 	sp.reads += int64(len(dst))
+	sp.drains++
 	return nil
 }
 
@@ -75,7 +79,13 @@ func (sp *Scratchpad) Drain(addr int, dst []uint8) error {
 func (sp *Scratchpad) Reads() int64  { return sp.reads }
 func (sp *Scratchpad) Writes() int64 { return sp.writes }
 
+// Fills and Drains count burst transfers — each is one round trip to
+// external memory, so together they are the scratchpad "miss" count the
+// telemetry hit-rate gauge divides by (port accesses being the hits).
+func (sp *Scratchpad) Fills() int64  { return sp.fills }
+func (sp *Scratchpad) Drains() int64 { return sp.drains }
+
 // ResetCounters clears the activity counters (contents are kept).
 func (sp *Scratchpad) ResetCounters() {
-	sp.reads, sp.writes = 0, 0
+	sp.reads, sp.writes, sp.fills, sp.drains = 0, 0, 0, 0
 }

@@ -28,20 +28,24 @@
 //     returns the first error (or the context error).
 //
 // Per-stage counters (frames in/out, bounded-queue high-water mark,
-// latency min/mean/max) are available from Stats at any time.
+// latency min/mean/max) are available from Stats at any time. They are
+// backed by an internal/telemetry registry — pass one in Config.Registry
+// to expose the same series live on a /metrics endpoint; Stats is a thin
+// view over those series.
 package pipeline
 
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
 )
 
 // RenderFunc fills caller-owned buffers with frame t of a stream. It is
@@ -77,6 +81,18 @@ type Config struct {
 	Warm bool
 	// WarmIters is FullIters for warm-started frames; <= 0 selects 3.
 	WarmIters int
+	// Registry receives the pipeline's metrics: per-stage frame counters,
+	// service-time histograms (span families with in-flight gauges),
+	// queue high-water gauges, and delivered/dropped counters. nil
+	// selects a private registry so Stats always works; pass a shared
+	// registry to expose the series on a /metrics endpoint. Sharing one
+	// registry across concurrently running pipelines aggregates their
+	// counters, so per-pipeline Stats are only meaningful with a
+	// dedicated registry.
+	Registry *telemetry.Registry
+	// Logger, when set, emits per-frame span trace events (stage
+	// start/end with the frame index) at debug level.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -122,13 +138,14 @@ type Pipeline struct {
 	imgPool sync.Pool
 	lblPool sync.Pool
 
-	srcStats stageMetrics
-	segStats stageMetrics
-	snkStats stageMetrics
+	registry *telemetry.Registry
+	srcStats *stageMetrics
+	segStats *stageMetrics
+	snkStats *stageMetrics
 
-	reorderHW atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
+	reorderHW *telemetry.Gauge
+	delivered *telemetry.Counter
+	dropped   *telemetry.Counter
 
 	errOnce  sync.Once
 	firstErr error
@@ -151,8 +168,27 @@ func New(cfg Config, render RenderFunc, sink SinkFunc) (*Pipeline, error) {
 	w, h := cfg.Width, cfg.Height
 	p.imgPool.New = func() any { return imgio.NewImage(w, h) }
 	p.lblPool.New = func() any { return imgio.NewLabelMap(w, h) }
+
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	p.registry = reg
+	p.srcStats = newStageMetrics(reg, cfg.Logger, "source")
+	p.segStats = newStageMetrics(reg, cfg.Logger, "segment")
+	p.snkStats = newStageMetrics(reg, cfg.Logger, "sink")
+	p.reorderHW = reg.Gauge("sslic_pipeline_reorder_high_water",
+		"Most out-of-order results ever held awaiting in-order delivery.")
+	p.delivered = reg.Counter("sslic_pipeline_frames_delivered_total",
+		"Results the sink accepted.")
+	p.dropped = reg.Counter("sslic_pipeline_frames_dropped_total",
+		"Frames recycled during a cancellation drain.")
 	return p, nil
 }
+
+// Registry returns the registry carrying the pipeline's metrics — the
+// one from Config, or the private registry created when none was given.
+func (p *Pipeline) Registry() *telemetry.Registry { return p.registry }
 
 // Recycle returns a Result's buffers to the pipeline's pools. The Result
 // and its buffers must not be used afterwards. Never recycling is safe —
@@ -224,22 +260,23 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			}
 			img := p.imgPool.Get().(*imgio.Image)
 			gt := p.lblPool.Get().(*imgio.LabelMap)
-			p.srcStats.noteIn(0)
-			t0 := time.Now()
+			p.srcStats.arrive(0)
+			sp := p.srcStats.begin("frame", t)
 			if err := p.render(t, img, gt); err != nil {
+				sp.Abort()
 				p.imgPool.Put(img)
 				p.lblPool.Put(gt)
 				p.fail(fmt.Errorf("pipeline: source frame %d: %w", t, err))
 				return
 			}
-			lat := time.Since(t0)
+			sp.End()
 			q := queues[0]
 			if cfg.Warm {
 				q = queues[t%cfg.Workers]
 			}
 			select {
 			case q <- &task{index: t, img: img, gt: gt}:
-				p.srcStats.noteOut(lat, len(q))
+				p.srcStats.sent(len(q))
 			case <-ctx.Done():
 				p.imgPool.Put(img)
 				p.lblPool.Put(gt)
@@ -265,10 +302,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				if ctx.Err() != nil {
 					// Drain mode: the run is over, return buffers and move on.
 					p.recycleTask(tk)
-					p.dropped.Add(1)
+					p.dropped.Inc()
 					continue
 				}
-				p.segStats.noteIn(0)
+				p.segStats.arrive(0)
 				params := cfg.Params
 				warm := false
 				if cfg.Warm && prevCenters != nil {
@@ -277,15 +314,16 @@ func (p *Pipeline) Run(ctx context.Context) error {
 					warm = true
 				}
 				params.LabelBuf = p.lblPool.Get().(*imgio.LabelMap)
-				t0 := time.Now()
+				sp := p.segStats.begin("frame", tk.index)
 				r, err := sslic.Segment(tk.img, params)
 				if err != nil {
+					sp.Abort()
 					p.lblPool.Put(params.LabelBuf)
 					p.recycleTask(tk)
 					p.fail(fmt.Errorf("pipeline: segment frame %d: %w", tk.index, err))
 					continue
 				}
-				lat := time.Since(t0)
+				lat := sp.End()
 				if cfg.Warm {
 					prevCenters = r.Centers
 				}
@@ -300,10 +338,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				}
 				select {
 				case results <- res:
-					p.segStats.noteOut(lat, len(results))
+					p.segStats.sent(len(results))
 				case <-ctx.Done():
 					p.Recycle(res)
-					p.dropped.Add(1)
+					p.dropped.Inc()
 				}
 			}
 		}()
@@ -317,11 +355,9 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	pending := make(map[int]*Result)
 	next := 0
 	for res := range results {
-		p.snkStats.noteIn(len(results))
+		p.snkStats.arrive(len(results))
 		pending[res.Index] = res
-		if n := int64(len(pending)); n > p.reorderHW.Load() {
-			p.reorderHW.Store(n)
-		}
+		p.reorderHW.SetMax(float64(len(pending)))
 		for {
 			r, ok := pending[next]
 			if !ok {
@@ -331,22 +367,24 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			next++
 			if ctx.Err() != nil {
 				p.Recycle(r)
-				p.dropped.Add(1)
+				p.dropped.Inc()
 				continue
 			}
-			t0 := time.Now()
+			sp := p.snkStats.begin("frame", r.Index)
 			if err := p.sink(r); err != nil {
+				sp.Abort()
 				p.fail(fmt.Errorf("pipeline: sink frame %d: %w", r.Index, err))
 				continue
 			}
-			p.snkStats.noteOut(time.Since(t0), 0)
-			p.delivered.Add(1)
+			sp.End()
+			p.snkStats.sent(0)
+			p.delivered.Inc()
 		}
 	}
 	// Out-of-order leftovers only exist after cancellation.
 	for _, r := range pending {
 		p.Recycle(r)
-		p.dropped.Add(1)
+		p.dropped.Inc()
 	}
 
 	if p.firstErr != nil {

@@ -2,8 +2,11 @@ package pipeline
 
 import (
 	"fmt"
-	"sync"
+	"log/slog"
+	"math"
 	"time"
+
+	"sslic/internal/telemetry"
 )
 
 // StageStats is a snapshot of one stage's counters.
@@ -12,6 +15,11 @@ type StageStats struct {
 	// counts frames it finished and handed downstream. In-flight work is
 	// the difference.
 	FramesIn, FramesOut int64
+	// Completed counts frames with a recorded service time — the sample
+	// count behind the latency fields, so a consumer can tell "no frames
+	// yet" (Completed == 0, latencies zero) from "very fast frames"
+	// (Completed > 0, latencies legitimately near zero).
+	Completed int64
 	// QueueHighWater is the deepest the stage's outgoing bounded queue
 	// ever got — the backpressure indicator. The sink stage reports its
 	// incoming queue instead (it has no outgoing one).
@@ -42,58 +50,65 @@ type Stats struct {
 	Delivered, Dropped int64
 }
 
-// stageMetrics accumulates one stage's counters. Latencies funnel
-// through one mutex per stage; at frame granularity this is noise next
-// to a segmentation call.
+// stageMetrics is one stage's registry-backed instrumentation: counters
+// for frames in/out, a high-water gauge for the bounded queue, and a
+// span family whose histogram carries the service-time distribution.
+// All writes are lock-free atomics; Stats is a thin view over the same
+// series a /metrics scrape reads.
 type stageMetrics struct {
-	mu        sync.Mutex
-	in, out   int64
-	queueHW   int
-	total     time.Duration
-	min, max  time.Duration
-	completed int64
+	in, out *telemetry.Counter
+	queueHW *telemetry.Gauge
+	spans   *telemetry.Spans
 }
 
-func (m *stageMetrics) noteIn(queueLen int) {
-	m.mu.Lock()
-	m.in++
-	if queueLen > m.queueHW {
-		m.queueHW = queueLen
+func newStageMetrics(reg *telemetry.Registry, log *slog.Logger, stage string) *stageMetrics {
+	lbl := telemetry.Label{Name: "stage", Value: stage}
+	return &stageMetrics{
+		in:      reg.Counter("sslic_pipeline_frames_in_total", "Frames a stage started processing.", lbl),
+		out:     reg.Counter("sslic_pipeline_frames_out_total", "Frames a stage finished and handed downstream.", lbl),
+		queueHW: reg.Gauge("sslic_pipeline_queue_high_water", "Deepest the stage's bounded queue ever got.", lbl),
+		spans:   telemetry.NewSpans(reg, "sslic_pipeline_stage", "Per-frame stage service time.", nil, log, lbl),
 	}
-	m.mu.Unlock()
 }
 
-func (m *stageMetrics) noteOut(lat time.Duration, queueLen int) {
-	m.mu.Lock()
-	m.out++
-	m.completed++
-	m.total += lat
-	if m.completed == 1 || lat < m.min {
-		m.min = lat
-	}
-	if lat > m.max {
-		m.max = lat
-	}
-	if queueLen > m.queueHW {
-		m.queueHW = queueLen
-	}
-	m.mu.Unlock()
+// arrive counts a frame entering the stage and samples the queue depth.
+func (m *stageMetrics) arrive(queueLen int) {
+	m.in.Inc()
+	m.queueHW.SetMax(float64(queueLen))
+}
+
+// begin opens the stage's service-time span for one frame. End it when
+// the work succeeds, Abort it on the error path.
+func (m *stageMetrics) begin(attrs ...any) telemetry.Span {
+	return m.spans.Start(attrs...)
+}
+
+// sent counts a frame handed downstream and samples the queue depth.
+func (m *stageMetrics) sent(queueLen int) {
+	m.out.Inc()
+	m.queueHW.SetMax(float64(queueLen))
 }
 
 func (m *stageMetrics) snapshot() StageStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	h := m.spans.Snapshot()
 	s := StageStats{
-		FramesIn:       m.in,
-		FramesOut:      m.out,
-		QueueHighWater: m.queueHW,
-		LatencyMin:     m.min,
-		LatencyMax:     m.max,
+		FramesIn:       int64(m.in.Value()),
+		FramesOut:      int64(m.out.Value()),
+		Completed:      int64(h.Count),
+		QueueHighWater: int(m.queueHW.Value()),
 	}
-	if m.completed > 0 {
-		s.LatencyMean = m.total / time.Duration(m.completed)
+	if h.Count > 0 {
+		s.LatencyMin = secondsToDuration(h.Min)
+		s.LatencyMean = secondsToDuration(h.Mean())
+		s.LatencyMax = secondsToDuration(h.Max)
 	}
 	return s
+}
+
+// secondsToDuration converts a histogram's float seconds back to a
+// Duration, rounding to the nanosecond.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
 }
 
 // Stats returns a snapshot of all per-stage counters.
@@ -102,8 +117,8 @@ func (p *Pipeline) Stats() Stats {
 		Source:           p.srcStats.snapshot(),
 		Segment:          p.segStats.snapshot(),
 		Sink:             p.snkStats.snapshot(),
-		ReorderHighWater: int(p.reorderHW.Load()),
-		Delivered:        p.delivered.Load(),
-		Dropped:          p.dropped.Load(),
+		ReorderHighWater: int(p.reorderHW.Value()),
+		Delivered:        int64(p.delivered.Value()),
+		Dropped:          int64(p.dropped.Value()),
 	}
 }

@@ -137,6 +137,10 @@ type Params struct {
 	// mismatched buffer is ignored and a new map is allocated); prior
 	// contents are overwritten. The returned Result.Labels aliases it.
 	LabelBuf *imgio.LabelMap
+	// Metrics, when non-nil, records the run into a telemetry registry:
+	// per-pass latency and residual, distance-computation counters, and
+	// whole-run latency. See NewMetrics. nil disables recording.
+	Metrics *Metrics
 	// SoftwareCenterUpdate selects the paper's CPU software organization
 	// for the center update phase: after every subset pass, a separate
 	// full-image accumulation recomputes all centers from the current
@@ -216,10 +220,18 @@ func Segment(im *imgio.Image, p Params) (*Result, error) {
 	if err := p.Validate(im.W, im.H); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
+	var r *Result
+	var err error
 	if p.Arch == CPA {
-		return segmentCPA(im, p)
+		r, err = segmentCPA(im, p)
+	} else {
+		r, err = segmentPPA(im, p)
 	}
-	return segmentPPA(im, p)
+	if err == nil {
+		p.Metrics.observeRun(time.Since(t0), r.Stats, r.Stats.Converged)
+	}
+	return r, err
 }
 
 // subsetOf reports the subset index of pixel (x, y) under the scheme.
@@ -294,6 +306,7 @@ func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
 	acc := make([]sigma, len(centers))
 	for pass := 0; pass < totalPasses; pass++ {
 		subset := pass % k
+		passStart := time.Now()
 
 		t0 = time.Now()
 		for i := range acc {
@@ -325,6 +338,7 @@ func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
 		st.SubsetPasses = pass + 1
 		st.Iterations = (pass + k) / k
 		st.MoveHistory = append(st.MoveHistory, move/float64(len(centers)))
+		p.Metrics.observePass(time.Since(passStart), pass, totalPasses, move/float64(len(centers)))
 
 		if p.Threshold > 0 && move/float64(len(centers)) < p.Threshold {
 			st.Converged = true

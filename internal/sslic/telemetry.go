@@ -1,0 +1,101 @@
+package sslic
+
+import (
+	"time"
+
+	"sslic/internal/telemetry"
+)
+
+// Metrics is the S-SLIC core's telemetry handle: the paper's Table-2
+// quantities (distance computations, i.e. Equation-5 evaluations) plus
+// convergence observability (per-pass latency, subsample-round progress,
+// residual center movement), live on a registry instead of only in the
+// one-shot Stats struct a run returns.
+//
+// A nil *Metrics disables all recording at the cost of one pointer
+// check per pass, so the hot loops need no conditional wiring. Create
+// one per registry with NewMetrics and share it across runs: counters
+// accumulate over the stream, gauges track the most recent pass.
+type Metrics struct {
+	// SegLatency is the whole-run latency histogram (seconds), labeled
+	// by architecture.
+	SegLatency *telemetry.Histogram
+	// PassLatency is the per-subset-pass latency histogram (seconds).
+	PassLatency *telemetry.Histogram
+	// Segmentations counts completed Segment calls.
+	Segmentations *telemetry.Counter
+	// DistanceCalcs counts Equation-5 evaluations, the paper's
+	// ops-per-iteration driver (Table 2).
+	DistanceCalcs *telemetry.Counter
+	// SubsetPasses counts completed subset passes across all runs.
+	SubsetPasses *telemetry.Counter
+	// RoundProgress is the current run's position in its subsample
+	// round schedule, in [0, 1]: pass (i+1) of FullIters×Subsets.
+	RoundProgress *telemetry.Gauge
+	// Residual is the mean per-center movement of the latest pass — the
+	// convergence gauge the Threshold stop tests against.
+	Residual *telemetry.Gauge
+	// Converged counts runs that stopped early via Threshold.
+	Converged *telemetry.Counter
+	// SkippedTiles and SavedDistanceCalcs count the preemptive
+	// extension's effect.
+	SkippedTiles       *telemetry.Counter
+	SavedDistanceCalcs *telemetry.Counter
+}
+
+// NewMetrics registers the S-SLIC core metrics on the registry.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		SegLatency: reg.Histogram("sslic_segment_seconds",
+			"Whole-run S-SLIC segmentation latency.", nil),
+		PassLatency: reg.Histogram("sslic_pass_seconds",
+			"Per-subset-pass latency (cluster update + center update).",
+			[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5}),
+		Segmentations: reg.Counter("sslic_segmentations_total",
+			"Completed Segment calls."),
+		DistanceCalcs: reg.Counter("sslic_distance_calcs_total",
+			"Equation-5 distance evaluations (the Table-2 ops driver)."),
+		SubsetPasses: reg.Counter("sslic_subset_passes_total",
+			"Completed subset passes."),
+		RoundProgress: reg.Gauge("sslic_subset_round_progress",
+			"Current run's position in its subsample round schedule, 0 to 1."),
+		Residual: reg.Gauge("sslic_center_residual",
+			"Mean per-center movement of the latest pass, in pixels (L1)."),
+		Converged: reg.Counter("sslic_converged_total",
+			"Runs that stopped early on the movement threshold."),
+		SkippedTiles: reg.Counter("sslic_preempt_skipped_tiles_total",
+			"Tiles skipped by the preemptive early-halt extension."),
+		SavedDistanceCalcs: reg.Counter("sslic_preempt_saved_calcs_total",
+			"Distance evaluations avoided by preemption."),
+	}
+}
+
+// observePass records one subset pass: its latency, the run's position
+// in the round schedule, and the residual center movement.
+func (m *Metrics) observePass(lat time.Duration, pass, totalPasses int, residual float64) {
+	if m == nil {
+		return
+	}
+	m.PassLatency.Observe(lat.Seconds())
+	m.SubsetPasses.Inc()
+	if totalPasses > 0 {
+		m.RoundProgress.Set(float64(pass+1) / float64(totalPasses))
+	}
+	m.Residual.Set(residual)
+}
+
+// observeRun records a completed Segment call from its latency and
+// accumulated Stats.
+func (m *Metrics) observeRun(lat time.Duration, st Stats, converged bool) {
+	if m == nil {
+		return
+	}
+	m.SegLatency.Observe(lat.Seconds())
+	m.Segmentations.Inc()
+	m.DistanceCalcs.Add(float64(st.DistanceCalcs))
+	m.SkippedTiles.Add(float64(st.SkippedTiles))
+	m.SavedDistanceCalcs.Add(float64(st.SavedDistanceCalcs))
+	if converged {
+		m.Converged.Inc()
+	}
+}

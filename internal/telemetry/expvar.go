@@ -1,0 +1,57 @@
+package telemetry
+
+import "expvar"
+
+// PublishExpvar exposes the registry under the given name in the
+// process-wide expvar namespace, so /debug/vars shows the same metrics
+// as /metrics. Each metric renders as name{labels} → value; histograms
+// render their count, sum, min, max and mean.
+//
+// expvar names are process-global and permanent: publishing the same
+// name twice is a no-op for the second registry (the first wins), which
+// keeps repeated setup in tests from panicking inside expvar.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.expvarSnapshot() }))
+}
+
+func (r *Registry) expvarSnapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			key := f.name
+			if len(s.labels) > 0 {
+				key += "{"
+				for i, l := range s.labels {
+					if i > 0 {
+						key += ","
+					}
+					key += l.Name + `="` + escapeLabelValue(l.Value) + `"`
+				}
+				key += "}"
+			}
+			switch f.kind {
+			case kindCounter:
+				out[key] = s.c.Value()
+			case kindGauge:
+				if s.fn != nil {
+					out[key] = s.fn()
+				} else {
+					out[key] = s.g.Value()
+				}
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				out[key] = map[string]any{
+					"count": snap.Count,
+					"sum":   snap.Sum,
+					"min":   snap.Min,
+					"max":   snap.Max,
+					"mean":  snap.Mean(),
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LoggerConfig configures a structured logger.
+type LoggerConfig struct {
+	// Output receives the log stream; nil selects os.Stderr.
+	Output io.Writer
+	// JSON selects slog's JSON handler instead of the text handler.
+	JSON bool
+	// Level is the default level for components without an override.
+	Level slog.Level
+}
+
+// Logger is a log/slog front end with per-component levels: every
+// subsystem gets its own named slog.Logger whose level can be raised or
+// lowered independently at runtime (turn the pipeline to debug while the
+// hw model stays at info).
+type Logger struct {
+	inner slog.Handler
+	def   slog.Level
+
+	mu     sync.Mutex
+	levels map[string]*slog.LevelVar
+}
+
+// NewLogger builds a logger from the configuration.
+func NewLogger(cfg LoggerConfig) *Logger {
+	w := cfg.Output
+	if w == nil {
+		w = os.Stderr
+	}
+	// The inner handler passes everything; filtering happens per
+	// component in componentHandler so levels stay independently tunable.
+	opts := &slog.HandlerOptions{Level: slog.Level(-128)}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return &Logger{inner: h, def: cfg.Level, levels: map[string]*slog.LevelVar{}}
+}
+
+// Component returns the named component's logger. Records carry a
+// component attribute and are filtered by that component's level.
+func (l *Logger) Component(name string) *slog.Logger {
+	h := &componentHandler{inner: l.inner, level: l.levelVar(name)}
+	return slog.New(h).With("component", name)
+}
+
+// SetLevel overrides one component's level at runtime.
+func (l *Logger) SetLevel(component string, level slog.Level) {
+	l.levelVar(component).Set(level)
+}
+
+func (l *Logger) levelVar(component string) *slog.LevelVar {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lv := l.levels[component]
+	if lv == nil {
+		lv = &slog.LevelVar{}
+		lv.Set(l.def)
+		l.levels[component] = lv
+	}
+	return lv
+}
+
+// componentHandler gates an inner handler on a component's LevelVar.
+type componentHandler struct {
+	inner slog.Handler
+	level *slog.LevelVar
+}
+
+func (h *componentHandler) Enabled(_ context.Context, lvl slog.Level) bool {
+	return lvl >= h.level.Level()
+}
+
+func (h *componentHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *componentHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &componentHandler{inner: h.inner.WithAttrs(attrs), level: h.level}
+}
+
+func (h *componentHandler) WithGroup(name string) slog.Handler {
+	return &componentHandler{inner: h.inner.WithGroup(name), level: h.level}
+}
+
+// ParseLevel maps the conventional level names (debug, info, warn,
+// error, case-insensitive) to slog levels, for flag parsing.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", s)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerComponentAttr(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(LoggerConfig{Output: &b, Level: slog.LevelInfo})
+	lg.Component("pipeline").Info("frame done", "frame", 3)
+	out := b.String()
+	if !strings.Contains(out, "component=pipeline") || !strings.Contains(out, "frame=3") {
+		t.Fatalf("log line missing attrs: %q", out)
+	}
+}
+
+func TestLoggerPerComponentLevels(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(LoggerConfig{Output: &b, Level: slog.LevelInfo})
+	pipe := lg.Component("pipeline")
+	hw := lg.Component("hw")
+
+	pipe.Debug("suppressed")
+	if b.Len() != 0 {
+		t.Fatalf("debug leaked at info level: %q", b.String())
+	}
+
+	// Raise only the pipeline component to debug.
+	lg.SetLevel("pipeline", slog.LevelDebug)
+	pipe.Debug("pipeline debug")
+	hw.Debug("hw debug")
+	out := b.String()
+	if !strings.Contains(out, "pipeline debug") {
+		t.Fatalf("pipeline debug suppressed after SetLevel: %q", out)
+	}
+	if strings.Contains(out, "hw debug") {
+		t.Fatalf("hw debug leaked, levels not independent: %q", out)
+	}
+
+	// SetLevel applies retroactively to already-created loggers.
+	lg.SetLevel("hw", slog.LevelError)
+	b.Reset()
+	hw.Warn("hw warn")
+	if b.Len() != 0 {
+		t.Fatalf("warn leaked at error level: %q", b.String())
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(LoggerConfig{Output: &b, JSON: true})
+	lg.Component("video").Info("start", "frames", 8)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatalf("not JSON: %v in %q", err, b.String())
+	}
+	if rec["component"] != "video" || rec["msg"] != "start" || rec["frames"] != 8.0 {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	good := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"Info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range good {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Errorf("ParseLevel accepted junk")
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE header, series sorted by label key, histograms
+// with cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", s.labels, "", s.c.Value())
+			case kindGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.g.Value()
+				}
+				writeSample(bw, f.name, "", s.labels, "", v)
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				var cum uint64
+				for i, b := range snap.Bounds {
+					cum += snap.Counts[i]
+					writeSample(bw, f.name, "_bucket", s.labels, formatFloat(b), float64(cum))
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				writeSample(bw, f.name, "_bucket", s.labels, "+Inf", float64(cum))
+				writeSample(bw, f.name, "_sum", s.labels, "", snap.Sum)
+				writeSample(bw, f.name, "_count", s.labels, "", float64(snap.Count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample renders one line: name[suffix]{labels,le="bound"} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros, everything else in Go's shortest 'g' form, infinities
+// as +Inf/-Inf per the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition output: family sort
+// order, HELP/TYPE lines, label rendering and escaping, histogram bucket
+// cumulativity with _sum/_count, and value formatting. Any format drift
+// breaks real scrapers, so this is a byte-for-byte golden test.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	reg.Counter("sslic_frames_total", "Frames segmented.").Add(42)
+	reg.Counter("sslic_stage_frames_total", "Per-stage frames.", Label{"stage", "source"}).Add(7)
+	reg.Counter("sslic_stage_frames_total", "Per-stage frames.", Label{"stage", "segment"}).Add(5)
+	reg.Gauge("sslic_residual", "Mean center movement.").Set(0.25)
+	reg.Gauge("sslic_weird_label", "Escaping.", Label{"path", "a\\b\"c\nd"}).Set(1)
+	reg.GaugeFunc("sslic_hit_ratio", "Derived ratio.", func() float64 { return 0.5 })
+
+	h := reg.Histogram("sslic_latency_seconds", "Per-frame latency.", []float64{0.1, 0.5, 2})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+
+	want := `# HELP sslic_frames_total Frames segmented.
+# TYPE sslic_frames_total counter
+sslic_frames_total 42
+# HELP sslic_hit_ratio Derived ratio.
+# TYPE sslic_hit_ratio gauge
+sslic_hit_ratio 0.5
+# HELP sslic_latency_seconds Per-frame latency.
+# TYPE sslic_latency_seconds histogram
+sslic_latency_seconds_bucket{le="0.1"} 2
+sslic_latency_seconds_bucket{le="0.5"} 3
+sslic_latency_seconds_bucket{le="2"} 3
+sslic_latency_seconds_bucket{le="+Inf"} 4
+sslic_latency_seconds_sum 10.4
+sslic_latency_seconds_count 4
+# HELP sslic_residual Mean center movement.
+# TYPE sslic_residual gauge
+sslic_residual 0.25
+# HELP sslic_stage_frames_total Per-stage frames.
+# TYPE sslic_stage_frames_total counter
+sslic_stage_frames_total{stage="segment"} 5
+sslic_stage_frames_total{stage="source"} 7
+# HELP sslic_weird_label Escaping.
+# TYPE sslic_weird_label gauge
+sslic_weird_label{path="a\\b\"c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusHelpEscaping covers the HELP-line escaping rules, which
+// differ from label-value escaping (no quote escaping).
+func TestPrometheusHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "line one\nback\\slash \"quotes stay\"")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := "# HELP c_total line one\\nback\\\\slash \"quotes stay\"\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("help escaping:\n got %q\nwant substring %q", b.String(), want)
+	}
+}
+
+// TestPrometheusLabeledHistogram checks that le composes with series
+// labels and that per-series bucket counts stay independent.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	reg := NewRegistry()
+	src := reg.Histogram("stage_seconds", "", []float64{1}, Label{"stage", "source"})
+	snk := reg.Histogram("stage_seconds", "", []float64{1}, Label{"stage", "sink"})
+	src.Observe(0.5)
+	snk.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`stage_seconds_bucket{stage="source",le="1"} 1`,
+		`stage_seconds_bucket{stage="source",le="+Inf"} 1`,
+		`stage_seconds_bucket{stage="sink",le="1"} 0`,
+		`stage_seconds_bucket{stage="sink",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="sink"} 3`,
+		`stage_seconds_count{stage="source"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-3:      "-3",
+		0.25:    "0.25",
+		1.5e-9:  "1.5e-09",
+		1e21:    "1e+21",
+		2.5e+15: "2.5e+15",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

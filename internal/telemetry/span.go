@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Spans is a per-frame span family: Start/End pairs feed a latency
+// histogram plus an in-flight gauge and a started counter, and can
+// optionally emit slog trace events. One Spans instance corresponds to
+// one labeled series set (e.g. stage="segment"), so a stall in one
+// pipeline stage is visible from the endpoint alone: its in-flight gauge
+// sticks above zero while its completion count stops moving.
+type Spans struct {
+	hist     *Histogram
+	inflight *Gauge
+	started  *Counter
+	log      *slog.Logger // nil disables trace events
+	name     string
+}
+
+// NewSpans registers the span family's metrics under name: a histogram
+// <name>_seconds, a gauge <name>_in_flight and a counter
+// <name>_started_total, all carrying the given labels. A nil log
+// disables trace events; buckets nil selects DefBuckets.
+func NewSpans(reg *Registry, name, help string, buckets []float64, log *slog.Logger, labels ...Label) *Spans {
+	return &Spans{
+		hist:     reg.Histogram(name+"_seconds", help, buckets, labels...),
+		inflight: reg.Gauge(name+"_in_flight", "Spans started but not yet ended.", labels...),
+		started:  reg.Counter(name+"_started_total", "Spans started.", labels...),
+		log:      log,
+		name:     name,
+	}
+}
+
+// Snapshot reads the underlying latency histogram.
+func (s *Spans) Snapshot() HistogramSnapshot { return s.hist.Snapshot() }
+
+// InFlight returns the number of open spans.
+func (s *Spans) InFlight() float64 { return s.inflight.Value() }
+
+// Span is one open interval. End or Abort it exactly once.
+type Span struct {
+	family *Spans
+	t0     time.Time
+	attrs  []any
+}
+
+// Start opens a span. The attrs are slog key-value pairs attached to the
+// optional trace events only (e.g. "frame", 42) — they do not create
+// metric series, so unbounded values like frame indices are safe.
+func (s *Spans) Start(attrs ...any) Span {
+	s.started.Inc()
+	s.inflight.Add(1)
+	if s.log != nil && s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.Debug("span start", append([]any{"span", s.name}, attrs...)...)
+	}
+	return Span{family: s, t0: time.Now(), attrs: attrs}
+}
+
+// End closes the span, records its duration into the histogram, and
+// returns it.
+func (sp Span) End() time.Duration {
+	d := time.Since(sp.t0)
+	f := sp.family
+	f.inflight.Add(-1)
+	f.hist.Observe(d.Seconds())
+	if f.log != nil && f.log.Enabled(context.Background(), slog.LevelDebug) {
+		f.log.Debug("span end", append([]any{"span", f.name, "seconds", d.Seconds()}, sp.attrs...)...)
+	}
+	return d
+}
+
+// Abort closes the span without recording a duration — for error paths
+// where the measured work did not complete. The in-flight gauge is
+// decremented so it keeps reflecting open work.
+func (sp Span) Abort() {
+	f := sp.family
+	f.inflight.Add(-1)
+	if f.log != nil && f.log.Enabled(context.Background(), slog.LevelDebug) {
+		f.log.Debug("span abort", append([]any{"span", f.name}, sp.attrs...)...)
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	reg := NewRegistry()
+	spans := NewSpans(reg, "stage", "Stage time.", nil, nil, Label{"stage", "segment"})
+
+	sp := spans.Start()
+	if got := spans.InFlight(); got != 1 {
+		t.Fatalf("in-flight = %g, want 1", got)
+	}
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if got := spans.InFlight(); got != 0 {
+		t.Fatalf("in-flight after End = %g", got)
+	}
+	snap := spans.Snapshot()
+	if snap.Count != 1 || snap.Sum <= 0 {
+		t.Fatalf("histogram count=%d sum=%g", snap.Count, snap.Sum)
+	}
+
+	// The metrics surface under the conventional names.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`stage_seconds_count{stage="segment"} 1`,
+		`stage_in_flight{stage="segment"} 0`,
+		`stage_started_total{stage="segment"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanAbort(t *testing.T) {
+	reg := NewRegistry()
+	spans := NewSpans(reg, "work", "", nil, nil)
+	sp := spans.Start()
+	sp.Abort()
+	if got := spans.InFlight(); got != 0 {
+		t.Fatalf("in-flight after Abort = %g", got)
+	}
+	if snap := spans.Snapshot(); snap.Count != 0 {
+		t.Fatalf("aborted span recorded a duration")
+	}
+	if got := reg.Counter("work_started_total", "").Value(); got != 1 {
+		t.Fatalf("started counter = %g, want 1", got)
+	}
+}
+
+func TestSpanTraceEvents(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(LoggerConfig{Output: &b, Level: slog.LevelDebug})
+	reg := NewRegistry()
+	spans := NewSpans(reg, "frame", "", nil, lg.Component("pipeline"))
+
+	spans.Start("frame", 42).End()
+	out := b.String()
+	if !strings.Contains(out, "span start") || !strings.Contains(out, "span end") {
+		t.Fatalf("trace events missing: %q", out)
+	}
+	if !strings.Contains(out, "frame=42") {
+		t.Fatalf("span attrs missing: %q", out)
+	}
+
+	// At info level, trace events are suppressed but metrics still flow.
+	b.Reset()
+	lg.SetLevel("pipeline", slog.LevelInfo)
+	spans.Start().End()
+	if b.Len() != 0 {
+		t.Fatalf("trace events leaked at info: %q", b.String())
+	}
+	if snap := spans.Snapshot(); snap.Count != 2 {
+		t.Fatalf("span count = %d, want 2", snap.Count)
+	}
+}
