@@ -1,0 +1,142 @@
+// Command sslic-serve runs the S-SLIC segmentation service: an HTTP
+// front end that accepts PPM/PNG frames and returns label maps,
+// boundary overlays or mean-color renders, with admission control,
+// per-request deadlines, warm-started client streams and graceful
+// drain.
+//
+// Usage:
+//
+//	sslic-serve -addr :8080
+//	sslic-serve -addr :8080 -workers 4 -queue 2 -request-timeout 500ms
+//	sslic-serve -addr :8080 -telemetry-addr :9090   # metrics + pprof
+//
+// Segment a frame:
+//
+//	curl -s --data-binary @frame.ppm 'localhost:8080/v1/segment?k=900' > labels.bin
+//	curl -s --data-binary @frame.png 'localhost:8080/v1/segment?k=400&format=overlay&encoding=png' > overlay.png
+//	curl -s --data-binary @frame.ppm 'localhost:8080/v1/segment?stream=cam0' > labels.bin  # warm-starts per stream
+//
+// The service sheds load instead of queueing it: when every worker and
+// queue slot is busy it answers 429 + Retry-After immediately, keeping
+// memory bounded under any offered load. SIGINT/SIGTERM triggers a
+// drain — health checks flip to 503 so load balancers stop routing
+// here, in-flight requests finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sslic/internal/server"
+	"sslic/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "service listen address")
+		workers     = flag.Int("workers", 0, "segmentation workers/shards (<=0 uses all CPUs)")
+		queue       = flag.Int("queue", 2, "admission queue depth per worker; beyond it requests get 429")
+		segWorkers  = flag.Int("seg-workers", 0, "intra-frame parallelism per request (0 keeps results byte-deterministic)")
+		k           = flag.Int("k", 900, "default superpixel count (overridable per request via ?k=)")
+		ratio       = flag.Float64("ratio", 0.5, "default subsample ratio (?ratio=)")
+		iters       = flag.Int("iters", 10, "default full iterations (?iters=)")
+		compactness = flag.Float64("compactness", 10, "default compactness (?compactness=)")
+		warmIters   = flag.Int("warm-iters", 3, "iterations for warm-started stream frames")
+		maxStreams  = flag.Int("max-streams", 64, "warm-start states kept per worker before evicting the oldest stream")
+		maxBody     = flag.Int64("max-body-bytes", 32<<20, "request body limit; beyond it requests get 413")
+		maxPixels   = flag.Int("max-pixels", 4<<20, "decoded frame pixel limit; beyond it requests get 413")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline (tightenable via ?timeout_ms=)")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
+		drainGrace  = flag.Duration("drain-grace", 15*time.Second, "how long a drain waits for in-flight requests before exiting")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this extra address; empty disables")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logs := telemetry.NewLogger(telemetry.LoggerConfig{JSON: *logJSON, Level: level})
+	mainLog := logs.Component("main")
+	reg := telemetry.NewRegistry()
+
+	svc, err := server.New(server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		SegWorkers:         *segWorkers,
+		DefaultK:           *k,
+		DefaultRatio:       *ratio,
+		DefaultIters:       *iters,
+		DefaultCompactness: *compactness,
+		WarmIters:          *warmIters,
+		MaxStreams:         *maxStreams,
+		MaxBodyBytes:       *maxBody,
+		MaxPixels:          *maxPixels,
+		RequestTimeout:     *reqTimeout,
+		MaxTimeout:         *maxTimeout,
+		Registry:           reg,
+		Logger:             logs.Component("server"),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// The optional telemetry server shares the service registry, so its
+	// /metrics carries the request spans, rejection counters and pool
+	// gauges alongside pprof — one scrape endpoint for the whole process.
+	if *telAddr != "" {
+		tel, err := telemetry.NewServer(telemetry.ServerConfig{
+			Addr: *telAddr, Registry: reg, Logger: logs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		go tel.Serve()
+		defer tel.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n", tel.Addr())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain: on the first signal, stop admitting (healthz flips
+	// to 503 for load balancers), let in-flight requests finish within
+	// the grace period, then exit. A second signal aborts immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("sslic-serve: listening on %s (POST /v1/segment)\n", *addr)
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills the process
+		mainLog.Info("signal received, draining", "grace", *drainGrace)
+		svc.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			mainLog.Warn("shutdown incomplete, in-flight requests abandoned", "err", err)
+		}
+		svc.Close()
+		mainLog.Info("drained, exiting")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sslic-serve:", err)
+	os.Exit(1)
+}

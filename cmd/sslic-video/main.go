@@ -20,10 +20,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"sslic/internal/dataset"
@@ -183,9 +186,19 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancels the stream context: the pipeline drains
+	// (in-flight frames abort between subset passes, queued frames are
+	// dropped) and the stats below still report what was delivered. A
+	// second signal kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	t0 := time.Now()
-	if err := pl.Run(context.Background()); err != nil {
-		fatal(err)
+	if err := pl.Run(ctx); err != nil {
+		if !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Println("interrupted: stream drained early")
 	}
 	wall := time.Since(t0)
 

@@ -1,0 +1,121 @@
+package imgio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func testPattern(w, h int) *Image {
+	im := NewImage(w, h)
+	for i := range im.C0 {
+		im.C0[i] = uint8(i * 3)
+		im.C1[i] = uint8(i * 7)
+		im.C2[i] = uint8(255 - i)
+	}
+	return im
+}
+
+// TestDecodeImageSniff round-trips the same image through both stream
+// codecs via the sniffing entry point and requires pixel equality.
+func TestDecodeImageSniff(t *testing.T) {
+	im := testPattern(13, 7)
+
+	var ppm, png bytes.Buffer
+	if err := EncodePPM(&ppm, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodePNG(&png, im); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, buf := range map[string]*bytes.Buffer{"ppm": &ppm, "png": &png} {
+		got, err := DecodeImage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.W != im.W || got.H != im.H {
+			t.Fatalf("%s: decoded %dx%d, want %dx%d", name, got.W, got.H, im.W, im.H)
+		}
+		for i := range im.C0 {
+			if got.C0[i] != im.C0[i] || got.C1[i] != im.C1[i] || got.C2[i] != im.C2[i] {
+				t.Fatalf("%s: pixel %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestDecodeImageRejectsUnknown(t *testing.T) {
+	for _, data := range []string{"", "X", "GIF89a....", "P5\n1 1\n255\nx", "\x89Q"} {
+		if _, err := DecodeImage(strings.NewReader(data)); err == nil {
+			t.Fatalf("DecodeImage accepted %q", data)
+		}
+	}
+}
+
+// pngChunk assembles one PNG chunk with a correct CRC, so handcrafted
+// headers get past the stdlib's integrity check and exercise our bounds.
+func pngChunk(typ string, data []byte) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(len(data)))
+	buf.WriteString(typ)
+	buf.Write(data)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(typ))
+	crc.Write(data)
+	binary.Write(&buf, binary.BigEndian, crc.Sum32())
+	return buf.Bytes()
+}
+
+// TestDecodePNGHeaderBounds: a valid PNG header claiming absurd
+// dimensions must be rejected before any image-sized allocation.
+func TestDecodePNGHeaderBounds(t *testing.T) {
+	ihdr := func(w, h uint32) []byte {
+		data := make([]byte, 13)
+		binary.BigEndian.PutUint32(data[0:], w)
+		binary.BigEndian.PutUint32(data[4:], h)
+		data[8] = 8 // bit depth
+		data[9] = 2 // color type: truecolor
+		var buf bytes.Buffer
+		buf.Write(pngSignature)
+		buf.Write(pngChunk("IHDR", data))
+		return buf.Bytes()
+	}
+	for _, tc := range []struct{ w, h uint32 }{
+		{1 << 21, 1},       // width over maxHeaderDim
+		{1, 1 << 21},       // height over maxHeaderDim
+		{1 << 19, 1 << 19}, // pixel count over maxHeaderPixels
+		{0, 4},             // zero width
+	} {
+		if _, err := DecodePNG(bytes.NewReader(ihdr(tc.w, tc.h))); err == nil {
+			t.Fatalf("DecodePNG accepted %dx%d header", tc.w, tc.h)
+		}
+	}
+
+	// A caller-supplied pixel budget must fail from the header alone —
+	// the regression that the server fuzz target found: a tiny compressed
+	// payload claiming a within-global-bounds canvas (here 1024×1024
+	// against a 256-pixel budget) must yield ErrImageTooLarge, not an
+	// image-sized allocation followed by a post-decode check.
+	if _, err := DecodeImageLimit(bytes.NewReader(ihdr(1024, 1024)), 256); !errors.Is(err, ErrImageTooLarge) {
+		t.Fatalf("DecodeImageLimit over-budget PNG returned %v, want ErrImageTooLarge", err)
+	}
+}
+
+// TestDecodeImageLimitPPM: the budget applies to the uncompressed codec
+// too, and an in-budget frame still decodes.
+func TestDecodeImageLimitPPM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, testPattern(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeImageLimit(bytes.NewReader(buf.Bytes()), 16); !errors.Is(err, ErrImageTooLarge) {
+		t.Fatalf("over-budget PPM returned %v, want ErrImageTooLarge", err)
+	}
+	if _, err := DecodeImageLimit(bytes.NewReader(buf.Bytes()), 64); err != nil {
+		t.Fatalf("in-budget PPM rejected: %v", err)
+	}
+}

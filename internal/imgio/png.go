@@ -1,14 +1,13 @@
 package imgio
 
 import (
-	"image/png"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 // ReadImageFile loads an image from path, dispatching on the extension:
-// .ppm → PPM codec, .png → stdlib PNG decoder.
+// .ppm → PPM codec, .png → PNG decoder (with the shared header bounds).
 func ReadImageFile(path string) (*Image, error) {
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".png":
@@ -17,11 +16,7 @@ func ReadImageFile(path string) (*Image, error) {
 			return nil, err
 		}
 		defer f.Close()
-		src, err := png.Decode(f)
-		if err != nil {
-			return nil, err
-		}
-		return FromGoImage(src), nil
+		return DecodePNG(f)
 	default:
 		return ReadPPMFile(path)
 	}
@@ -36,7 +31,7 @@ func WriteImageFile(path string, im *Image) error {
 		if err != nil {
 			return err
 		}
-		if err := png.Encode(f, im.ToGoImage()); err != nil {
+		if err := EncodePNG(f, im); err != nil {
 			f.Close()
 			return err
 		}

@@ -36,6 +36,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
@@ -315,11 +316,17 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				}
 				params.LabelBuf = p.lblPool.Get().(*imgio.LabelMap)
 				sp := p.segStats.begin("frame", tk.index)
-				r, err := sslic.Segment(tk.img, params)
+				r, err := sslic.SegmentContext(ctx, tk.img, params)
 				if err != nil {
 					sp.Abort()
 					p.lblPool.Put(params.LabelBuf)
 					p.recycleTask(tk)
+					// A frame aborted by the run's cancellation is a drain
+					// drop, not a pipeline failure; Run reports ctx.Err().
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						p.dropped.Inc()
+						continue
+					}
 					p.fail(fmt.Errorf("pipeline: segment frame %d: %w", tk.index, err))
 					continue
 				}

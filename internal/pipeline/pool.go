@@ -1,0 +1,325 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/slic"
+	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
+)
+
+// Pool is the request/response face of the segmentation layer: where
+// Pipeline drives a known-length frame *stream* through staged
+// channels, Pool accepts one frame at a time from many concurrent
+// callers — the shape an HTTP serving front end needs.
+//
+// Admission control is explicit: every shard has a bounded queue, and
+// Submit never blocks on a full one — it fails fast with ErrSaturated
+// so the caller can shed load (a 429 at the HTTP layer) instead of
+// queueing unboundedly. Memory is therefore bounded by
+// Workers × (QueueDepth+1) in-flight frames regardless of offered load.
+//
+// Warm starts survive across submissions: jobs carrying a StreamID are
+// sharded by a hash of that ID, so consecutive frames of one client
+// stream land on the same worker, which keeps the stream's last centers
+// and seeds the next frame with them (the same warm-start chain the
+// streaming pipeline builds, keyed by client instead of frame index).
+// Sharding also serializes each stream: two in-flight frames of one
+// stream cannot race on its warm state.
+//
+// Cancellation: Submit honors its context both while queued (the job is
+// discarded before it runs) and mid-run (the context reaches
+// sslic.SegmentContext, which aborts between subset passes).
+type Pool struct {
+	cfg    PoolConfig
+	shards []chan *poolReq
+	rr     atomic.Uint64 // round-robin for jobs without a stream ID
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	queueDepth *telemetry.Gauge
+	admitted   *telemetry.Counter
+	rejected   *telemetry.Counter
+	warmJobs   *telemetry.Counter
+	streams    *telemetry.Gauge
+	spans      *telemetry.Spans
+}
+
+// SegmentFunc is the segmentation backend a Pool runs. The default is
+// sslic.SegmentContext; tests and alternative backends substitute it.
+type SegmentFunc func(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error)
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Workers is the shard/worker count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each shard's admission queue; <= 0 selects 2.
+	// Total admitted-but-unstarted work is Workers × QueueDepth.
+	QueueDepth int
+	// WarmIters is FullIters for warm-started jobs; <= 0 selects 3.
+	WarmIters int
+	// MaxStreams caps the warm states kept per shard; the oldest stream
+	// is evicted beyond it. <= 0 selects 64.
+	MaxStreams int
+	// Segment is the backend; nil selects sslic.SegmentContext.
+	Segment SegmentFunc
+	// Registry receives the pool's metrics; nil selects a private one.
+	Registry *telemetry.Registry
+	// Logger, when set, emits per-job debug span events.
+	Logger *slog.Logger
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2
+	}
+	if c.WarmIters <= 0 {
+		c.WarmIters = 3
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 64
+	}
+	if c.Segment == nil {
+		c.Segment = sslic.SegmentContext
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Job is one frame to segment.
+type Job struct {
+	// Image is the frame; required.
+	Image *imgio.Image
+	// Params is the full segmentation configuration for a cold run. The
+	// pool overrides InitialCenters and FullIters when a warm state is
+	// available for the stream.
+	Params sslic.Params
+	// StreamID identifies a client stream for warm-start stickiness.
+	// Empty runs cold and spreads round-robin across shards.
+	StreamID string
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	// Result is the segmentation output. Its buffers are owned by the
+	// caller; the pool keeps only the centers (for warm starts).
+	Result *sslic.Result
+	// Warm reports whether the job was seeded from its stream's
+	// previous centers.
+	Warm bool
+	// Latency is the segment service time (queueing excluded).
+	Latency time.Duration
+}
+
+// ErrSaturated is returned by Submit when the target shard's admission
+// queue is full. Callers should shed the request (HTTP 429).
+var ErrSaturated = errors.New("pipeline: admission queue full")
+
+// ErrPoolClosed is returned by Submit after Close started draining.
+var ErrPoolClosed = errors.New("pipeline: pool closed")
+
+// poolReq is one queued submission.
+type poolReq struct {
+	ctx   context.Context
+	job   Job
+	reply chan poolReply
+}
+
+type poolReply struct {
+	res *JobResult
+	err error
+}
+
+// warmState is one stream's carry-over between frames. Centers are only
+// reused when the frame geometry and K still match.
+type warmState struct {
+	centers []slic.Center
+	w, h, k int
+}
+
+// NewPool starts the workers and returns a ready pool.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	p := &Pool{
+		cfg:    cfg,
+		shards: make([]chan *poolReq, cfg.Workers),
+		queueDepth: reg.Gauge("sslic_pool_queue_depth",
+			"Jobs admitted but not yet started, across all shards."),
+		admitted: reg.Counter("sslic_pool_jobs_admitted_total",
+			"Jobs accepted into a shard queue."),
+		rejected: reg.Counter("sslic_pool_jobs_rejected_total",
+			"Jobs refused because the shard queue was full."),
+		warmJobs: reg.Counter("sslic_pool_warm_jobs_total",
+			"Jobs seeded from their stream's previous centers."),
+		streams: reg.Gauge("sslic_pool_streams",
+			"Warm-start stream states currently held."),
+		spans: telemetry.NewSpans(reg, "sslic_pool_job",
+			"Per-job segment service time (queueing excluded).", nil, cfg.Logger),
+	}
+	for i := range p.shards {
+		p.shards[i] = make(chan *poolReq, cfg.QueueDepth)
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	return p
+}
+
+// Registry returns the registry carrying the pool's metrics.
+func (p *Pool) Registry() *telemetry.Registry { return p.cfg.Registry }
+
+// Queued reports the jobs admitted but not yet picked up by a worker,
+// summed across shards. It is a point-in-time observation for tests and
+// load probes; the authoritative series is the queue-depth gauge.
+func (p *Pool) Queued() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+// shardFor maps a stream ID onto a shard. Jobs without a stream spread
+// round-robin; streams stick by FNV-1a hash.
+func (p *Pool) shardFor(streamID string) chan *poolReq {
+	if streamID == "" {
+		return p.shards[p.rr.Add(1)%uint64(len(p.shards))]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(streamID))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// Submit runs one job and blocks until its result, its context's
+// cancellation, or an admission failure. It is safe from any number of
+// goroutines. Exactly one of the results is non-nil.
+func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
+	if job.Image == nil {
+		return nil, fmt.Errorf("pipeline: job without image")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &poolReq{ctx: ctx, job: job, reply: make(chan poolReply, 1)}
+
+	// The RLock pairs with Close's Lock: it guarantees no Submit is
+	// mid-send on a channel Close is about to close.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.shardFor(job.StreamID) <- req:
+		p.mu.RUnlock()
+		p.admitted.Inc()
+		p.queueDepth.Add(1)
+	default:
+		p.mu.RUnlock()
+		p.rejected.Inc()
+		return nil, ErrSaturated
+	}
+
+	select {
+	case rep := <-req.reply:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		// The job may still be queued (the worker will discard it) or
+		// running (SegmentContext will abort it); either way the reply
+		// lands in the buffered channel and is garbage collected.
+		return nil, ctx.Err()
+	}
+}
+
+// worker owns one shard: its queue and its streams' warm states.
+func (p *Pool) worker(in chan *poolReq) {
+	defer p.wg.Done()
+	states := make(map[string]*warmState)
+	var order []string // insertion order for MaxStreams eviction
+	for req := range in {
+		p.queueDepth.Add(-1)
+		if err := req.ctx.Err(); err != nil {
+			req.reply <- poolReply{err: err}
+			continue
+		}
+		params := req.job.Params
+		warm := false
+		if st := states[req.job.StreamID]; st != nil &&
+			st.w == req.job.Image.W && st.h == req.job.Image.H && st.k == params.K {
+			params.InitialCenters = st.centers
+			params.FullIters = p.cfg.WarmIters
+			warm = true
+		}
+		sp := p.spans.Start("stream", req.job.StreamID)
+		r, err := p.runSegment(req.ctx, req.job.Image, params)
+		if err != nil {
+			sp.Abort()
+			req.reply <- poolReply{err: err}
+			continue
+		}
+		lat := sp.End()
+		if warm {
+			p.warmJobs.Inc()
+		}
+		if req.job.StreamID != "" {
+			if states[req.job.StreamID] == nil {
+				order = append(order, req.job.StreamID)
+				if len(order) > p.cfg.MaxStreams {
+					delete(states, order[0])
+					order = order[1:]
+					p.streams.Add(-1)
+				}
+				p.streams.Add(1)
+			}
+			states[req.job.StreamID] = &warmState{
+				centers: r.Centers, w: req.job.Image.W, h: req.job.Image.H, k: req.job.Params.K,
+			}
+		}
+		req.reply <- poolReply{res: &JobResult{Result: r, Warm: warm, Latency: lat}}
+	}
+	p.streams.Add(-float64(len(states)))
+}
+
+// runSegment isolates the backend: a panic on one frame becomes that
+// job's error instead of taking down the worker (and with it every
+// stream sharded onto it).
+func (p *Pool) runSegment(ctx context.Context, im *imgio.Image, params sslic.Params) (res *sslic.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("pipeline: segment panic: %v", v)
+		}
+	}()
+	return p.cfg.Segment(ctx, im, params)
+}
+
+// Close drains the pool: no new submissions are admitted, jobs already
+// queued run to completion (their callers are still waiting on Submit),
+// and Close returns when every worker has exited. Safe to call more
+// than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, sh := range p.shards {
+			close(sh)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,372 @@
+// Package server is the networked face of the S-SLIC reproduction: an
+// HTTP segmentation service that accepts PPM/PNG frames, runs them
+// through the pipeline.Pool worker layer, and returns label maps,
+// boundary overlays or mean-color renders.
+//
+// The service is built for sustained load, not just functional
+// correctness — the properties a real-time front end (the paper's 30 fps
+// frame-budget argument, gSLICr's shared-service framing) actually
+// needs:
+//
+//   - Admission control: the pool's bounded per-shard queues mean a
+//     saturated service answers 429 + Retry-After immediately instead of
+//     queueing unboundedly; in-flight memory is capped by
+//     Workers × (QueueDepth+1) frames regardless of offered load.
+//   - Deadlines: every request carries a context deadline (server
+//     default, client-tightenable via ?timeout_ms=) that propagates
+//     through the pool into sslic.SegmentContext, which aborts between
+//     subset passes — an expired request stops consuming CPU within one
+//     subset round.
+//   - Warm starts: requests carrying ?stream= shard stickily by stream
+//     ID, so consecutive frames of one client stream reuse the previous
+//     frame's centers (fewer iterations, same quality — the video
+//     pipeline's warm chains, keyed by client).
+//   - Isolation: every handler runs behind panic-recovering middleware;
+//     one poisoned request cannot take down the process.
+//   - Drain: Drain stops admission (healthz flips to 503 for load
+//     balancers) while queued and in-flight work completes; Close waits
+//     for the workers.
+//   - Observability: per-endpoint latency spans, response-code counters,
+//     rejection counters by reason and the pool's queue-depth gauge all
+//     live on one telemetry.Registry, shareable with the -telemetry-addr
+//     server.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/pipeline"
+	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the segmentation worker/shard count; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each shard's admission queue; <= 0 selects 2.
+	QueueDepth int
+	// SegWorkers is the intra-frame parallelism (sslic.Params.Workers)
+	// of each request; 0 runs each frame serially, which keeps results
+	// byte-deterministic across deployments.
+	SegWorkers int
+	// DefaultK, DefaultRatio, DefaultIters, DefaultCompactness are the
+	// segmentation defaults when the request does not override them.
+	// Zero values select 900, 0.5, 10 and 10 (the paper's evaluation
+	// setup).
+	DefaultK           int
+	DefaultRatio       float64
+	DefaultIters       int
+	DefaultCompactness float64
+	// WarmIters is the iteration budget for warm-started frames; <= 0
+	// selects 3.
+	WarmIters int
+	// MaxStreams caps warm-start states kept per shard; <= 0 selects 64.
+	MaxStreams int
+	// MaxBodyBytes bounds the request body; exceeding it is a 413.
+	// <= 0 selects 32 MiB.
+	MaxBodyBytes int64
+	// MaxPixels bounds the decoded frame size; exceeding it is a 413.
+	// <= 0 selects 4 Mpixel (comfortably above the paper's 1080p rows).
+	MaxPixels int
+	// RequestTimeout is the default per-request deadline; <= 0 selects
+	// 10s. Clients may tighten (never extend) it via ?timeout_ms=,
+	// capped at MaxTimeout (<= 0 selects 30s).
+	RequestTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Segment overrides the segmentation backend; nil selects
+	// sslic.SegmentContext.
+	Segment pipeline.SegmentFunc
+	// Registry receives all service metrics; nil selects a private one.
+	// Pass the same registry to a telemetry.Server to expose the series
+	// alongside pprof.
+	Registry *telemetry.Registry
+	// Logger, when set, logs request rejections and recovered panics.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 900
+	}
+	if c.DefaultRatio <= 0 || c.DefaultRatio > 1 {
+		c.DefaultRatio = 0.5
+	}
+	if c.DefaultIters <= 0 {
+		c.DefaultIters = 10
+	}
+	if c.DefaultCompactness <= 0 {
+		c.DefaultCompactness = 10
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxPixels <= 0 {
+		c.MaxPixels = 4 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the HTTP segmentation service. Construct with New, mount
+// Handler on a listener, stop with Drain/Close.
+type Server struct {
+	cfg      Config
+	pool     *pipeline.Pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	rejected *telemetry.Counter // base; per-reason series via reason()
+	panics   *telemetry.Counter
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxTimeout < cfg.RequestTimeout {
+		return nil, fmt.Errorf("server: MaxTimeout %v below RequestTimeout %v", cfg.MaxTimeout, cfg.RequestTimeout)
+	}
+	s := &Server{cfg: cfg}
+	s.pool = pipeline.NewPool(pipeline.PoolConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		WarmIters:  cfg.WarmIters,
+		MaxStreams: cfg.MaxStreams,
+		Segment:    cfg.Segment,
+		Registry:   cfg.Registry,
+		Logger:     cfg.Logger,
+	})
+	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
+		"Handler panics recovered by the middleware.")
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/segment", s.instrument("segment", s.handleSegment))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (all endpoints behind the
+// instrumenting, panic-isolating middleware).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the registry carrying the service metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
+
+// Drain flips the service into shedding mode: segmentation requests and
+// health checks answer 503 (so load balancers stop routing here) while
+// already-admitted work keeps running. Idempotent.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) && s.cfg.Logger != nil {
+		s.cfg.Logger.Info("server draining: new requests shed, in-flight work finishing")
+	}
+}
+
+// Close drains and then waits for every queued and in-flight job to
+// finish. Safe to call more than once.
+func (s *Server) Close() {
+	s.Drain()
+	s.pool.Close()
+}
+
+// reject answers an error response and counts it by reason.
+func (s *Server) reject(w http.ResponseWriter, reason string, code int, msg string) {
+	s.cfg.Registry.Counter("sslic_server_rejected_total",
+		"Requests refused, by reason.",
+		telemetry.Label{Name: "reason", Value: reason}).Inc()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Debug("request rejected", "reason", reason, "code", code)
+	}
+	http.Error(w, msg, code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Registry.WritePrometheus(w)
+}
+
+// handleSegment is the core endpoint: decode → admit → segment → render.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
+		return
+	}
+	opts, err := parseOptions(s.cfg, r.URL.Query())
+	if err != nil {
+		s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	im, err := decodeFrame(body, r.Header.Get("Content-Type"), s.cfg.MaxPixels)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &mbe):
+			s.reject(w, "too_large", http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		case errors.Is(err, imgio.ErrImageTooLarge):
+			s.reject(w, "too_large", http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("frame exceeds the %d-pixel budget", s.cfg.MaxPixels))
+		default:
+			s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	params := s.paramsFor(opts)
+	if err := params.Validate(im.W, im.H); err != nil {
+		s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), opts.Timeout)
+	defer cancel()
+	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream})
+	if err != nil {
+		switch {
+		case errors.Is(err, pipeline.ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			s.reject(w, "saturated", http.StatusTooManyRequests, "segmentation queue full")
+		case errors.Is(err, pipeline.ErrPoolClosed):
+			w.Header().Set("Retry-After", "5")
+			s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reject(w, "deadline", http.StatusGatewayTimeout, "request deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client went away; 499 is the de-facto convention for
+			// logging a client-closed request (nothing reads the body).
+			s.reject(w, "canceled", 499, "client canceled request")
+		default:
+			s.reject(w, "internal", http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.writeResult(w, opts, im, res)
+}
+
+// writeResult renders the segmentation in the requested format.
+func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult) {
+	labels := res.Result.Labels
+	h := w.Header()
+	h.Set("X-Sslic-Warm", strconv.FormatBool(res.Warm))
+	h.Set("X-Sslic-Seconds", strconv.FormatFloat(res.Latency.Seconds(), 'f', 6, 64))
+	var err error
+	switch opts.Format {
+	case formatLabels:
+		h.Set("Content-Type", "application/octet-stream")
+		err = imgio.EncodeLabelMap(w, labels)
+	case formatOverlay, formatMean:
+		var out *imgio.Image
+		if opts.Format == formatOverlay {
+			out = imgio.Overlay(im, labels, 255, 0, 0)
+		} else {
+			out = imgio.MeanColor(im, labels)
+		}
+		if opts.Encoding == encodingPNG {
+			h.Set("Content-Type", "image/png")
+			err = imgio.EncodePNG(w, out)
+		} else {
+			h.Set("Content-Type", "image/x-portable-pixmap")
+			err = imgio.EncodePPM(w, out)
+		}
+	}
+	if err != nil && s.cfg.Logger != nil {
+		// The status line is gone; all we can do is log the broken write.
+		s.cfg.Logger.Debug("response write failed", "err", err)
+	}
+}
+
+// paramsFor maps request options onto a full parameter set. Kept as a
+// method so tests can build the exact params the server will run.
+func (s *Server) paramsFor(o options) sslic.Params {
+	p := sslic.DefaultParams(o.K, o.Ratio)
+	p.FullIters = o.Iters
+	p.Compactness = o.Compactness
+	p.Workers = s.cfg.SegWorkers
+	return p
+}
+
+// instrument wraps a handler with the service middleware: a per-endpoint
+// latency span (histogram + in-flight gauge), a response-code counter,
+// and panic isolation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	lbl := telemetry.Label{Name: "endpoint", Value: endpoint}
+	spans := telemetry.NewSpans(s.cfg.Registry, "sslic_server_request",
+		"Per-request service time.", nil, s.cfg.Logger, lbl)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		sp := spans.Start("method", r.Method, "path", r.URL.Path)
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				sp.Abort()
+				if s.cfg.Logger != nil {
+					buf := make([]byte, 4096)
+					buf = buf[:runtime.Stack(buf, false)]
+					s.cfg.Logger.Error("handler panic recovered",
+						"endpoint", endpoint, "panic", fmt.Sprint(p), "stack", string(buf))
+				}
+				if sr.code == 0 {
+					http.Error(sr, "internal error", http.StatusInternalServerError)
+				}
+			} else {
+				sp.End()
+			}
+			code := sr.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.cfg.Registry.Counter("sslic_server_responses_total",
+				"Responses sent, by endpoint and status code.",
+				lbl, telemetry.Label{Name: "code", Value: strconv.Itoa(code)}).Inc()
+		}()
+		h(sr, r)
+	})
+}
+
+// statusRecorder captures the response code for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeUnderLoadWithCancelAndDrain is the service-grade race test:
+// many concurrent clients, some of which cancel mid-flight, with a
+// drain landing while requests are in the air. Run under -race it
+// checks the full handler → pool → sslic path for data races; its own
+// assertions check the accounting:
+//
+//   - every request gets exactly one terminal outcome (no lost or
+//     duplicated responses),
+//   - every 200 carries a well-formed label map for the posted frame,
+//   - after the drain flips, segmentation answers 503, and
+//   - Close returns (drain never deadlocks) within a hard bound.
+func TestServeUnderLoadWithCancelAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	im := testFrame(48, 36)
+	frame := ppmBody(t, im)
+	wantLabelBytes := labelMapLen(t, im.W, im.H)
+
+	s, err := New(Config{Workers: 4, QueueDepth: 2, WarmIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		clients     = 8
+		perClient   = 12
+		cancelEvery = 3 // every third request gets a tight cancel window
+	)
+	var (
+		ok, canceled, shed, drained atomic.Int64
+		responses                   atomic.Int64 // terminal outcomes observed
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if i%cancelEvery == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3000))*time.Microsecond)
+				}
+				url := fmt.Sprintf("%s/v1/segment?k=16&iters=3&stream=cam%d", ts.URL, c)
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(frame))
+				if err != nil {
+					t.Error(err)
+					cancel()
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				cancel()
+				if err != nil {
+					// Client-side cancellation is a terminal outcome too.
+					if context.Cause(ctx) != nil {
+						canceled.Add(1)
+						responses.Add(1)
+						continue
+					}
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					canceled.Add(1)
+					responses.Add(1)
+					continue
+				}
+				responses.Add(1)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					if len(body) != wantLabelBytes {
+						t.Errorf("client %d: 200 with %d-byte body, want %d", c, len(body), wantLabelBytes)
+					}
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusServiceUnavailable:
+					drained.Add(1)
+				case http.StatusGatewayTimeout, 499:
+					canceled.Add(1)
+				default:
+					t.Errorf("client %d: unexpected status %d: %s", c, resp.StatusCode, body)
+				}
+			}
+		}(c)
+	}
+
+	// Land the drain while traffic is in the air: after a quarter of the
+	// responses, so at least one request is guaranteed to arrive
+	// post-drain. Then Close with a deadlock bound.
+	deadline := time.Now().Add(10 * time.Second)
+	for responses.Load() < clients*perClient/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("load never ramped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain()
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not finish within 30s (drain deadlock?)")
+	}
+
+	total := ok.Load() + canceled.Load() + shed.Load() + drained.Load()
+	if responses.Load() != clients*perClient {
+		t.Fatalf("lost responses: %d terminal outcomes for %d requests", responses.Load(), clients*perClient)
+	}
+	if total != clients*perClient {
+		t.Fatalf("outcome accounting off: %d classified of %d", total, clients*perClient)
+	}
+	if drained.Load() == 0 {
+		t.Error("drain landed mid-run but no request observed a 503")
+	}
+	t.Logf("ok=%d canceled=%d shed=%d drained=%d", ok.Load(), canceled.Load(), shed.Load(), drained.Load())
+
+	// After Close the handler must still answer (503), not hang or panic.
+	resp, err := http.Post(ts.URL+"/v1/segment?k=8", "", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close status %d, want 503", resp.StatusCode)
+	}
+}
+
+// labelMapLen computes the encoded size of a label map for a w×h frame:
+// the SLBL header (magic + w + h, 3×4 bytes) plus 4 bytes per pixel.
+func labelMapLen(t *testing.T, w, h int) int {
+	t.Helper()
+	return 12 + 4*w*h
+}

@@ -1,0 +1,99 @@
+package sslic
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"sslic/internal/telemetry"
+)
+
+// countingCtx is a context whose Err flips to Canceled after limit
+// calls. It makes cancellation-latency tests deterministic: the number
+// of subset passes a run completes before noticing the cancel is
+// exactly the number of Err checks the implementation performs, with no
+// timing involved.
+type countingCtx struct {
+	context.Context
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSegmentContextCancelWithinOneRound proves SegmentContext checks
+// the context between subset passes, not just once per run: with the
+// context canceling after a fixed number of Err calls, the run must
+// stop after at most that many passes — far short of its iteration
+// budget — for both architectures.
+func TestSegmentContextCancelWithinOneRound(t *testing.T) {
+	im := testImage(64, 48)
+	for _, arch := range []Arch{PPA, CPA} {
+		reg := telemetry.NewRegistry()
+		p := DefaultParams(24, 0.5)
+		p.FullIters = 10 // 20 subset passes at ratio 0.5
+		p.Arch = arch
+		p.Metrics = NewMetrics(reg)
+
+		// Err call schedule: 1 at entry, then 1 per pass. limit=4 allows
+		// entry + 3 clean pass checks, so at most 3 passes complete.
+		ctx := &countingCtx{Context: context.Background(), limit: 4}
+		r, err := SegmentContext(ctx, im, p)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: got (%v, %v), want context.Canceled", arch, r, err)
+		}
+		passes := p.Metrics.SubsetPasses.Value()
+		if passes > 3 {
+			t.Fatalf("%v: %v passes completed after cancel, want <= 3 (one check per pass)", arch, passes)
+		}
+		if p.Metrics.Segmentations.Value() != 0 {
+			t.Fatalf("%v: canceled run recorded as completed segmentation", arch)
+		}
+	}
+}
+
+// TestSegmentContextPreCanceled: an already-canceled context must
+// return before any pass runs.
+func TestSegmentContextPreCanceled(t *testing.T) {
+	im := testImage(32, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, arch := range []Arch{PPA, CPA} {
+		reg := telemetry.NewRegistry()
+		p := DefaultParams(9, 0.5)
+		p.Arch = arch
+		p.Metrics = NewMetrics(reg)
+		if _, err := SegmentContext(ctx, im, p); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", arch, err)
+		}
+		if n := p.Metrics.SubsetPasses.Value(); n != 0 {
+			t.Fatalf("%v: %v passes ran under a pre-canceled context", arch, n)
+		}
+	}
+}
+
+// TestSegmentContextBackground: a background context must not change
+// behaviour — Segment delegates to SegmentContext, so the golden tests
+// elsewhere already pin the results; here we just confirm success.
+func TestSegmentContextBackground(t *testing.T) {
+	im := testImage(32, 32)
+	r1, err := Segment(im, DefaultParams(9, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SegmentContext(context.Background(), im, DefaultParams(9, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels.Labels {
+		if r1.Labels.Labels[i] != r2.Labels.Labels[i] {
+			t.Fatalf("label %d differs between Segment and SegmentContext", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sslic
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -14,8 +15,11 @@ import (
 // around each of them, exactly like original SLIC restricted to that
 // subset. Persistent minimum-distance and label buffers carry state
 // between passes (the two image-sized memory buffers of §2).
-func segmentCPA(im *imgio.Image, p Params) (*Result, error) {
+func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error) {
 	var st Stats
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
@@ -41,6 +45,11 @@ func segmentCPA(im *imgio.Image, p Params) (*Result, error) {
 	}
 
 	for pass := 0; pass < totalPasses; pass++ {
+		// Same cancellation granularity as the PPA path: one check per
+		// subset pass bounds cancel latency to a subset round.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		subset := pass % k
 
 		// Distance decay: because centers move between passes, retained
@@ -97,6 +106,9 @@ func segmentCPA(im *imgio.Image, p Params) (*Result, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	// Pixels never claimed (possible off-grid corners) fall back to the
 	// nearest center by position.

@@ -20,6 +20,7 @@
 package sslic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -217,6 +218,17 @@ type Result struct {
 
 // Segment runs S-SLIC per Figure 1b (PPA) or the CPA variant.
 func Segment(im *imgio.Image, p Params) (*Result, error) {
+	return SegmentContext(context.Background(), im, p)
+}
+
+// SegmentContext is Segment with cancellation: the context is checked
+// before every subset pass (and once more before the connectivity
+// sweep), so a canceled or deadline-expired request returns within one
+// subset round rather than running its full iteration budget. The
+// partial segmentation state is discarded; the returned error is the
+// context's error. This is the deadline-propagation hook the serving
+// layer uses to stop paying for requests whose clients have given up.
+func SegmentContext(ctx context.Context, im *imgio.Image, p Params) (*Result, error) {
 	if err := p.Validate(im.W, im.H); err != nil {
 		return nil, err
 	}
@@ -224,9 +236,9 @@ func Segment(im *imgio.Image, p Params) (*Result, error) {
 	var r *Result
 	var err error
 	if p.Arch == CPA {
-		r, err = segmentCPA(im, p)
+		r, err = segmentCPA(ctx, im, p)
 	} else {
-		r, err = segmentPPA(im, p)
+		r, err = segmentPPA(ctx, im, p)
 	}
 	if err == nil {
 		p.Metrics.observeRun(time.Since(t0), r.Stats, r.Stats.Converged)
@@ -257,8 +269,11 @@ type sigma struct {
 	n             int
 }
 
-func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
+func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error) {
 	var st Stats
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
@@ -305,6 +320,11 @@ func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
 
 	acc := make([]sigma, len(centers))
 	for pass := 0; pass < totalPasses; pass++ {
+		// Checked once per subset pass: a pass touches ~1/k of the image,
+		// so cancellation latency is bounded by one subset round.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		subset := pass % k
 		passStart := time.Now()
 
@@ -346,6 +366,9 @@ func segmentPPA(im *imgio.Image, p Params) (*Result, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	if p.EnforceConnectivity {
 		minSize := int(s*s) / maxInt(1, p.MinRegionDivisor)
