@@ -7,6 +7,18 @@
 //	sslic-bench -quick            # trimmed sweeps for a fast smoke run
 //	sslic-bench -csv -out results # also write CSV files per experiment
 //
+// Benchmark trajectory (machine-comparable perf reports):
+//
+//	sslic-bench -json benchdata/          # writes benchdata/BENCH_<stamp>.json
+//	sslic-bench -json out.json -quick     # CI-speed run to an explicit path
+//	sslic-benchdiff base.json out.json    # fails on >10% regressions
+//
+// With -json the process runs the perf harness (testing.Benchmark over
+// the PPA/CPA × subsample-ratio matrix) instead of the paper tables and
+// writes frames/sec, ns/op, allocs/op and distance-calcs/frame per
+// configuration. Passing a directory derives a BENCH_<UTC stamp>.json
+// name inside it, growing the committed trajectory one file per run.
+//
 // With -telemetry-addr the process serves /metrics, /healthz,
 // /debug/vars and /debug/pprof/ while experiments run, so long paper
 // sweeps can be watched and CPU-profiled in flight.
@@ -34,6 +46,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "write CSV files per experiment")
 		md      = flag.Bool("md", false, "write Markdown files per experiment")
 		out     = flag.String("out", ".", "directory for CSV/Markdown output")
+		jsonOut = flag.String("json", "", "run the perf harness and write its JSON report here (a directory derives BENCH_<stamp>.json); empty runs the paper experiments instead")
 		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while experiments run; empty disables")
 	)
 	flag.Parse()
@@ -41,6 +54,14 @@ func main() {
 	if *list {
 		for _, r := range bench.Experiments() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	if *jsonOut != "" {
+		if err := runPerf(*jsonOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "sslic-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -110,4 +131,35 @@ func main() {
 			}
 		}
 	}
+}
+
+// runPerf measures the perf matrix and writes the stamped JSON report —
+// one point on the benchmark trajectory.
+func runPerf(dest string, quick bool) error {
+	rep, err := bench.RunPerf(quick)
+	if err != nil {
+		return err
+	}
+	now := time.Now().UTC()
+	rep.Stamp = now.Format(time.RFC3339)
+	if st, err := os.Stat(dest); err == nil && st.IsDir() {
+		dest = filepath.Join(dest, "BENCH_"+now.Format("20060102T150405Z")+".json")
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePerf(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %12d ns/op %10.2f frames/s %8d allocs/op %12d dist-calcs/frame\n",
+			r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp, r.DistanceCalcsPerFrame)
+	}
+	fmt.Printf("perf report: %s\n", dest)
+	return nil
 }

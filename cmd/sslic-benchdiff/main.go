@@ -1,0 +1,73 @@
+// Command sslic-benchdiff compares two perf reports written by
+// sslic-bench -json and fails (exit 1) when any metric regressed beyond
+// the tolerance, so a perf regression is a red CI run instead of a
+// number nobody reread.
+//
+// Usage:
+//
+//	sslic-benchdiff base.json current.json
+//	sslic-benchdiff -tolerance 0.05 base.json current.json
+//	sslic-benchdiff -skip-time base.json current.json   # CI mode
+//
+// Every compared metric is lower-is-better; a config regresses when
+// current/base exceeds 1+tolerance. Configs present in the baseline but
+// missing from the current report also fail the diff — silently dropped
+// coverage is itself a regression. -skip-time ignores the wall-time
+// metrics (ns/op, frames/s) and gates only on the deterministic ones
+// (allocs/op, bytes/op, distance-calcs/frame), which is the mode CI
+// uses: those do not vary with the runner's CPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sslic/internal/bench"
+)
+
+func main() {
+	var (
+		tolerance = flag.Float64("tolerance", 0.10, "maximum allowed current/base increase per metric (0.10 = 10%)")
+		skipTime  = flag.Bool("skip-time", false, "ignore wall-time metrics (ns/op, frames/s); gate only on deterministic ones")
+		verbose   = flag.Bool("v", false, "print every metric delta, not just regressions")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sslic-benchdiff [-tolerance 0.10] [-skip-time] base.json current.json")
+		os.Exit(2)
+	}
+	base, err := bench.LoadPerf(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.LoadPerf(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	all, regressions, missing, err := bench.ComparePerf(base, cur, *tolerance, *skipTime)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, d := range all {
+			fmt.Println(" ", d)
+		}
+	}
+	for _, name := range missing {
+		fmt.Printf("MISSING %s: in baseline but not in current report\n", name)
+	}
+	for _, d := range regressions {
+		fmt.Printf("REGRESSION %s (tolerance %.0f%%)\n", d, *tolerance*100)
+	}
+	if len(missing) > 0 || len(regressions) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d metrics within %.0f%% of baseline (%s -> %s)\n",
+		len(all), *tolerance*100, flag.Arg(0), flag.Arg(1))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sslic-benchdiff:", err)
+	os.Exit(1)
+}

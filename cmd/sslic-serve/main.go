@@ -16,6 +16,11 @@
 //	curl -s --data-binary @frame.png 'localhost:8080/v1/segment?k=400&format=overlay&encoding=png' > overlay.png
 //	curl -s --data-binary @frame.ppm 'localhost:8080/v1/segment?stream=cam0' > labels.bin  # warm-starts per stream
 //
+// Trace a request end to end (with -telemetry-addr :9090):
+//
+//	curl -s -o /dev/null -H 'X-Trace-Id: debug-1' --data-binary @frame.ppm 'localhost:8080/v1/segment?k=900'
+//	curl -s 'localhost:9090/debug/trace?id=debug-1' > trace.json   # load in chrome://tracing or ui.perfetto.dev
+//
 // The service sheds load instead of queueing it: when every worker and
 // queue slot is busy it answers 429 + Retry-After immediately, keeping
 // memory bounded under any offered load. SIGINT/SIGTERM triggers a
@@ -54,7 +59,10 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline (tightenable via ?timeout_ms=)")
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
 		drainGrace  = flag.Duration("drain-grace", 15*time.Second, "how long a drain waits for in-flight requests before exiting")
-		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this extra address; empty disables")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this extra address; empty disables")
+		traceBuf    = flag.Int("trace-buffer", 256, "finished traces the flight recorder retains (oldest overwritten)")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this latency are always kept in the flight recorder")
+		traceRate   = flag.Float64("trace-sample", 0.01, "fraction of ordinary requests kept (errors, slow requests and explicit X-Trace-Id requests are always kept)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -67,6 +75,15 @@ func main() {
 	logs := telemetry.NewLogger(telemetry.LoggerConfig{JSON: *logJSON, Level: level})
 	mainLog := logs.Component("main")
 	reg := telemetry.NewRegistry()
+
+	// The flight recorder is always on: fixed memory (trace-buffer
+	// finished traces), overwrite-oldest, so the last N interesting
+	// requests are reconstructable from /debug/trace after the fact.
+	recorder := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+		Capacity:      *traceBuf,
+		HeadRate:      *traceRate,
+		SlowThreshold: *traceSlow,
+	}, reg)
 
 	svc, err := server.New(server.Config{
 		Workers:            *workers,
@@ -83,6 +100,7 @@ func main() {
 		RequestTimeout:     *reqTimeout,
 		MaxTimeout:         *maxTimeout,
 		Registry:           reg,
+		Recorder:           recorder,
 		Logger:             logs.Component("server"),
 	})
 	if err != nil {
@@ -94,14 +112,14 @@ func main() {
 	// gauges alongside pprof — one scrape endpoint for the whole process.
 	if *telAddr != "" {
 		tel, err := telemetry.NewServer(telemetry.ServerConfig{
-			Addr: *telAddr, Registry: reg, Logger: logs,
+			Addr: *telAddr, Registry: reg, Logger: logs, Recorder: recorder,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		go tel.Serve()
 		defer tel.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n", tel.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace)\n", tel.Addr())
 	}
 
 	httpSrv := &http.Server{

@@ -51,7 +51,9 @@ func main() {
 		outDir   = flag.String("out", "", "write per-frame overlays to this directory")
 		workers  = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
 		queue    = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090); empty disables")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
+		traceBuf = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
+		traceAll = flag.Bool("trace-all", false, "keep every frame trace (default keeps only slow or failed frames)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -115,17 +117,30 @@ func main() {
 		fatal(err)
 	}
 
+	// Per-frame flight recorder: every pipeline frame carries a trace
+	// (queue waits, subset passes, hardware-model charges); the recorder
+	// keeps the slow and failed ones — or all of them with -trace-all —
+	// browsable at /debug/traces while the stream runs.
+	rate := 0.0
+	if *traceAll {
+		rate = 1.0
+	}
+	recorder := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+		Capacity: *traceBuf,
+		HeadRate: rate,
+	}, reg)
+
 	var server *telemetry.Server
 	if *telAddr != "" {
 		server, err = telemetry.NewServer(telemetry.ServerConfig{
-			Addr: *telAddr, Registry: reg, Logger: logs,
+			Addr: *telAddr, Registry: reg, Logger: logs, Recorder: recorder,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		go server.Serve()
 		defer server.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n", server.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace)\n", server.Addr())
 	}
 
 	fmt.Printf("stream: %s at %d px/frame, K=%d, %d frames\n", m, *speed, *k, *frames)
@@ -152,12 +167,16 @@ func main() {
 			}
 			tc = fmt.Sprintf("%.3f", c)
 		}
+		// Charge the accelerator model's cost of this exact frame onto its
+		// trace timeline (dram_charge / scratchpad_charge instants) as
+		// well as the aggregate counters.
+		tctx := telemetry.WithTrace(context.Background(), r.Trace)
 		mode := "cold"
 		if r.Warm {
 			mode = "warm"
-			hwm.ObserveReport(warmReport)
+			hwm.ObserveReportCtx(tctx, warmReport)
 		} else {
-			hwm.ObserveReport(coldReport)
+			hwm.ObserveReportCtx(tctx, coldReport)
 		}
 		fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s\n",
 			r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc)
@@ -180,7 +199,8 @@ func main() {
 		Workers: *workers, QueueDepth: *queue,
 		Params: params,
 		Warm:   !*cold, WarmIters: *warmIter,
-		Registry: reg, Logger: logs.Component("pipeline"),
+		Registry: reg, Recorder: recorder,
+		Logger: logs.Component("pipeline"),
 	}, stream.FrameInto, sink)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,237 @@
+package bench
+
+// The perf harness is the repo's benchmark trajectory: RunPerf measures
+// a fixed matrix of segmentation configurations with testing.Benchmark
+// and emits a machine-comparable JSON report (one BENCH_<stamp>.json
+// per run, written by cmd/sslic-bench -json). cmd/sslic-benchdiff
+// compares two reports and fails on regressions, so the performance
+// story of the codebase is a first-class, diffable artifact rather than
+// numbers pasted into commit messages. Wall-time metrics vary across
+// hosts; allocations and distance calculations are deterministic, which
+// is what CI gates on (benchdiff -skip-time).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"sslic/internal/dataset"
+	"sslic/internal/sslic"
+)
+
+// PerfSchema identifies the report format; bump on breaking changes so
+// benchdiff can refuse apples-to-oranges comparisons.
+const PerfSchema = "sslic-bench-perf/v1"
+
+// PerfResult is one configuration's measurement.
+type PerfResult struct {
+	// Name identifies the configuration ("ppa_r050" = PPA at ratio 0.5).
+	Name string `json:"name"`
+	// NsPerOp and FramesPerSec are wall-time (host-dependent).
+	NsPerOp      int64   `json:"ns_per_op"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// AllocsPerOp, BytesPerOp and DistanceCalcsPerFrame are deterministic
+	// for a given codebase — the metrics CI gates on.
+	AllocsPerOp           int64 `json:"allocs_per_op"`
+	BytesPerOp            int64 `json:"bytes_per_op"`
+	DistanceCalcsPerFrame int64 `json:"distance_calcs_per_frame"`
+	// Iterations is testing.Benchmark's b.N (how much signal is behind
+	// the wall-time numbers).
+	Iterations int `json:"iterations"`
+}
+
+// PerfReport is one full harness run.
+type PerfReport struct {
+	Schema    string `json:"schema"`
+	Stamp     string `json:"stamp,omitempty"` // RFC3339, filled by the caller
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Width, Height, K document the workload so reports from different
+	// settings never diff silently.
+	Width  int  `json:"width"`
+	Height int  `json:"height"`
+	K      int  `json:"k"`
+	Quick  bool `json:"quick,omitempty"`
+
+	Results []PerfResult `json:"results"`
+}
+
+// perfConfig is one cell of the measurement matrix: the paper's two
+// dataflow architectures crossed with the subsampling ratios its
+// energy/quality trade-off sweeps (§6's r = 1, 1/2, 1/4).
+type perfConfig struct {
+	name  string
+	arch  sslic.Arch
+	ratio float64
+}
+
+func perfConfigs() []perfConfig {
+	return []perfConfig{
+		{"ppa_r100", sslic.PPA, 1.0},
+		{"ppa_r050", sslic.PPA, 0.5},
+		{"ppa_r025", sslic.PPA, 0.25},
+		{"cpa_r050", sslic.CPA, 0.5},
+	}
+}
+
+// RunPerf measures every configuration against one deterministic
+// synthetic frame (dataset.DefaultConfig at seed 1 — the Berkeley-sized
+// scene the quality experiments use). quick shrinks the frame and K for
+// CI-speed runs; quick and full reports are marked and benchdiff
+// refuses to compare across the flag.
+func RunPerf(quick bool) (*PerfReport, error) {
+	cfg := dataset.DefaultConfig()
+	k := 256
+	if quick {
+		cfg.W, cfg.H = 240, 160
+		k = 64
+	}
+	sample, err := dataset.Generate(cfg, 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating perf frame: %w", err)
+	}
+
+	rep := &PerfReport{
+		Schema:    PerfSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Width:     cfg.W,
+		Height:    cfg.H,
+		K:         k,
+		Quick:     quick,
+	}
+	for _, c := range perfConfigs() {
+		p := sslic.DefaultParams(k, c.ratio)
+		p.Arch = c.arch
+		var calcs int64
+		var benchErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sslic.Segment(sample.Image, p)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				calcs = res.Stats.DistanceCalcs
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: perf config %s: %w", c.name, benchErr)
+		}
+		ns := br.NsPerOp()
+		fps := 0.0
+		if ns > 0 {
+			fps = 1e9 / float64(ns)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name:                  c.name,
+			NsPerOp:               ns,
+			FramesPerSec:          fps,
+			AllocsPerOp:           br.AllocsPerOp(),
+			BytesPerOp:            br.AllocedBytesPerOp(),
+			DistanceCalcsPerFrame: calcs,
+			Iterations:            br.N,
+		})
+	}
+	return rep, nil
+}
+
+// WritePerf serializes a report as indented JSON.
+func WritePerf(w io.Writer, r *PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadPerf reads a report file and validates its schema.
+func LoadPerf(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != PerfSchema {
+		return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, PerfSchema)
+	}
+	return &r, nil
+}
+
+// PerfDelta is one metric's base-vs-current comparison.
+type PerfDelta struct {
+	Config string  // configuration name
+	Metric string  // "ns_per_op", "allocs_per_op", ...
+	Base   float64 // baseline value
+	Cur    float64 // current value
+	Ratio  float64 // Cur / Base (regressions are > 1 + tolerance)
+}
+
+func (d PerfDelta) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%+.1f%%)",
+		d.Config, d.Metric, d.Base, d.Cur, (d.Ratio-1)*100)
+}
+
+// ComparePerf diffs two reports. It returns every per-config metric
+// delta, the subset that regressed beyond the tolerance (Cur/Base >
+// 1+tol; lower is better for every compared metric), and configs
+// present in the baseline but missing now (a silently dropped config
+// must fail the diff — it is how coverage erodes). skipTime excludes
+// the host-dependent wall-time metrics, leaving only the deterministic
+// ones — the mode CI runs in.
+func ComparePerf(base, cur *PerfReport, tol float64, skipTime bool) (all, regressions []PerfDelta, missing []string, err error) {
+	if base.Schema != cur.Schema {
+		return nil, nil, nil, fmt.Errorf("bench: schema mismatch: %q vs %q", base.Schema, cur.Schema)
+	}
+	if base.Quick != cur.Quick {
+		return nil, nil, nil, fmt.Errorf("bench: quick-mode mismatch: baseline quick=%v, current quick=%v", base.Quick, cur.Quick)
+	}
+	curBy := make(map[string]PerfResult, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Name] = r
+	}
+	for _, b := range base.Results {
+		c, ok := curBy[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		metrics := []struct {
+			name      string
+			base, cur float64
+			timeBased bool
+		}{
+			{"ns_per_op", float64(b.NsPerOp), float64(c.NsPerOp), true},
+			{"allocs_per_op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), false},
+			{"bytes_per_op", float64(b.BytesPerOp), float64(c.BytesPerOp), false},
+			{"distance_calcs_per_frame", float64(b.DistanceCalcsPerFrame), float64(c.DistanceCalcsPerFrame), false},
+		}
+		for _, m := range metrics {
+			if skipTime && m.timeBased {
+				continue
+			}
+			d := PerfDelta{Config: b.Name, Metric: m.name, Base: m.base, Cur: m.cur}
+			switch {
+			case m.base == 0 && m.cur == 0:
+				d.Ratio = 1
+			case m.base == 0:
+				d.Ratio = math.Inf(1)
+			default:
+				d.Ratio = m.cur / m.base
+			}
+			all = append(all, d)
+			if d.Ratio > 1+tol {
+				regressions = append(regressions, d)
+			}
+		}
+	}
+	return all, regressions, missing, nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func perfFixture(ns, allocs, calcs int64) *PerfReport {
+	return &PerfReport{
+		Schema: PerfSchema, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64",
+		Width: 240, Height: 160, K: 64, Quick: true,
+		Results: []PerfResult{
+			{Name: "ppa_r050", NsPerOp: ns, FramesPerSec: 1e9 / float64(ns),
+				AllocsPerOp: allocs, BytesPerOp: 1 << 20, DistanceCalcsPerFrame: calcs, Iterations: 10},
+		},
+	}
+}
+
+func TestPerfRoundTrip(t *testing.T) {
+	rep := perfFixture(1e6, 100, 5e5)
+	rep.Stamp = "2026-08-05T00:00:00Z"
+	var buf bytes.Buffer
+	if err := WritePerf(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPerf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != rep.Stamp || len(got.Results) != 1 || got.Results[0] != rep.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadPerfRejectsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, []byte(`{"schema":"other/v9"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPerf(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestComparePerf(t *testing.T) {
+	base := perfFixture(1_000_000, 100, 500_000)
+
+	// Identical report: no regressions.
+	_, reg, missing, err := ComparePerf(base, perfFixture(1_000_000, 100, 500_000), 0.10, false)
+	if err != nil || len(reg) != 0 || len(missing) != 0 {
+		t.Fatalf("identical diff: reg=%v missing=%v err=%v", reg, missing, err)
+	}
+
+	// 50% slower: ns_per_op regresses, deterministic metrics do not.
+	_, reg, _, err = ComparePerf(base, perfFixture(1_500_000, 100, 500_000), 0.10, false)
+	if err != nil || len(reg) != 1 || reg[0].Metric != "ns_per_op" {
+		t.Fatalf("slow diff: %v err=%v", reg, err)
+	}
+	// ... and -skip-time ignores it.
+	_, reg, _, err = ComparePerf(base, perfFixture(1_500_000, 100, 500_000), 0.10, true)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("skip-time diff: %v err=%v", reg, err)
+	}
+
+	// Alloc and distance-calc growth regress even with -skip-time.
+	_, reg, _, err = ComparePerf(base, perfFixture(1_000_000, 150, 600_000), 0.10, true)
+	if err != nil || len(reg) != 2 {
+		t.Fatalf("deterministic regressions: %v err=%v", reg, err)
+	}
+
+	// An improvement is never a regression.
+	_, reg, _, err = ComparePerf(base, perfFixture(500_000, 50, 400_000), 0.10, false)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("improvement flagged: %v err=%v", reg, err)
+	}
+
+	// A config present in base but absent now is reported missing.
+	cur := perfFixture(1_000_000, 100, 500_000)
+	cur.Results[0].Name = "renamed"
+	_, _, missing, err = ComparePerf(base, cur, 0.10, false)
+	if err != nil || len(missing) != 1 || missing[0] != "ppa_r050" {
+		t.Fatalf("missing = %v err=%v", missing, err)
+	}
+
+	// Quick and full reports must refuse to diff.
+	full := perfFixture(1_000_000, 100, 500_000)
+	full.Quick = false
+	if _, _, _, err := ComparePerf(base, full, 0.10, false); err == nil {
+		t.Fatal("quick/full mismatch accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package hw
 
 import (
+	"context"
+
 	"sslic/internal/energy"
 	"sslic/internal/telemetry"
 )
@@ -61,6 +63,16 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 // traffic, scratchpad activity, and per-component energy (the power
 // breakdown sustained for the frame's model time).
 func (m *Metrics) ObserveReport(r *Report) {
+	m.ObserveReportCtx(context.Background(), r)
+}
+
+// ObserveReportCtx is ObserveReport with trace tagging: when the
+// context carries a request/frame trace, the charge lands on its
+// timeline as two instant events — "dram_charge" (bytes, bursts) and
+// "scratchpad_charge" (on-chip accesses, energy) — so the accelerator
+// model's cost of exactly this frame is on the same Perfetto view as
+// its software phases.
+func (m *Metrics) ObserveReportCtx(ctx context.Context, r *Report) {
 	if m == nil || r == nil {
 		return
 	}
@@ -72,6 +84,16 @@ func (m *Metrics) ObserveReport(r *Report) {
 	m.chargeBreakdown(r.PowerBreakdown, r.TotalTime)
 	m.ModelFPS.Set(r.FPS)
 	m.ModelPower.Set(r.PowerWatts)
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		tr.Instant("dram_charge", "hw", map[string]any{
+			"bytes": r.TrafficBytes, "transfers": r.Transfers,
+			"model_fps": r.FPS,
+		})
+		tr.Instant("scratchpad_charge", "hw", map[string]any{
+			"accesses": r.ScratchAccesses, "power_watts": r.PowerWatts,
+			"model_seconds": r.TotalTime,
+		})
+	}
 }
 
 // chargeBreakdown charges a power breakdown sustained for one frame's
@@ -93,6 +115,12 @@ func (m *Metrics) chargeBreakdown(p PowerBreakdown, seconds float64) {
 // ObserveFuncSim accumulates per-frame deltas. Energy is charged as one
 // bottom-up total under the "funcsim" component.
 func (m *Metrics) ObserveFuncSim(fs *FuncSim) {
+	m.ObserveFuncSimCtx(context.Background(), fs)
+}
+
+// ObserveFuncSimCtx is ObserveFuncSim with trace tagging (see
+// ObserveReportCtx).
+func (m *Metrics) ObserveFuncSimCtx(ctx context.Context, fs *FuncSim) {
 	if m == nil || fs == nil {
 		return
 	}
@@ -106,6 +134,14 @@ func (m *Metrics) ObserveFuncSim(fs *FuncSim) {
 	}
 	m.ScratchMisses.Add(float64(bursts))
 	m.DRAMTransfers.Add(float64(bursts))
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		tr.Instant("dram_charge", "hw", map[string]any{
+			"bytes": fs.DRAMBytes, "transfers": bursts,
+		})
+		tr.Instant("scratchpad_charge", "hw", map[string]any{
+			"reads": fs.ScratchReads, "writes": fs.ScratchWrites,
+		})
+	}
 	m.Energy.Add("funcsim", fs.EnergyJoules(fs.cfg.Tech))
 	if t := fs.TimeSeconds(); t > 0 {
 		m.ModelFPS.Set(1 / t)

@@ -91,6 +91,13 @@ type Config struct {
 	// counters, so per-pipeline Stats are only meaningful with a
 	// dedicated registry.
 	Registry *telemetry.Registry
+	// Recorder, when set, gives every frame its own flight-recorder
+	// trace (ID "<run>-frame<index>"): render, queue waits, the segment
+	// stage with its per-subset-pass events, and in-order delivery all
+	// land on one timeline, fetchable from /debug/trace. The recorder's
+	// sampling decides which frames are kept; nil disables per-frame
+	// tracing entirely.
+	Recorder *telemetry.FlightRecorder
 	// Logger, when set, emits per-frame span trace events (stage
 	// start/end with the frame index) at debug level.
 	Logger *slog.Logger
@@ -120,13 +127,22 @@ type Result struct {
 	Warm bool
 	// SegLatency is the segment-stage service time for this frame.
 	SegLatency time.Duration
+	// Trace is the frame's flight-recorder trace (nil without a
+	// Config.Recorder). The sink may append events to it — e.g. the
+	// hardware model's charging ticks via telemetry.WithTrace — and the
+	// pipeline finishes it after the sink returns.
+	Trace *telemetry.Trace
+
+	enqueuedAt time.Time // when the result entered the sink queue
 }
 
 // task is a rendered frame travelling source → segment.
 type task struct {
-	index int
-	img   *imgio.Image
-	gt    *imgio.LabelMap
+	index    int
+	img      *imgio.Image
+	gt       *imgio.LabelMap
+	trace    *telemetry.Trace
+	enqueued time.Time
 }
 
 // Pipeline is a single-use frame pipeline: construct with New, drive
@@ -135,6 +151,7 @@ type Pipeline struct {
 	cfg    Config
 	render RenderFunc
 	sink   SinkFunc
+	runID  string // prefix of per-frame trace IDs
 
 	imgPool sync.Pool
 	lblPool sync.Pool
@@ -165,7 +182,7 @@ func New(cfg Config, render RenderFunc, sink SinkFunc) (*Pipeline, error) {
 		return nil, fmt.Errorf("pipeline: nil render or sink func")
 	}
 	cfg = cfg.withDefaults()
-	p := &Pipeline{cfg: cfg, render: render, sink: sink}
+	p := &Pipeline{cfg: cfg, render: render, sink: sink, runID: telemetry.NewTraceID()}
 	w, h := cfg.Width, cfg.Height
 	p.imgPool.New = func() any { return imgio.NewImage(w, h) }
 	p.lblPool.New = func() any { return imgio.NewLabelMap(w, h) }
@@ -261,10 +278,20 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			}
 			img := p.imgPool.Get().(*imgio.Image)
 			gt := p.lblPool.Get().(*imgio.LabelMap)
+			// Each frame gets its own trace; the recorder's sampling decides
+			// retention. The nil-recorder guard keeps the untraced hot path
+			// free of the ID formatting allocation.
+			var tr *telemetry.Trace
+			if p.cfg.Recorder != nil {
+				tr = p.cfg.Recorder.StartTrace(fmt.Sprintf("%s-frame%05d", p.runID, t), false)
+			}
+			tctx := telemetry.WithTrace(ctx, tr)
 			p.srcStats.arrive(0)
-			sp := p.srcStats.begin("frame", t)
+			sp := p.srcStats.beginCtx(tctx, "frame", t)
 			if err := p.render(t, img, gt); err != nil {
 				sp.Abort()
+				tr.SetError(err)
+				tr.Finish()
 				p.imgPool.Put(img)
 				p.lblPool.Put(gt)
 				p.fail(fmt.Errorf("pipeline: source frame %d: %w", t, err))
@@ -276,9 +303,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				q = queues[t%cfg.Workers]
 			}
 			select {
-			case q <- &task{index: t, img: img, gt: gt}:
+			case q <- &task{index: t, img: img, gt: gt, trace: tr, enqueued: time.Now()}:
 				p.srcStats.sent(len(q))
 			case <-ctx.Done():
+				tr.Finish()
 				p.imgPool.Put(img)
 				p.lblPool.Put(gt)
 				return
@@ -300,8 +328,10 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			// shard; only ever touched by this goroutine.
 			var prevCenters []slic.Center
 			for tk := range in {
+				p.segStats.waited(tk.trace, tk.enqueued)
 				if ctx.Err() != nil {
 					// Drain mode: the run is over, return buffers and move on.
+					tk.trace.Finish()
 					p.recycleTask(tk)
 					p.dropped.Inc()
 					continue
@@ -315,10 +345,13 @@ func (p *Pipeline) Run(ctx context.Context) error {
 					warm = true
 				}
 				params.LabelBuf = p.lblPool.Get().(*imgio.LabelMap)
-				sp := p.segStats.begin("frame", tk.index)
-				r, err := sslic.SegmentContext(ctx, tk.img, params)
+				tctx := telemetry.WithTrace(ctx, tk.trace)
+				sp := p.segStats.beginCtx(tctx, "frame", tk.index, "warm", warm)
+				r, err := sslic.SegmentContext(tctx, tk.img, params)
 				if err != nil {
 					sp.Abort()
+					tk.trace.SetError(err)
+					tk.trace.Finish()
 					p.lblPool.Put(params.LabelBuf)
 					p.recycleTask(tk)
 					// A frame aborted by the run's cancellation is a drain
@@ -342,11 +375,14 @@ func (p *Pipeline) Run(ctx context.Context) error {
 					Centers:    r.Centers,
 					Warm:       warm,
 					SegLatency: lat,
+					Trace:      tk.trace,
+					enqueuedAt: time.Now(),
 				}
 				select {
 				case results <- res:
 					p.segStats.sent(len(results))
 				case <-ctx.Done():
+					res.Trace.Finish()
 					p.Recycle(res)
 					p.dropped.Inc()
 				}
@@ -362,6 +398,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	pending := make(map[int]*Result)
 	next := 0
 	for res := range results {
+		p.snkStats.waited(res.Trace, res.enqueuedAt)
 		p.snkStats.arrive(len(results))
 		pending[res.Index] = res
 		p.reorderHW.SetMax(float64(len(pending)))
@@ -373,23 +410,29 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			delete(pending, next)
 			next++
 			if ctx.Err() != nil {
+				r.Trace.Finish()
 				p.Recycle(r)
 				p.dropped.Inc()
 				continue
 			}
-			sp := p.snkStats.begin("frame", r.Index)
+			sp := p.snkStats.beginCtx(telemetry.WithTrace(ctx, r.Trace), "frame", r.Index)
+			tr := r.Trace // the sink may recycle r; finish the trace after
 			if err := p.sink(r); err != nil {
 				sp.Abort()
+				tr.SetError(err)
+				tr.Finish()
 				p.fail(fmt.Errorf("pipeline: sink frame %d: %w", r.Index, err))
 				continue
 			}
 			sp.End()
+			tr.Finish()
 			p.snkStats.sent(0)
 			p.delivered.Inc()
 		}
 	}
 	// Out-of-order leftovers only exist after cancellation.
 	for _, r := range pending {
+		r.Trace.Finish()
 		p.Recycle(r)
 		p.dropped.Inc()
 	}

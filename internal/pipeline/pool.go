@@ -48,7 +48,10 @@ type Pool struct {
 	mu     sync.RWMutex
 	closed bool
 
+	depth      atomic.Int64 // authoritative queued-job count behind the gauges
 	queueDepth *telemetry.Gauge
+	queueHW    *telemetry.Gauge
+	queueWait  *telemetry.Histogram
 	admitted   *telemetry.Counter
 	rejected   *telemetry.Counter
 	warmJobs   *telemetry.Counter
@@ -136,9 +139,10 @@ var ErrPoolClosed = errors.New("pipeline: pool closed")
 
 // poolReq is one queued submission.
 type poolReq struct {
-	ctx   context.Context
-	job   Job
-	reply chan poolReply
+	ctx      context.Context
+	job      Job
+	enqueued time.Time
+	reply    chan poolReply
 }
 
 type poolReply struct {
@@ -162,6 +166,11 @@ func NewPool(cfg PoolConfig) *Pool {
 		shards: make([]chan *poolReq, cfg.Workers),
 		queueDepth: reg.Gauge("sslic_pool_queue_depth",
 			"Jobs admitted but not yet started, across all shards."),
+		queueHW: reg.Gauge("sslic_pool_queue_depth_high_water",
+			"Deepest the admission queues ever got, across all shards — the after-the-fact explanation for 429s."),
+		queueWait: reg.Histogram("sslic_pool_queue_wait_seconds",
+			"Time a job spent admitted but not yet started.",
+			[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}),
 		admitted: reg.Counter("sslic_pool_jobs_admitted_total",
 			"Jobs accepted into a shard queue."),
 		rejected: reg.Counter("sslic_pool_jobs_rejected_total",
@@ -216,7 +225,7 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	req := &poolReq{ctx: ctx, job: job, reply: make(chan poolReply, 1)}
+	req := &poolReq{ctx: ctx, job: job, enqueued: time.Now(), reply: make(chan poolReply, 1)}
 
 	// The RLock pairs with Close's Lock: it guarantees no Submit is
 	// mid-send on a channel Close is about to close.
@@ -229,7 +238,9 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
 	case p.shardFor(job.StreamID) <- req:
 		p.mu.RUnlock()
 		p.admitted.Inc()
-		p.queueDepth.Add(1)
+		d := float64(p.depth.Add(1))
+		p.queueDepth.Set(d)
+		p.queueHW.SetMax(d)
 	default:
 		p.mu.RUnlock()
 		p.rejected.Inc()
@@ -253,7 +264,13 @@ func (p *Pool) worker(in chan *poolReq) {
 	states := make(map[string]*warmState)
 	var order []string // insertion order for MaxStreams eviction
 	for req := range in {
-		p.queueDepth.Add(-1)
+		p.queueDepth.Set(float64(p.depth.Add(-1)))
+		wait := time.Since(req.enqueued)
+		p.queueWait.Observe(wait.Seconds())
+		if tr := telemetry.TraceFrom(req.ctx); tr != nil {
+			tr.Emit("queue_wait", "pool", req.enqueued, wait,
+				map[string]any{"stream": req.job.StreamID})
+		}
 		if err := req.ctx.Err(); err != nil {
 			req.reply <- poolReply{err: err}
 			continue
@@ -266,7 +283,7 @@ func (p *Pool) worker(in chan *poolReq) {
 			params.FullIters = p.cfg.WarmIters
 			warm = true
 		}
-		sp := p.spans.Start("stream", req.job.StreamID)
+		sp := p.spans.StartCtx(req.ctx, "stream", req.job.StreamID, "warm", warm)
 		r, err := p.runSegment(req.ctx, req.job.Image, params)
 		if err != nil {
 			sp.Abort()

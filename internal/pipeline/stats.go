@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math"
@@ -56,9 +57,11 @@ type Stats struct {
 // All writes are lock-free atomics; Stats is a thin view over the same
 // series a /metrics scrape reads.
 type stageMetrics struct {
-	in, out *telemetry.Counter
-	queueHW *telemetry.Gauge
-	spans   *telemetry.Spans
+	in, out   *telemetry.Counter
+	queueHW   *telemetry.Gauge
+	queueWait *telemetry.Histogram
+	stage     string
+	spans     *telemetry.Spans
 }
 
 func newStageMetrics(reg *telemetry.Registry, log *slog.Logger, stage string) *stageMetrics {
@@ -67,7 +70,11 @@ func newStageMetrics(reg *telemetry.Registry, log *slog.Logger, stage string) *s
 		in:      reg.Counter("sslic_pipeline_frames_in_total", "Frames a stage started processing.", lbl),
 		out:     reg.Counter("sslic_pipeline_frames_out_total", "Frames a stage finished and handed downstream.", lbl),
 		queueHW: reg.Gauge("sslic_pipeline_queue_high_water", "Deepest the stage's bounded queue ever got.", lbl),
-		spans:   telemetry.NewSpans(reg, "sslic_pipeline_stage", "Per-frame stage service time.", nil, log, lbl),
+		queueWait: reg.Histogram("sslic_pipeline_queue_wait_seconds",
+			"Time a frame spent queued before the stage picked it up.",
+			[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}, lbl),
+		stage: stage,
+		spans: telemetry.NewSpans(reg, "sslic_pipeline_stage", "Per-frame stage service time.", nil, log, lbl),
 	}
 }
 
@@ -77,10 +84,23 @@ func (m *stageMetrics) arrive(queueLen int) {
 	m.queueHW.SetMax(float64(queueLen))
 }
 
-// begin opens the stage's service-time span for one frame. End it when
-// the work succeeds, Abort it on the error path.
-func (m *stageMetrics) begin(attrs ...any) telemetry.Span {
-	return m.spans.Start(attrs...)
+// waited records how long a frame sat in the stage's incoming queue —
+// into the queue-wait histogram and, for traced frames, as a
+// queue_wait interval on the frame's timeline, so "slow frame" splits
+// into "waited" vs "worked" after the fact.
+func (m *stageMetrics) waited(tr *telemetry.Trace, enqueued time.Time) {
+	wait := time.Since(enqueued)
+	m.queueWait.Observe(wait.Seconds())
+	if tr != nil {
+		tr.Emit("queue_wait", "pipeline:"+m.stage, enqueued, wait, nil)
+	}
+}
+
+// beginCtx opens the stage's service-time span for one frame, bound to
+// the context's trace. End it when the work succeeds, Abort it on the
+// error path.
+func (m *stageMetrics) beginCtx(ctx context.Context, attrs ...any) telemetry.Span {
+	return m.spans.StartCtx(ctx, attrs...)
 }
 
 // sent counts a frame handed downstream and samples the queue depth.

@@ -91,6 +91,16 @@ type Config struct {
 	// Pass the same registry to a telemetry.Server to expose the series
 	// alongside pprof.
 	Registry *telemetry.Registry
+	// Recorder, when set, enables end-to-end request tracing: every
+	// /v1/segment request gets a trace (accepting a client X-Trace-Id or
+	// assigning one, echoed back in the response header) whose timeline
+	// covers decode → admission queue wait → every S-SLIC subset pass →
+	// encode. Finished traces are retained by the recorder's sampling —
+	// client-supplied IDs always, errors and slow requests always, plus
+	// a head-sampled fraction of the rest — and are fetchable from
+	// /debug/trace?id= on a telemetry.Server sharing this recorder. nil
+	// disables tracing.
+	Recorder *telemetry.FlightRecorder
 	// Logger, when set, logs request rejections and recovered panics.
 	Logger *slog.Logger
 }
@@ -212,6 +222,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cfg.Registry.WritePrometheus(w)
 }
 
+// startTrace opens the request's flight-recorder trace. A valid client
+// X-Trace-Id is honored and forces retention (the client asked for this
+// exact flight); anything else gets a generated ID. The ID in effect is
+// always echoed back in the X-Trace-Id response header so the client
+// can fetch /debug/trace?id= afterwards. Returns nil when tracing is
+// off — every Trace method no-ops on nil, so callers need no branches.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *telemetry.Trace {
+	if s.cfg.Recorder == nil {
+		return nil
+	}
+	id := r.Header.Get("X-Trace-Id")
+	forced := telemetry.ValidTraceID(id)
+	if !forced {
+		id = telemetry.NewTraceID()
+	}
+	w.Header().Set("X-Trace-Id", id)
+	return s.cfg.Recorder.StartTrace(id, forced)
+}
+
 // handleSegment is the core endpoint: decode → admit → segment → render.
 func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
@@ -219,64 +248,78 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
 		return
 	}
+	tr := s.startTrace(w, r)
+	defer tr.Finish()
+	// fail marks the trace failed (forcing tail retention — rejected
+	// flights are the interesting ones) and answers the error.
+	fail := func(reason string, code int, msg string) {
+		tr.SetError(fmt.Errorf("%s (HTTP %d): %s", reason, code, msg))
+		s.reject(w, reason, code, msg)
+	}
 	opts, err := parseOptions(s.cfg, r.URL.Query())
 	if err != nil {
-		s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+		fail("bad_request", http.StatusBadRequest, err.Error())
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	t0 := time.Now()
 	im, err := decodeFrame(body, r.Header.Get("Content-Type"), s.cfg.MaxPixels)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		switch {
 		case errors.As(err, &mbe):
-			s.reject(w, "too_large", http.StatusRequestEntityTooLarge,
+			fail("too_large", http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 		case errors.Is(err, imgio.ErrImageTooLarge):
-			s.reject(w, "too_large", http.StatusRequestEntityTooLarge,
+			fail("too_large", http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("frame exceeds the %d-pixel budget", s.cfg.MaxPixels))
 		default:
-			s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+			fail("bad_request", http.StatusBadRequest, err.Error())
 		}
 		return
 	}
+	if tr != nil {
+		tr.Emit("decode", "server", t0, time.Since(t0),
+			map[string]any{"width": im.W, "height": im.H})
+	}
 	params := s.paramsFor(opts)
 	if err := params.Validate(im.W, im.H); err != nil {
-		s.reject(w, "bad_request", http.StatusBadRequest, err.Error())
+		fail("bad_request", http.StatusBadRequest, err.Error())
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), opts.Timeout)
+	ctx, cancel := context.WithTimeout(telemetry.WithTrace(r.Context(), tr), opts.Timeout)
 	defer cancel()
 	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream})
 	if err != nil {
 		switch {
 		case errors.Is(err, pipeline.ErrSaturated):
 			w.Header().Set("Retry-After", "1")
-			s.reject(w, "saturated", http.StatusTooManyRequests, "segmentation queue full")
+			fail("saturated", http.StatusTooManyRequests, "segmentation queue full")
 		case errors.Is(err, pipeline.ErrPoolClosed):
 			w.Header().Set("Retry-After", "5")
-			s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
+			fail("draining", http.StatusServiceUnavailable, "service draining")
 		case errors.Is(err, context.DeadlineExceeded):
-			s.reject(w, "deadline", http.StatusGatewayTimeout, "request deadline exceeded")
+			fail("deadline", http.StatusGatewayTimeout, "request deadline exceeded")
 		case errors.Is(err, context.Canceled):
 			// The client went away; 499 is the de-facto convention for
 			// logging a client-closed request (nothing reads the body).
-			s.reject(w, "canceled", 499, "client canceled request")
+			fail("canceled", 499, "client canceled request")
 		default:
-			s.reject(w, "internal", http.StatusInternalServerError, err.Error())
+			fail("internal", http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
-	s.writeResult(w, opts, im, res)
+	s.writeResult(w, opts, im, res, tr)
 }
 
 // writeResult renders the segmentation in the requested format.
-func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult) {
+func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult, tr *telemetry.Trace) {
 	labels := res.Result.Labels
 	h := w.Header()
 	h.Set("X-Sslic-Warm", strconv.FormatBool(res.Warm))
 	h.Set("X-Sslic-Seconds", strconv.FormatFloat(res.Latency.Seconds(), 'f', 6, 64))
+	t0 := time.Now()
 	var err error
 	switch opts.Format {
 	case formatLabels:
@@ -297,9 +340,16 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 			err = imgio.EncodePPM(w, out)
 		}
 	}
-	if err != nil && s.cfg.Logger != nil {
-		// The status line is gone; all we can do is log the broken write.
-		s.cfg.Logger.Debug("response write failed", "err", err)
+	if tr != nil {
+		tr.Emit("encode", "server", t0, time.Since(t0),
+			map[string]any{"format": opts.Format, "warm": res.Warm})
+	}
+	if err != nil {
+		tr.SetError(fmt.Errorf("response write failed: %w", err))
+		if s.cfg.Logger != nil {
+			// The status line is gone; all we can do is log the broken write.
+			s.cfg.Logger.Debug("response write failed", "err", err)
+		}
 	}
 }
 

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sslic/internal/telemetry"
+)
+
+// TestTraceEndToEnd drives a real request through the whole stack and
+// replays its flight-recorder trace: the client-supplied X-Trace-Id
+// must round-trip through the response header, and the stored timeline
+// must cover decode → admission queue wait → every subset pass →
+// encode, with exactly iters × subsets pass events.
+func TestTraceEndToEnd(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{Capacity: 16}, nil)
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 2, Recorder: fr})
+
+	const (
+		traceID = "e2e-trace-1"
+		iters   = 3
+		subsets = 2 // ratio=0.5
+	)
+	body := ppmBody(t, testFrame(64, 48))
+	req, err := http.NewRequest("POST", ts.URL+"/v1/segment?k=24&ratio=0.5&iters=3", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("X-Trace-Id round-trip: got %q, want %q", got, traceID)
+	}
+
+	// The trace is finished by the handler before the response body is
+	// closed, so it must be in the recorder now (forced retention).
+	td := fr.Lookup(traceID)
+	if td == nil {
+		t.Fatal("client-forced trace not in the flight recorder")
+	}
+	if td.Status != "ok" {
+		t.Fatalf("trace status %q err %q", td.Status, td.Err)
+	}
+	counts := map[string]int{}
+	var passTrack string
+	for _, ev := range td.Events {
+		counts[ev.Name]++
+		if ev.Name == "pass" {
+			passTrack = ev.Track
+			if ev.Args["arch"] != "PPA" {
+				t.Fatalf("pass arch = %v", ev.Args["arch"])
+			}
+			if ev.Args["distance_calcs"] == nil || ev.Args["residual"] == nil {
+				t.Fatalf("pass event missing attrs: %v", ev.Args)
+			}
+		}
+	}
+	if counts["pass"] != iters*subsets {
+		t.Fatalf("pass events = %d, want iters×subsets = %d", counts["pass"], iters*subsets)
+	}
+	if passTrack != "sslic" {
+		t.Fatalf("pass track = %q", passTrack)
+	}
+	for _, want := range []string{"decode", "queue_wait", "encode", "colorconv"} {
+		if counts[want] != 1 {
+			t.Fatalf("%s events = %d, want 1 (all: %v)", want, counts[want], counts)
+		}
+	}
+
+	// The same timeline must come back over /debug/trace as valid Chrome
+	// trace_event JSON with the same pass count.
+	rec := newTraceRecorder(t, fr, traceID)
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec, &chrome); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	passes := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Name == "pass" {
+			passes++
+		}
+	}
+	if passes != iters*subsets {
+		t.Fatalf("/debug/trace pass events = %d, want %d", passes, iters*subsets)
+	}
+}
+
+// newTraceRecorder fetches one trace through the exported handler.
+func newTraceRecorder(t *testing.T, fr *telemetry.FlightRecorder, id string) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	telemetry.TraceHandler(fr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+id, nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+// TestTraceGeneratedID: without a client ID the server assigns one and
+// echoes it; an invalid client ID is replaced, never echoed back.
+func TestTraceGeneratedID(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{Capacity: 16, HeadRate: 1}, nil)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Recorder: fr})
+	body := ppmBody(t, testFrame(32, 24))
+
+	resp, err := http.Post(ts.URL+"/v1/segment?k=8&iters=1", "", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Trace-Id")
+	if !telemetry.ValidTraceID(id) {
+		t.Fatalf("generated X-Trace-Id %q invalid", id)
+	}
+	if fr.Lookup(id) == nil {
+		t.Fatalf("HeadRate 1 trace %q not retained", id)
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/segment?k=8&iters=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "bad id with spaces!")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	got := resp.Header.Get("X-Trace-Id")
+	if got == "bad id with spaces!" || !telemetry.ValidTraceID(got) {
+		t.Fatalf("invalid client ID echoed as %q", got)
+	}
+}
+
+// TestTraceRejectedRequest: rejected requests are errors, so they are
+// tail-kept even without head sampling and record the rejection reason.
+func TestTraceRejectedRequest(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{Capacity: 16}, nil)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Recorder: fr})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/segment?k=notanumber",
+		bytes.NewReader(ppmBody(t, testFrame(16, 16))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "rejected-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	td := fr.Lookup("rejected-1")
+	if td == nil {
+		t.Fatal("rejected request's trace missing")
+	}
+	if td.Status != "error" {
+		t.Fatalf("status %q, want error", td.Status)
+	}
+	if td.Err == "" {
+		t.Fatal("trace error message empty")
+	}
+}
+
+// TestTraceDisabled: with no recorder the server must not set the
+// header and must behave exactly as before.
+func TestTraceDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	resp, err := http.Post(ts.URL+"/v1/segment?k=8&iters=1", "",
+		bytes.NewReader(ppmBody(t, testFrame(32, 24))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("X-Trace-Id %q set with tracing disabled", got)
+	}
+}
+
+// TestTraceQueueWaitObservable: the pool's queue-wait interval must be
+// attributed to the request's own timeline (not just the histogram), so
+// a 429-adjacent latency spike is explainable per request after the
+// fact.
+func TestTraceQueueWaitObservable(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{Capacity: 16}, nil)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Recorder: fr})
+	body := ppmBody(t, testFrame(64, 48))
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/segment?k=24&iters=2", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "qw-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	td := fr.Lookup("qw-1")
+	if td == nil {
+		t.Fatal("trace missing")
+	}
+	var wait *time.Duration
+	for _, ev := range td.Events {
+		if ev.Name == "queue_wait" && ev.Track == "pool" {
+			d := ev.Dur
+			wait = &d
+		}
+	}
+	if wait == nil {
+		t.Fatalf("no pool queue_wait event on the timeline: %+v", td.Events)
+	}
+	if *wait < 0 || *wait > time.Minute {
+		t.Fatalf("queue_wait duration %v implausible", *wait)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
+	"sslic/internal/telemetry"
 )
 
 // segmentCPA runs the center perspective architecture of §4.2: the
@@ -20,11 +21,13 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := telemetry.TraceFrom(ctx)
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
 	p.Datapath.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
+	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
 
 	t0 = time.Now()
 	centers := slic.InitCenters(lab, p.K, p.PerturbCenters)
@@ -51,6 +54,8 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 			return nil, err
 		}
 		subset := pass % k
+		passStart := time.Now()
+		calcsBefore := st.DistanceCalcs
 
 		// Distance decay: because centers move between passes, retained
 		// minima go slightly stale; original SLIC resets the buffer every
@@ -98,9 +103,18 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		st.UpdateTime += time.Since(t0)
 		st.SubsetPasses = pass + 1
 		st.Iterations = (pass + k) / k
-		st.MoveHistory = append(st.MoveHistory, move/float64(maxInt(1, len(centers)/k)))
+		residual := move / float64(maxInt(1, len(centers)/k))
+		st.MoveHistory = append(st.MoveHistory, residual)
+		passDur := time.Since(passStart)
+		p.Metrics.observePass(passDur, pass, totalPasses, residual)
+		if tr != nil {
+			tr.Emit("pass", "sslic", passStart, passDur, map[string]any{
+				"pass": pass, "subset": subset, "arch": "CPA",
+				"distance_calcs": st.DistanceCalcs - calcsBefore, "residual": residual,
+			})
+		}
 
-		if p.Threshold > 0 && move/float64(maxInt(1, len(centers)/k)) < p.Threshold {
+		if p.Threshold > 0 && residual < p.Threshold {
 			st.Converged = true
 			break
 		}
@@ -123,6 +137,7 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	if p.EnforceConnectivity {
 		minSize := int(s*s) / maxInt(1, p.MinRegionDivisor)
 		slic.EnforceConnectivity(labels, minSize)
+		tr.Emit("connectivity", "sslic", t0, time.Since(t0), nil)
 	}
 	st.OtherTime = time.Since(t0)
 

@@ -29,6 +29,7 @@ import (
 
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
+	"sslic/internal/telemetry"
 )
 
 // Arch selects the dataflow architecture of §4.2.
@@ -274,11 +275,16 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The request trace rides the context: each phase below lands one
+	// event on the frame's timeline. A nil trace (the untraced hot path)
+	// costs one pointer check per phase.
+	tr := telemetry.TraceFrom(ctx)
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
 	p.Datapath.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
+	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
 
 	t0 = time.Now()
 	tiling := NewTiling(im.W, im.H, p.K)
@@ -305,6 +311,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		}
 	}
 	st.InitTime = time.Since(t0)
+	tr.Emit("init", "sslic", t0, st.InitTime, nil)
 
 	s := slic.GridInterval(im.W, im.H, p.K)
 	invS2 := p.Compactness * p.Compactness / (s * s)
@@ -357,10 +364,19 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		st.UpdateTime += time.Since(t0)
 		st.SubsetPasses = pass + 1
 		st.Iterations = (pass + k) / k
-		st.MoveHistory = append(st.MoveHistory, move/float64(len(centers)))
-		p.Metrics.observePass(time.Since(passStart), pass, totalPasses, move/float64(len(centers)))
+		residual := move / float64(len(centers))
+		st.MoveHistory = append(st.MoveHistory, residual)
+		passDur := time.Since(passStart)
+		p.Metrics.observePass(passDur, pass, totalPasses, residual)
+		if tr != nil {
+			tr.Emit("pass", "sslic", passStart, passDur, map[string]any{
+				"pass": pass, "subset": subset, "arch": "PPA",
+				"distance_calcs": calcs, "residual": residual,
+				"skipped_tiles": skipped,
+			})
+		}
 
-		if p.Threshold > 0 && move/float64(len(centers)) < p.Threshold {
+		if p.Threshold > 0 && residual < p.Threshold {
 			st.Converged = true
 			break
 		}
@@ -373,6 +389,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	if p.EnforceConnectivity {
 		minSize := int(s*s) / maxInt(1, p.MinRegionDivisor)
 		slic.EnforceConnectivity(labels, minSize)
+		tr.Emit("connectivity", "sslic", t0, time.Since(t0), nil)
 	}
 	st.OtherTime = time.Since(t0)
 

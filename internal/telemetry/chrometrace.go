@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: a stored trace rendered in the JSON format
+// chrome://tracing and Perfetto load directly, so a full frame timeline
+// (decode → queue wait → every subset pass → encode, with the hardware
+// model's charging ticks) is visually inspectable without bespoke
+// tooling. Format reference: the Trace Event Format document the
+// Catapult project publishes; we emit the JSON-object form with
+// "traceEvents" plus thread-name metadata, using complete ("X") events
+// for intervals and instant ("i") events for point annotations.
+
+// chromeEvent is one trace_event entry. Field order here fixes the JSON
+// key order, which the golden test relies on.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds since trace start
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the stored trace as Chrome trace_event JSON.
+// Timestamps are microseconds relative to the trace start; each Track
+// becomes a named thread so Perfetto shows one row per layer (server,
+// pool, sslic, hw). Events are ordered by start time, the trace's
+// overall interval first.
+func WriteChromeTrace(w io.Writer, td *TraceData) error {
+	// Stable track → tid assignment: tracks sorted by first appearance
+	// keep the export deterministic for golden comparison.
+	tids := map[string]int{}
+	var trackNames []string
+	tidFor := func(track string) int {
+		if track == "" {
+			track = "trace"
+		}
+		if id, ok := tids[track]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[track] = id
+		trackNames = append(trackNames, track)
+		return id
+	}
+
+	events := append([]TraceEvent(nil), td.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start.Before(events[j].Start) })
+
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+
+	// The whole-trace interval anchors the timeline on its own row.
+	rootDur := td.Dur.Microseconds()
+	rootArgs := map[string]any{"status": td.Status}
+	if td.Err != "" {
+		rootArgs["err"] = td.Err
+	}
+	if td.Dropped > 0 {
+		rootArgs["dropped_events"] = td.Dropped
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "trace " + td.ID, Phase: "X", TS: 0, Dur: &rootDur,
+		PID: 1, TID: tidFor("trace"), Args: rootArgs,
+	})
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Track,
+			TS:   ev.Start.Sub(td.Start).Microseconds(),
+			PID:  1,
+			TID:  tidFor(ev.Track),
+			Args: ev.Args,
+		}
+		if ev.Dur > 0 {
+			d := ev.Dur.Microseconds()
+			ce.Phase = "X"
+			ce.Dur = &d
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	// Thread-name metadata lines let the viewer label each row.
+	for _, track := range trackNames {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

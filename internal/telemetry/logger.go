@@ -74,7 +74,8 @@ func (l *Logger) levelVar(component string) *slog.LevelVar {
 	return lv
 }
 
-// componentHandler gates an inner handler on a component's LevelVar.
+// componentHandler gates an inner handler on a component's LevelVar and
+// stamps trace-context correlation onto every record.
 type componentHandler struct {
 	inner slog.Handler
 	level *slog.LevelVar
@@ -84,7 +85,13 @@ func (h *componentHandler) Enabled(_ context.Context, lvl slog.Level) bool {
 	return lvl >= h.level.Level()
 }
 
+// Handle appends trace_id when the record was logged under an active
+// trace (a *Context logging call whose ctx carries one), so log lines
+// and flight-recorder traces cross-reference both ways.
 func (h *componentHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tr := TraceFrom(ctx); tr != nil {
+		r.AddAttrs(slog.String("trace_id", tr.ID()))
+	}
 	return h.inner.Handle(ctx, r)
 }
 

@@ -50,6 +50,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(bw, f.name, "_bucket", s.labels, "+Inf", float64(cum))
 				writeSample(bw, f.name, "_sum", s.labels, "", snap.Sum)
 				writeSample(bw, f.name, "_count", s.labels, "", float64(snap.Count))
+				if ex := snap.Exemplar; ex != nil {
+					// Rendered as a plain comment (the 0.0.4 text format has
+					// no exemplar syntax): parsers skip it, humans and the
+					// golden test read the slowest observation's trace ID.
+					bw.WriteString("# exemplar ")
+					bw.WriteString(f.name)
+					bw.WriteString(` trace_id="`)
+					bw.WriteString(escapeLabelValue(ex.TraceID))
+					bw.WriteString(`" value=`)
+					bw.WriteString(formatFloat(ex.Value))
+					bw.WriteByte('\n')
+				}
 			}
 		}
 	}

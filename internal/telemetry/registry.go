@@ -138,6 +138,17 @@ type Histogram struct {
 	sum    atomicFloat
 	min    atomicFloat
 	max    atomicFloat
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram's slowest observation to the trace that
+// produced it, so a bad p99 on a scrape leads directly to a stored
+// flight-recorder trace instead of a grep through logs.
+type Exemplar struct {
+	// Value is the observed value (seconds for latency histograms).
+	Value float64
+	// TraceID identifies the trace that produced the observation.
+	TraceID string
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -171,6 +182,29 @@ func (h *Histogram) Observe(v float64) {
 	h.max.storeMax(v)
 }
 
+// ObserveExemplar records v like Observe and, when traceID is non-empty
+// and v is the largest exemplar-carrying observation so far, attaches
+// it as the histogram's exemplar. The update is a CAS loop on a
+// pointer, so the hot path stays lock-free.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	for {
+		old := h.ex.Load()
+		if old != nil && old.Value >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &Exemplar{Value: v, TraceID: traceID}) {
+			return
+		}
+	}
+}
+
+// ClearExemplar drops the stored exemplar (tests and counter resets).
+func (h *Histogram) ClearExemplar() { h.ex.Store(nil) }
+
 // HistogramSnapshot is a point-in-time read of a histogram.
 type HistogramSnapshot struct {
 	// Count and Sum are the observation count and value sum.
@@ -184,6 +218,9 @@ type HistogramSnapshot struct {
 	// holding the overflow (+Inf) bucket.
 	Bounds []float64
 	Counts []uint64
+	// Exemplar is the slowest trace-linked observation, nil when no
+	// traced observation has been recorded.
+	Exemplar *Exemplar
 }
 
 // Mean returns Sum/Count, or 0 when empty.
@@ -210,6 +247,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Min = h.min.Load()
 		s.Max = h.max.Load()
 	}
+	s.Exemplar = h.ex.Load()
 	return s
 }
 

@@ -16,6 +16,9 @@ type ServerConfig struct {
 	Addr string
 	// Registry backs /metrics; required.
 	Registry *Registry
+	// Recorder, when set, backs /debug/trace and /debug/traces so stored
+	// flight-recorder traces are fetchable by ID.
+	Recorder *FlightRecorder
 	// Logger, when set, logs server lifecycle events under the
 	// "telemetry" component.
 	Logger *Logger
@@ -27,8 +30,12 @@ type ServerConfig struct {
 //	/healthz       200 "ok" liveness probe
 //	/debug/vars    expvar JSON (stdlib expvars plus the registry bridge)
 //	/debug/pprof/  the full net/http/pprof suite (profile, heap, trace, …)
+//	/debug/traces  recent flight-recorder traces (JSON summaries)
+//	/debug/trace   one stored trace by ?id=, as Chrome trace_event JSON
+//	               (loadable in chrome://tracing / Perfetto) or ?format=json
 //
-// so a live stream can be scraped and CPU-profiled at the same time.
+// so a live stream can be scraped, CPU-profiled and trace-replayed at
+// the same time.
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
@@ -57,6 +64,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.Recorder != nil {
+		mux.Handle("/debug/trace", TraceHandler(cfg.Recorder))
+		mux.Handle("/debug/traces", TraceListHandler(cfg.Recorder))
+	}
 	// The pprof handlers are registered explicitly: this mux is private,
 	// so nothing leaks onto http.DefaultServeMux.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

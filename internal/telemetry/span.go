@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"log/slog"
+	"strings"
 	"time"
 )
 
@@ -12,12 +13,19 @@ import (
 // one labeled series set (e.g. stage="segment"), so a stall in one
 // pipeline stage is visible from the endpoint alone: its in-flight gauge
 // sticks above zero while its completion count stops moving.
+//
+// Spans are trace-aware: StartCtx binds the span to the context's
+// request trace, so ending it both appends an interval event to the
+// flight recorder and stamps the histogram's exemplar when the span is
+// the slowest traced observation so far — the link from a bad p99 on a
+// scrape to the exact stored trace that caused it.
 type Spans struct {
 	hist     *Histogram
 	inflight *Gauge
 	started  *Counter
 	log      *slog.Logger // nil disables trace events
 	name     string
+	track    string
 }
 
 // NewSpans registers the span family's metrics under name: a histogram
@@ -31,7 +39,25 @@ func NewSpans(reg *Registry, name, help string, buckets []float64, log *slog.Log
 		started:  reg.Counter(name+"_started_total", "Spans started.", labels...),
 		log:      log,
 		name:     name,
+		track:    trackOf(name, labels),
 	}
+}
+
+// trackOf derives the flight-recorder track from the metric name: the
+// component token after the "sslic_" prefix ("sslic_pool_job" → "pool"),
+// refined by a stage label when present so pipeline stages land on
+// separate timeline rows.
+func trackOf(name string, labels []Label) string {
+	track := strings.TrimPrefix(name, "sslic_")
+	if i := strings.IndexByte(track, '_'); i > 0 {
+		track = track[:i]
+	}
+	for _, l := range labels {
+		if l.Name == "stage" {
+			track += ":" + l.Value
+		}
+	}
+	return track
 }
 
 // Snapshot reads the underlying latency histogram.
@@ -45,40 +71,83 @@ type Span struct {
 	family *Spans
 	t0     time.Time
 	attrs  []any
+	trace  *Trace
 }
 
-// Start opens a span. The attrs are slog key-value pairs attached to the
-// optional trace events only (e.g. "frame", 42) — they do not create
-// metric series, so unbounded values like frame indices are safe.
+// Start opens an untraced span. The attrs are slog key-value pairs
+// attached to the optional trace events only (e.g. "frame", 42) — they
+// do not create metric series, so unbounded values like frame indices
+// are safe.
 func (s *Spans) Start(attrs ...any) Span {
+	return s.StartCtx(context.Background(), attrs...)
+}
+
+// StartCtx opens a span bound to the context's trace (if any): ending
+// it appends an interval event to that trace and carries the trace ID
+// into slog lines and the histogram exemplar.
+func (s *Spans) StartCtx(ctx context.Context, attrs ...any) Span {
 	s.started.Inc()
 	s.inflight.Add(1)
-	if s.log != nil && s.log.Enabled(context.Background(), slog.LevelDebug) {
-		s.log.Debug("span start", append([]any{"span", s.name}, attrs...)...)
+	if s.log != nil && s.log.Enabled(ctx, slog.LevelDebug) {
+		s.log.DebugContext(ctx, "span start", append([]any{"span", s.name}, attrs...)...)
 	}
-	return Span{family: s, t0: time.Now(), attrs: attrs}
+	return Span{family: s, t0: time.Now(), attrs: attrs, trace: TraceFrom(ctx)}
 }
 
-// End closes the span, records its duration into the histogram, and
-// returns it.
+// End closes the span, records its duration into the histogram (with
+// the trace ID as exemplar for traced spans), emits the trace event,
+// and returns the duration.
 func (sp Span) End() time.Duration {
 	d := time.Since(sp.t0)
 	f := sp.family
 	f.inflight.Add(-1)
-	f.hist.Observe(d.Seconds())
+	f.hist.ObserveExemplar(d.Seconds(), sp.trace.ID())
+	if sp.trace != nil {
+		sp.trace.Emit(f.name, f.track, sp.t0, d, attrsToArgs(sp.attrs))
+	}
 	if f.log != nil && f.log.Enabled(context.Background(), slog.LevelDebug) {
-		f.log.Debug("span end", append([]any{"span", f.name, "seconds", d.Seconds()}, sp.attrs...)...)
+		ctx := WithTrace(context.Background(), sp.trace)
+		f.log.DebugContext(ctx, "span end", append([]any{"span", f.name, "seconds", d.Seconds()}, sp.attrs...)...)
 	}
 	return d
 }
 
 // Abort closes the span without recording a duration — for error paths
 // where the measured work did not complete. The in-flight gauge is
-// decremented so it keeps reflecting open work.
+// decremented so it keeps reflecting open work; traced spans still emit
+// the interval event, flagged aborted, so failed work stays visible on
+// the timeline.
 func (sp Span) Abort() {
 	f := sp.family
 	f.inflight.Add(-1)
-	if f.log != nil && f.log.Enabled(context.Background(), slog.LevelDebug) {
-		f.log.Debug("span abort", append([]any{"span", f.name}, sp.attrs...)...)
+	if sp.trace != nil {
+		args := attrsToArgs(sp.attrs)
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["aborted"] = true
+		sp.trace.Emit(f.name, f.track, sp.t0, time.Since(sp.t0), args)
 	}
+	if f.log != nil && f.log.Enabled(context.Background(), slog.LevelDebug) {
+		ctx := WithTrace(context.Background(), sp.trace)
+		f.log.DebugContext(ctx, "span abort", append([]any{"span", f.name}, sp.attrs...)...)
+	}
+}
+
+// attrsToArgs converts slog-style alternating key-value attrs into the
+// trace event's args map. Returns nil for empty attrs so untraced spans
+// allocate nothing.
+func attrsToArgs(attrs []any) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs)/2)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		k, ok := attrs[i].(string)
+		if !ok {
+			continue
+		}
+		args[k] = attrs[i+1]
+	}
+	return args
 }

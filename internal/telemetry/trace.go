@@ -1,0 +1,395 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing is the per-request half of the observability layer: where the
+// registry answers "how is the fleet doing in aggregate", a trace
+// answers "where inside THIS slow frame did the time go". Every request
+// (or pipeline frame) carries a Trace through its context.Context; each
+// layer it crosses — HTTP decode, admission queue, every S-SLIC subset
+// pass, the hardware model's DRAM charging — appends timestamped events
+// to it. Finished traces land in a FlightRecorder: an always-on,
+// fixed-memory ring that overwrites the oldest trace, so the last N
+// interesting requests are reconstructable after the fact without any
+// external collector.
+//
+// Sampling is two-sided. Head sampling is decided at trace creation
+// from a deterministic hash of the ID, so a fixed fraction of ordinary
+// traffic is always retained. Tail sampling is decided at Finish:
+// traces that errored or exceeded the slow threshold are kept
+// regardless of the head decision — the whole point of a flight
+// recorder is that the bad flight is on it. Client-forced traces
+// (an explicit X-Trace-Id) are always kept.
+
+// TraceEvent is one timestamped occurrence inside a trace. Dur == 0
+// marks an instant event (a point annotation, e.g. a DRAM charge);
+// Dur > 0 marks a completed interval.
+type TraceEvent struct {
+	// Name identifies the operation: "decode", "queue_wait", "pass", …
+	Name string `json:"name"`
+	// Track groups events onto one timeline row in the Chrome export:
+	// "server", "pool", "sslic", "hw", …
+	Track string `json:"track"`
+	// Start is the event's wall-clock start.
+	Start time.Time `json:"start"`
+	// Dur is the interval length; 0 for instant events.
+	Dur time.Duration `json:"dur_ns"`
+	// Args carry event-specific attributes (pass index, byte counts, …).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// maxEventsPerTrace bounds one trace's memory. A 1080p request at the
+// paper's settings emits ~1 event per subset pass (≤ iters × subsets,
+// typically ≤ 40) plus a handful of framing events, so 4096 leaves two
+// orders of magnitude of headroom before dropping.
+const maxEventsPerTrace = 4096
+
+// Trace is one live request's event collector. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so instrumented code
+// needs no "is tracing on" branches.
+type Trace struct {
+	id       string
+	rec      *FlightRecorder
+	start    time.Time
+	forced   bool
+	headKeep bool
+
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int
+	errMsg  string
+
+	finished atomic.Bool
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Emit appends one interval event. Safe from any goroutine; silently
+// drops (and counts) events beyond the per-trace cap.
+func (t *Trace) Emit(name, track string, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= maxEventsPerTrace {
+		t.dropped++
+	} else {
+		t.events = append(t.events, TraceEvent{Name: name, Track: track, Start: start, Dur: dur, Args: args})
+	}
+	t.mu.Unlock()
+}
+
+// Instant appends a zero-duration point event at the current time.
+func (t *Trace) Instant(name, track string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(name, track, time.Now(), 0, args)
+}
+
+// SetError marks the trace as failed, which forces tail retention.
+func (t *Trace) SetError(err error) {
+	if t == nil || err == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.errMsg == "" {
+		t.errMsg = err.Error()
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace and hands it to the recorder, which decides
+// whether to keep it. Idempotent; only the first call records.
+func (t *Trace) Finish() {
+	if t == nil || t.rec == nil {
+		return
+	}
+	if !t.finished.CompareAndSwap(false, true) {
+		return
+	}
+	t.rec.finish(t)
+}
+
+// traceKey is the context key carrying a *Trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace. A nil trace returns
+// ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the context's trace, or nil when untraced. The nil
+// result is safe to use directly: every Trace method no-ops on nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// idRand is a per-process random prefix so trace IDs from different
+// processes (or restarts) cannot collide; idSeq disambiguates within
+// the process.
+var (
+	idRand = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano())
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewTraceID returns a process-unique 16-hex-digit trace identifier.
+func NewTraceID() string {
+	return fmt.Sprintf("%08x%08x", uint32(idRand), uint32(idSeq.Add(1))+uint32(idRand>>32))
+}
+
+// ValidTraceID reports whether a client-supplied trace ID is acceptable:
+// 1–64 bytes over [A-Za-z0-9._:-], the same alphabet as stream IDs, so
+// an ID is always safe to echo into headers, logs and label values.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TraceData is a finished, immutable trace as stored by the recorder.
+type TraceData struct {
+	ID     string        `json:"id"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Status string        `json:"status"` // "ok" or "error"
+	Err    string        `json:"err,omitempty"`
+	// Dropped counts events lost to the per-trace cap.
+	Dropped int          `json:"dropped,omitempty"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// TraceSummary is the listing row /debug/traces serves.
+type TraceSummary struct {
+	ID     string        `json:"id"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Status string        `json:"status"`
+	Events int           `json:"events"`
+}
+
+// FlightRecorderConfig sizes a FlightRecorder.
+type FlightRecorderConfig struct {
+	// Capacity is the number of finished traces retained; the oldest is
+	// overwritten beyond it. <= 0 selects 256.
+	Capacity int
+	// HeadRate is the fraction of ordinary (non-forced, non-slow,
+	// non-error) traces kept, in [0, 1]. 0 keeps none of them; 1 keeps
+	// all. The decision is a deterministic hash of the trace ID.
+	HeadRate float64
+	// SlowThreshold is the tail-sampling latency bound: finished traces
+	// at or above it are always kept. <= 0 selects 100ms (a third of the
+	// paper's 33ms frame budget would trace every frame; 100ms flags
+	// clear outliers without flooding the ring on slow hosts).
+	SlowThreshold time.Duration
+}
+
+func (c FlightRecorderConfig) withDefaults() FlightRecorderConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	return c
+}
+
+// FlightRecorder is the fixed-memory ring of finished traces. Event
+// appends never touch the recorder lock (they take only the owning
+// trace's mutex); the recorder lock is held briefly at Finish, Lookup
+// and Recent.
+type FlightRecorder struct {
+	cfg FlightRecorderConfig
+
+	mu   sync.Mutex
+	ring []*TraceData // fixed capacity, nil until filled
+	next int          // ring insertion cursor
+	byID map[string]*TraceData
+
+	started  *Counter
+	kept     *Counter
+	discards *Counter
+}
+
+// NewFlightRecorder builds a recorder. The optional registry receives
+// its bookkeeping counters (traces started / kept / discarded); nil
+// skips registration.
+func NewFlightRecorder(cfg FlightRecorderConfig, reg *Registry) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	fr := &FlightRecorder{
+		cfg:  cfg,
+		ring: make([]*TraceData, cfg.Capacity),
+		byID: make(map[string]*TraceData, cfg.Capacity),
+	}
+	if reg != nil {
+		fr.started = reg.Counter("sslic_trace_started_total",
+			"Traces started by the flight recorder.")
+		fr.kept = reg.Counter("sslic_trace_kept_total",
+			"Finished traces retained in the flight-recorder ring.")
+		fr.discards = reg.Counter("sslic_trace_discarded_total",
+			"Finished traces dropped by head/tail sampling.")
+	}
+	return fr
+}
+
+// StartTrace opens a live trace under the given ID (empty generates
+// one). forced marks the trace as always-keep — the path for explicit
+// client-requested trace IDs. Safe on a nil recorder (returns nil, and
+// every Trace method no-ops on nil).
+func (fr *FlightRecorder) StartTrace(id string, forced bool) *Trace {
+	if fr == nil {
+		return nil
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	if fr.started != nil {
+		fr.started.Inc()
+	}
+	return &Trace{
+		id:       id,
+		rec:      fr,
+		start:    time.Now(),
+		forced:   forced,
+		headKeep: headSample(id, fr.cfg.HeadRate),
+	}
+}
+
+// headSample hashes the ID onto [0, 1) and keeps it below rate — a
+// deterministic per-trace coin flip (FNV-1a so no RNG state is shared).
+func headSample(id string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return float64(h%(1<<20))/float64(1<<20) < rate
+}
+
+// finish seals a trace and applies the keep decision.
+func (fr *FlightRecorder) finish(t *Trace) {
+	dur := time.Since(t.start)
+	t.mu.Lock()
+	errMsg := t.errMsg
+	events := t.events
+	dropped := t.dropped
+	t.events = nil // the recorder owns the slice now
+	t.mu.Unlock()
+
+	keep := t.forced || t.headKeep || errMsg != "" || dur >= fr.cfg.SlowThreshold
+	if !keep {
+		if fr.discards != nil {
+			fr.discards.Inc()
+		}
+		return
+	}
+	status := "ok"
+	if errMsg != "" {
+		status = "error"
+	}
+	td := &TraceData{
+		ID: t.id, Start: t.start, Dur: dur,
+		Status: status, Err: errMsg, Dropped: dropped, Events: events,
+	}
+	fr.mu.Lock()
+	if old := fr.ring[fr.next]; old != nil {
+		delete(fr.byID, old.ID)
+	}
+	fr.ring[fr.next] = td
+	fr.next = (fr.next + 1) % len(fr.ring)
+	fr.byID[td.ID] = td
+	fr.mu.Unlock()
+	if fr.kept != nil {
+		fr.kept.Inc()
+	}
+}
+
+// Lookup returns the stored trace with the given ID, or nil.
+func (fr *FlightRecorder) Lookup(id string) *TraceData {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.byID[id]
+}
+
+// Recent returns summaries of up to n stored traces, newest first.
+// n <= 0 returns all.
+func (fr *FlightRecorder) Recent(n int) []TraceSummary {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	cap := len(fr.ring)
+	if n <= 0 || n > cap {
+		n = cap
+	}
+	out := make([]TraceSummary, 0, n)
+	// Walk backwards from the insertion cursor: newest first.
+	for i := 1; i <= cap && len(out) < n; i++ {
+		td := fr.ring[(fr.next-i+cap)%cap]
+		if td == nil {
+			continue
+		}
+		out = append(out, TraceSummary{
+			ID: td.ID, Start: td.Start, Dur: td.Dur,
+			Status: td.Status, Events: len(td.Events),
+		})
+	}
+	return out
+}
+
+// Len reports the number of stored traces.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.byID)
+}

@@ -1,0 +1,501 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestTraceLifecycle(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("req-1", true)
+	if tr.ID() != "req-1" {
+		t.Fatalf("ID = %q, want req-1", tr.ID())
+	}
+	t0 := time.Now()
+	tr.Emit("decode", "server", t0, time.Millisecond, map[string]any{"width": 64})
+	tr.Instant("dram_charge", "hw", nil)
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	td := fr.Lookup("req-1")
+	if td == nil {
+		t.Fatal("forced trace not retained")
+	}
+	if td.Status != "ok" || td.Err != "" {
+		t.Fatalf("status = %q err = %q, want ok", td.Status, td.Err)
+	}
+	if len(td.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(td.Events))
+	}
+	if td.Events[0].Name != "decode" || td.Events[0].Track != "server" {
+		t.Fatalf("event 0 = %+v", td.Events[0])
+	}
+	if td.Events[1].Dur != 0 {
+		t.Fatalf("instant event has Dur %v", td.Events[1].Dur)
+	}
+	// Finishing twice must not double-record.
+	if got := fr.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestTraceError(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("", false) // generated ID, head-sampled out (rate 0)
+	tr.SetError(errors.New("decode failed"))
+	tr.SetError(errors.New("second error ignored"))
+	tr.Finish()
+	td := fr.Lookup(tr.ID())
+	if td == nil {
+		t.Fatal("errored trace must be tail-kept even with HeadRate 0")
+	}
+	if td.Status != "error" || td.Err != "decode failed" {
+		t.Fatalf("status = %q err = %q", td.Status, td.Err)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	// HeadRate 0 and a huge slow threshold: an ordinary ok trace is
+	// discarded at Finish.
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("ordinary", false)
+	tr.Finish()
+	if fr.Lookup("ordinary") != nil {
+		t.Fatal("ordinary trace kept despite HeadRate 0")
+	}
+
+	// A 1ns slow threshold tail-keeps everything.
+	fr = NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SlowThreshold: time.Nanosecond}, nil)
+	tr = fr.StartTrace("slow", false)
+	time.Sleep(10 * time.Microsecond)
+	tr.Finish()
+	if fr.Lookup("slow") == nil {
+		t.Fatal("slow trace not tail-kept")
+	}
+
+	// HeadRate 1 keeps ordinary traces.
+	fr = NewFlightRecorder(FlightRecorderConfig{Capacity: 8, HeadRate: 1, SlowThreshold: time.Hour}, nil)
+	tr = fr.StartTrace("headkeep", false)
+	tr.Finish()
+	if fr.Lookup("headkeep") == nil {
+		t.Fatal("HeadRate 1 trace not kept")
+	}
+}
+
+func TestHeadSampleDeterministic(t *testing.T) {
+	for _, id := range []string{"a", "b", "trace-123", "x:y.z"} {
+		first := headSample(id, 0.5)
+		for i := 0; i < 10; i++ {
+			if headSample(id, 0.5) != first {
+				t.Fatalf("headSample(%q) not deterministic", id)
+			}
+		}
+	}
+	// The hash should land roughly uniformly: over many IDs a 0.5 rate
+	// keeps somewhere well inside (0, 1).
+	kept := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if headSample(fmt.Sprintf("trace-%d", i), 0.5) {
+			kept++
+		}
+	}
+	if kept < n/4 || kept > 3*n/4 {
+		t.Fatalf("headSample(0.5) kept %d of %d, badly non-uniform", kept, n)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 4, SlowThreshold: time.Hour}, nil)
+	for i := 0; i < 10; i++ {
+		tr := fr.StartTrace(fmt.Sprintf("t%d", i), true)
+		tr.Finish()
+	}
+	if got := fr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	for i := 0; i < 6; i++ {
+		if fr.Lookup(fmt.Sprintf("t%d", i)) != nil {
+			t.Fatalf("t%d survived wraparound", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if fr.Lookup(fmt.Sprintf("t%d", i)) == nil {
+			t.Fatalf("t%d evicted too early", i)
+		}
+	}
+	recent := fr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d, want 4", len(recent))
+	}
+	for i, want := range []string{"t9", "t8", "t7", "t6"} {
+		if recent[i].ID != want {
+			t.Fatalf("Recent[%d] = %s, want %s (newest first)", i, recent[i].ID, want)
+		}
+	}
+	if got := fr.Recent(2); len(got) != 2 || got[0].ID != "t9" {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 2, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("big", true)
+	for i := 0; i < maxEventsPerTrace+100; i++ {
+		tr.Instant("tick", "test", nil)
+	}
+	tr.Finish()
+	td := fr.Lookup("big")
+	if td == nil {
+		t.Fatal("trace missing")
+	}
+	if len(td.Events) != maxEventsPerTrace {
+		t.Fatalf("got %d events, want cap %d", len(td.Events), maxEventsPerTrace)
+	}
+	if td.Dropped != 100 {
+		t.Fatalf("Dropped = %d, want 100", td.Dropped)
+	}
+}
+
+// TestTraceConcurrentWriters exercises the lock-light append path under
+// the race detector: many goroutines emit into one live trace while
+// others finish sibling traces and read the recorder.
+func TestTraceConcurrentWriters(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 16, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("hot", true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit("ev", "test", time.Now(), time.Microsecond, map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	// Concurrent churn on the recorder itself.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sib := fr.StartTrace(fmt.Sprintf("sib-%d-%d", g, i), true)
+				sib.Instant("tick", "test", nil)
+				sib.Finish()
+				fr.Lookup("hot")
+				fr.Recent(4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Finish()
+	td := fr.Lookup("hot")
+	if td == nil {
+		t.Fatal("hot trace missing")
+	}
+	if len(td.Events) != 8*200 {
+		t.Fatalf("got %d events, want %d", len(td.Events), 8*200)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	tr := fr.StartTrace("x", true)
+	if tr != nil {
+		t.Fatal("nil recorder must return nil trace")
+	}
+	// Every method must no-op on the nil trace.
+	tr.Emit("e", "t", time.Now(), time.Second, nil)
+	tr.Instant("i", "t", nil)
+	tr.SetError(errors.New("x"))
+	tr.Finish()
+	if tr.ID() != "" {
+		t.Fatal("nil ID")
+	}
+	if fr.Lookup("x") != nil || fr.Recent(1) != nil || fr.Len() != 0 {
+		t.Fatal("nil recorder reads must be empty")
+	}
+	ctx := context.Background()
+	if WithTrace(ctx, nil) != ctx {
+		t.Fatal("WithTrace(nil) must return ctx unchanged")
+	}
+	if TraceFrom(ctx) != nil {
+		t.Fatal("TraceFrom on plain ctx")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{}, nil)
+	tr := fr.StartTrace("ctx-1", true)
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %v, want the stored trace", got)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	good := []string{"a", "req-1", "A.b_c:d-9", strings.Repeat("x", 64)}
+	for _, id := range good {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", strings.Repeat("x", 65), "has space", "semi;colon", "new\nline", "quote\"", "slash/"}
+	for _, id := range bad {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("generated ID %q invalid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRecorderCounters(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 4, SlowThreshold: time.Hour}, reg)
+	fr.StartTrace("keep", true).Finish()
+	fr.StartTrace("drop", false).Finish()
+	if got := fr.started.Value(); got != 2 {
+		t.Fatalf("started = %v, want 2", got)
+	}
+	if got := fr.kept.Value(); got != 1 {
+		t.Fatalf("kept = %v, want 1", got)
+	}
+	if got := fr.discards.Value(); got != 1 {
+		t.Fatalf("discarded = %v, want 1", got)
+	}
+}
+
+// goldenTraceData is a hand-built trace with fixed timestamps so the
+// Chrome export is byte-stable.
+func goldenTraceData() *TraceData {
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	at := func(us int64) time.Time { return start.Add(time.Duration(us) * time.Microsecond) }
+	return &TraceData{
+		ID:     "golden-1",
+		Start:  start,
+		Dur:    5 * time.Millisecond,
+		Status: "error",
+		Err:    "deadline exceeded",
+		Events: []TraceEvent{
+			{Name: "decode", Track: "server", Start: at(100), Dur: 300 * time.Microsecond,
+				Args: map[string]any{"width": 64, "height": 48}},
+			{Name: "queue_wait", Track: "pool", Start: at(400), Dur: 50 * time.Microsecond},
+			{Name: "pass", Track: "sslic", Start: at(500), Dur: 1200 * time.Microsecond,
+				Args: map[string]any{"pass": 0, "subset": 0, "arch": "PPA", "distance_calcs": 9216}},
+			{Name: "pass", Track: "sslic", Start: at(1800), Dur: 1100 * time.Microsecond,
+				Args: map[string]any{"pass": 1, "subset": 1, "arch": "PPA", "distance_calcs": 9216}},
+			{Name: "dram_charge", Track: "hw", Start: at(3000),
+				Args: map[string]any{"bytes": 123456}},
+			{Name: "encode", Track: "server", Start: at(3100), Dur: 900 * time.Microsecond},
+		},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraceData()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrometrace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome export drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraceData()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   *int64         `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	names := map[string]int{}
+	tids := map[int]bool{}
+	for _, ev := range out.TraceEvents {
+		phases[ev.Phase]++
+		names[ev.Name]++
+		tids[ev.TID] = true
+	}
+	// 1 root X + 5 interval X; 1 instant; 5 tracks (trace, server, pool,
+	// sslic, hw) → 5 thread_name metadata events.
+	if phases["X"] != 6 || phases["i"] != 1 || phases["M"] != 5 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+	if names["pass"] != 2 {
+		t.Fatalf("pass events = %d, want 2", names["pass"])
+	}
+	if len(tids) != 5 {
+		t.Fatalf("distinct tids = %d, want 5 tracks", len(tids))
+	}
+	// The root interval carries the error annotation.
+	root := out.TraceEvents[0]
+	if root.Name != "trace golden-1" || root.TS != 0 || root.Dur == nil || *root.Dur != 5000 {
+		t.Fatalf("root event = %+v", root)
+	}
+	if root.Args["status"] != "error" || root.Args["err"] != "deadline exceeded" {
+		t.Fatalf("root args = %v", root.Args)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 4, SlowThreshold: time.Hour}, nil)
+	tr := fr.StartTrace("web-1", true)
+	tr.Emit("decode", "server", time.Now(), time.Millisecond, nil)
+	tr.Finish()
+	h := TraceHandler(fr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=web-1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+		t.Fatal("default rendering is not Chrome trace_event JSON")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=web-1&format=json", nil))
+	var td TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatalf("raw format: %v", err)
+	}
+	if td.ID != "web-1" || len(td.Events) != 1 {
+		t.Fatalf("raw trace = %+v", td)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 400 {
+		t.Fatalf("missing id status = %d, want 400", rec.Code)
+	}
+}
+
+func TestTraceListHandler(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{Capacity: 8, SlowThreshold: time.Hour}, nil)
+	for i := 0; i < 3; i++ {
+		fr.StartTrace(fmt.Sprintf("list-%d", i), true).Finish()
+	}
+	h := TraceListHandler(fr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=2", nil))
+	var out struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 2 || out.Traces[0].ID != "list-2" {
+		t.Fatalf("traces = %+v", out.Traces)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=zero", nil))
+	if rec.Code != 400 {
+		t.Fatalf("invalid n status = %d, want 400", rec.Code)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_seconds", "t.", []float64{0.1, 1})
+	h.ObserveExemplar(0.5, "trace-a")
+	h.ObserveExemplar(2.0, "trace-b")
+	h.ObserveExemplar(1.0, "trace-c") // smaller than the max: must not displace
+	h.Observe(5.0)                    // no trace: must not displace either
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Exemplar == nil || snap.Exemplar.TraceID != "trace-b" || snap.Exemplar.Value != 2.0 {
+		t.Fatalf("exemplar = %+v, want trace-b at 2.0", snap.Exemplar)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `# exemplar test_seconds trace_id="trace-b"`) {
+		t.Fatalf("exemplar comment missing from exposition:\n%s", buf.String())
+	}
+	h.ClearExemplar()
+	if h.Snapshot().Exemplar != nil {
+		t.Fatal("ClearExemplar left the exemplar")
+	}
+}
+
+func TestLoggerTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	logs := NewLogger(LoggerConfig{JSON: true, Level: slog.LevelDebug, Output: &buf})
+	log := logs.Component("test")
+	fr := NewFlightRecorder(FlightRecorderConfig{}, nil)
+	tr := fr.StartTrace("log-1", true)
+	ctx := WithTrace(context.Background(), tr)
+	log.InfoContext(ctx, "traced line")
+	log.Info("untraced line")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"trace_id":"log-1"`) {
+		t.Fatalf("traced line missing trace_id: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Fatalf("untraced line has trace_id: %s", lines[1])
+	}
+}

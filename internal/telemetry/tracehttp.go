@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// HTTP faces of the flight recorder. They are exported as plain
+// handlers (rather than only wired inside NewServer) so tests and
+// embedders can mount them on any mux.
+
+// TraceHandler serves one stored trace by ?id=. The default rendering
+// is Chrome trace_event JSON — pasteable into chrome://tracing or
+// Perfetto — because the point of fetching a single trace is to look at
+// its timeline; ?format=json returns the raw stored form instead.
+func TraceHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		td := fr.Lookup(id)
+		if td == nil {
+			http.Error(w, "trace not found (evicted, sampled out, or never recorded)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if r.URL.Query().Get("format") == "json" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			enc.Encode(td)
+			return
+		}
+		WriteChromeTrace(w, td)
+	})
+}
+
+// TraceListHandler serves summaries of the recorder's stored traces,
+// newest first; ?n= limits the count.
+func TraceListHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 1 {
+				http.Error(w, "invalid n parameter", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		summaries := fr.Recent(n)
+		if summaries == nil {
+			summaries = []TraceSummary{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(struct {
+			Traces []TraceSummary `json:"traces"`
+		}{summaries})
+	})
+}
