@@ -38,33 +38,37 @@ import (
 	"syscall"
 	"time"
 
+	"sslic/internal/faults"
 	"sslic/internal/server"
 	"sslic/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "service listen address")
-		workers     = flag.Int("workers", 0, "segmentation workers/shards (<=0 uses all CPUs)")
-		queue       = flag.Int("queue", 2, "admission queue depth per worker; beyond it requests get 429")
-		segWorkers  = flag.Int("seg-workers", 0, "intra-frame parallelism per request (0 keeps results byte-deterministic)")
-		k           = flag.Int("k", 900, "default superpixel count (overridable per request via ?k=)")
-		ratio       = flag.Float64("ratio", 0.5, "default subsample ratio (?ratio=)")
-		iters       = flag.Int("iters", 10, "default full iterations (?iters=)")
-		compactness = flag.Float64("compactness", 10, "default compactness (?compactness=)")
-		warmIters   = flag.Int("warm-iters", 3, "iterations for warm-started stream frames")
-		maxStreams  = flag.Int("max-streams", 64, "warm-start states kept per worker before evicting the oldest stream")
-		maxBody     = flag.Int64("max-body-bytes", 32<<20, "request body limit; beyond it requests get 413")
-		maxPixels   = flag.Int("max-pixels", 4<<20, "decoded frame pixel limit; beyond it requests get 413")
-		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline (tightenable via ?timeout_ms=)")
-		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
-		drainGrace  = flag.Duration("drain-grace", 15*time.Second, "how long a drain waits for in-flight requests before exiting")
-		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this extra address; empty disables")
-		traceBuf    = flag.Int("trace-buffer", 256, "finished traces the flight recorder retains (oldest overwritten)")
-		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this latency are always kept in the flight recorder")
-		traceRate   = flag.Float64("trace-sample", 0.01, "fraction of ordinary requests kept (errors, slow requests and explicit X-Trace-Id requests are always kept)")
-		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		addr         = flag.String("addr", ":8080", "service listen address")
+		workers      = flag.Int("workers", 0, "segmentation workers/shards (<=0 uses all CPUs)")
+		queue        = flag.Int("queue", 2, "admission queue depth per worker; beyond it requests get 429")
+		segWorkers   = flag.Int("seg-workers", 0, "intra-frame parallelism per request (0 keeps results byte-deterministic)")
+		k            = flag.Int("k", 900, "default superpixel count (overridable per request via ?k=)")
+		ratio        = flag.Float64("ratio", 0.5, "default subsample ratio (?ratio=)")
+		iters        = flag.Int("iters", 10, "default full iterations (?iters=)")
+		compactness  = flag.Float64("compactness", 10, "default compactness (?compactness=)")
+		warmIters    = flag.Int("warm-iters", 3, "iterations for warm-started stream frames")
+		maxStreams   = flag.Int("max-streams", 64, "warm-start states kept per worker before evicting the oldest stream")
+		maxBody      = flag.Int64("max-body-bytes", 32<<20, "request body limit; beyond it requests get 413")
+		maxPixels    = flag.Int("max-pixels", 4<<20, "decoded frame pixel limit; beyond it requests get 413")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline (tightenable via ?timeout_ms=)")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "total budget for a graceful drain: listeners close immediately, then in-flight requests and queued work get this long before the process exits anyway")
+		faultSpec    = flag.String("faults", "", "fault-injection schedule, e.g. 'sslic.pass:error,prob=0.01;pool.run:latency=20ms,every=50' (default off; see internal/faults)")
+		faultSeed    = flag.Int64("faults-seed", 1, "seed for probabilistic fault schedules (deterministic per seed)")
+		degradeEvery = flag.Duration("degrade-interval", 250*time.Millisecond, "load-controller sampling interval for adaptive degradation (<0 disables)")
+		telAddr      = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this extra address; empty disables")
+		traceBuf     = flag.Int("trace-buffer", 256, "finished traces the flight recorder retains (oldest overwritten)")
+		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this latency are always kept in the flight recorder")
+		traceRate    = flag.Float64("trace-sample", 0.01, "fraction of ordinary requests kept (errors, slow requests and explicit X-Trace-Id requests are always kept)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -75,6 +79,17 @@ func main() {
 	logs := telemetry.NewLogger(telemetry.LoggerConfig{JSON: *logJSON, Level: level})
 	mainLog := logs.Component("main")
 	reg := telemetry.NewRegistry()
+
+	// Fault injection is always off unless -faults is given; the planted
+	// hooks cost one atomic load when disabled.
+	if *faultSpec != "" {
+		inj, err := faults.NewFromSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(inj)
+		mainLog.Warn("fault injection enabled", "spec", *faultSpec, "seed", *faultSeed)
+	}
 
 	// The flight recorder is always on: fixed memory (trace-buffer
 	// finished traces), overwrite-oldest, so the last N interesting
@@ -99,6 +114,7 @@ func main() {
 		MaxPixels:          *maxPixels,
 		RequestTimeout:     *reqTimeout,
 		MaxTimeout:         *maxTimeout,
+		DegradeInterval:    *degradeEvery,
 		Registry:           reg,
 		Recorder:           recorder,
 		Logger:             logs.Component("server"),
@@ -142,15 +158,28 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal kills the process
-		mainLog.Info("signal received, draining", "grace", *drainGrace)
-		svc.Drain()
-		sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		mainLog.Info("signal received, draining", "timeout", *drainTimeout)
+		deadline := time.Now().Add(*drainTimeout)
+		// Stop accepting FIRST: Shutdown closes the listeners
+		// immediately (new connections are refused at the socket, which
+		// load balancers notice faster than any 503), then waits for
+		// in-flight requests, bounded by the drain budget.
+		sctx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
+		svc.Drain() // shed anything still arriving on kept-alive connections
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			mainLog.Warn("shutdown incomplete, in-flight requests abandoned", "err", err)
 		}
-		svc.Close()
-		mainLog.Info("drained, exiting")
+		// Then drain the segmentation layer within the remaining budget;
+		// a pool wedged past the deadline must not stop the exit.
+		closed := make(chan struct{})
+		go func() { svc.Close(); close(closed) }()
+		select {
+		case <-closed:
+			mainLog.Info("drained, exiting")
+		case <-time.After(time.Until(deadline)):
+			mainLog.Warn("drain timeout exceeded, exiting with queued work abandoned")
+		}
 	}
 }
 

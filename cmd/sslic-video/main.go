@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sslic/internal/dataset"
+	"sslic/internal/faults"
 	"sslic/internal/hw"
 	"sslic/internal/imgio"
 	"sslic/internal/metrics"
@@ -41,21 +42,23 @@ import (
 
 func main() {
 	var (
-		frames   = flag.Int("frames", 8, "number of frames")
-		k        = flag.Int("k", 900, "superpixel count")
-		speed    = flag.Int("speed", 3, "motion speed in px/frame")
-		motion   = flag.String("motion", "pan", "motion: pan, drift or shake")
-		seed     = flag.Int64("seed", 1, "scene seed")
-		cold     = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
-		warmIter = flag.Int("warm-iters", 3, "iterations for warm-started frames")
-		outDir   = flag.String("out", "", "write per-frame overlays to this directory")
-		workers  = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
-		queue    = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
-		traceBuf = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
-		traceAll = flag.Bool("trace-all", false, "keep every frame trace (default keeps only slow or failed frames)")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
-		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		frames    = flag.Int("frames", 8, "number of frames")
+		k         = flag.Int("k", 900, "superpixel count")
+		speed     = flag.Int("speed", 3, "motion speed in px/frame")
+		motion    = flag.String("motion", "pan", "motion: pan, drift or shake")
+		seed      = flag.Int64("seed", 1, "scene seed")
+		cold      = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
+		warmIter  = flag.Int("warm-iters", 3, "iterations for warm-started frames")
+		outDir    = flag.String("out", "", "write per-frame overlays to this directory")
+		workers   = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
+		queue     = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
+		traceBuf  = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
+		traceAll  = flag.Bool("trace-all", false, "keep every frame trace (default keeps only slow or failed frames)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		faultSpec = flag.String("faults", "", "fault-injection schedule, e.g. 'pipeline.segment:error,every=5' (default off; see internal/faults)")
+		faultSeed = flag.Int64("faults-seed", 1, "seed for probabilistic fault schedules (deterministic per seed)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,16 @@ func main() {
 	}
 	logs := telemetry.NewLogger(telemetry.LoggerConfig{JSON: *logJSON, Level: level})
 	reg := telemetry.NewRegistry()
+
+	// Fault injection stays off (and zero-cost) without -faults.
+	if *faultSpec != "" {
+		inj, err := faults.NewFromSpec(*faultSeed, *faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(inj)
+		logs.Component("main").Warn("fault injection enabled", "spec", *faultSpec, "seed", *faultSeed)
+	}
 
 	var m video.Motion
 	switch *motion {

@@ -20,6 +20,8 @@ import (
 	"testing"
 
 	"sslic/internal/dataset"
+	"sslic/internal/degrade"
+	"sslic/internal/metrics"
 	"sslic/internal/sslic"
 )
 
@@ -42,6 +44,12 @@ type PerfResult struct {
 	// Iterations is testing.Benchmark's b.N (how much signal is behind
 	// the wall-time numbers).
 	Iterations int `json:"iterations"`
+	// BoundaryRecall is the configuration's quality proxy against the
+	// synthetic scene's exact ground truth; only the degrade_* pair
+	// fills it (the quality cost of the overload ladder's compute
+	// saving). Not gated by ComparePerf — higher is better, unlike
+	// every compared metric.
+	BoundaryRecall float64 `json:"boundary_recall,omitempty"`
 }
 
 // PerfReport is one full harness run.
@@ -63,19 +71,26 @@ type PerfReport struct {
 
 // perfConfig is one cell of the measurement matrix: the paper's two
 // dataflow architectures crossed with the subsampling ratios its
-// energy/quality trade-off sweeps (§6's r = 1, 1/2, 1/4).
+// energy/quality trade-off sweeps (§6's r = 1, 1/2, 1/4), plus the
+// service's degraded-mode pair — the same parameters at degradation
+// level 0 and level 2, quantifying what the overload ladder trades
+// (latency and distance calcs down, boundary recall slightly down).
 type perfConfig struct {
-	name  string
-	arch  sslic.Arch
-	ratio float64
+	name    string
+	arch    sslic.Arch
+	ratio   float64
+	level   degrade.Level
+	quality bool // also record the boundary-recall proxy
 }
 
 func perfConfigs() []perfConfig {
 	return []perfConfig{
-		{"ppa_r100", sslic.PPA, 1.0},
-		{"ppa_r050", sslic.PPA, 0.5},
-		{"ppa_r025", sslic.PPA, 0.25},
-		{"cpa_r050", sslic.CPA, 0.5},
+		{name: "ppa_r100", arch: sslic.PPA, ratio: 1.0},
+		{name: "ppa_r050", arch: sslic.PPA, ratio: 0.5},
+		{name: "ppa_r025", arch: sslic.PPA, ratio: 0.25},
+		{name: "cpa_r050", arch: sslic.CPA, ratio: 0.5},
+		{name: "degrade_l0", arch: sslic.PPA, ratio: 0.5, level: degrade.Full, quality: true},
+		{name: "degrade_l2", arch: sslic.PPA, ratio: 0.5, level: degrade.CoarseSubsample, quality: true},
 	}
 }
 
@@ -109,6 +124,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 	for _, c := range perfConfigs() {
 		p := sslic.DefaultParams(k, c.ratio)
 		p.Arch = c.arch
+		p = degrade.Apply(p, c.level) // level 0 is the identity
 		var calcs int64
 		var benchErr error
 		br := testing.Benchmark(func(b *testing.B) {
@@ -130,7 +146,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		if ns > 0 {
 			fps = 1e9 / float64(ns)
 		}
-		rep.Results = append(rep.Results, PerfResult{
+		pr := PerfResult{
 			Name:                  c.name,
 			NsPerOp:               ns,
 			FramesPerSec:          fps,
@@ -138,7 +154,19 @@ func RunPerf(quick bool) (*PerfReport, error) {
 			BytesPerOp:            br.AllocedBytesPerOp(),
 			DistanceCalcsPerFrame: calcs,
 			Iterations:            br.N,
-		})
+		}
+		if c.quality {
+			res, err := sslic.Segment(sample.Image, p)
+			if err != nil {
+				return nil, fmt.Errorf("bench: quality run %s: %w", c.name, err)
+			}
+			recall, err := metrics.BoundaryRecall(res.Labels, sample.GT, 2)
+			if err != nil {
+				return nil, fmt.Errorf("bench: boundary recall %s: %w", c.name, err)
+			}
+			pr.BoundaryRecall = recall
+		}
+		rep.Results = append(rep.Results, pr)
 	}
 	return rep, nil
 }

@@ -1,0 +1,204 @@
+package degrade
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
+)
+
+func TestApplyLevelsAreCumulative(t *testing.T) {
+	base := sslic.DefaultParams(900, 0.5)
+	base.FullIters = 10
+
+	l0 := Apply(base, Full)
+	if l0.FullIters != base.FullIters || l0.SubsampleRatio != base.SubsampleRatio || l0.K != base.K {
+		t.Fatalf("level 0 changed params: %+v", l0)
+	}
+
+	l1 := Apply(base, HalfIters)
+	if l1.FullIters != 5 || l1.SubsampleRatio != 0.5 || l1.K != 900 {
+		t.Fatalf("level 1 = iters %d ratio %g k %d, want 5/0.5/900",
+			l1.FullIters, l1.SubsampleRatio, l1.K)
+	}
+
+	l2 := Apply(base, CoarseSubsample)
+	if l2.FullIters != 5 || l2.SubsampleRatio != 0.25 || l2.K != 900 {
+		t.Fatalf("level 2 = iters %d ratio %g k %d, want 5/0.25/900",
+			l2.FullIters, l2.SubsampleRatio, l2.K)
+	}
+
+	l3 := Apply(base, FewerSuperpixels)
+	if l3.FullIters != 5 || l3.SubsampleRatio != 0.25 || l3.K != 450 {
+		t.Fatalf("level 3 = iters %d ratio %g k %d, want 5/0.25/450",
+			l3.FullIters, l3.SubsampleRatio, l3.K)
+	}
+}
+
+func TestApplyFloors(t *testing.T) {
+	p := sslic.DefaultParams(20, 0.25)
+	p.FullIters = 4
+	out := Apply(p, FewerSuperpixels)
+	if out.FullIters != 3 {
+		t.Fatalf("iters floor: got %d, want 3", out.FullIters)
+	}
+	if out.SubsampleRatio != 0.25 {
+		t.Fatalf("ratio floor: got %g, want 0.25", out.SubsampleRatio)
+	}
+	if out.K != 16 {
+		t.Fatalf("k floor: got %d, want 16", out.K)
+	}
+	// Already at or below every floor: untouched.
+	again := Apply(out, FewerSuperpixels)
+	if again.FullIters != out.FullIters || again.SubsampleRatio != out.SubsampleRatio || again.K != out.K {
+		t.Fatalf("degrading floored params changed them: %+v", again)
+	}
+}
+
+func TestApplyIsDeterministic(t *testing.T) {
+	p := sslic.DefaultParams(900, 0.5)
+	for l := Full; l <= Shed; l++ {
+		a, b := Apply(p, l), Apply(p, l)
+		if a.FullIters != b.FullIters || a.SubsampleRatio != b.SubsampleRatio || a.K != b.K {
+			t.Fatalf("level %v not deterministic", l)
+		}
+	}
+}
+
+func calmSignals() Signals { return Signals{QueueFill: 0} }
+
+func hotSignals() Signals { return Signals{QueueFill: 1} }
+
+func TestControllerHysteresis(t *testing.T) {
+	c := New(Config{StepUpHold: 2, StepDownHold: 3})
+
+	// One overloaded tick is not enough.
+	if l := c.Tick(hotSignals()); l != Full {
+		t.Fatalf("level after 1 hot tick = %v, want full", l)
+	}
+	if l := c.Tick(hotSignals()); l != HalfIters {
+		t.Fatalf("level after 2 hot ticks = %v, want half-iters", l)
+	}
+	// The up-streak resets after a step: two more ticks for the next.
+	if l := c.Tick(hotSignals()); l != HalfIters {
+		t.Fatalf("level stepped up without a fresh streak: %v", l)
+	}
+	if l := c.Tick(hotSignals()); l != CoarseSubsample {
+		t.Fatalf("level after 4 hot ticks = %v, want coarse-subsample", l)
+	}
+
+	// A calm tick amid recovery resets the down-streak.
+	c.Tick(calmSignals())
+	c.Tick(calmSignals())
+	c.Tick(hotSignals()) // not enough to step up, but breaks the streak
+	for i := 0; i < 2; i++ {
+		if l := c.Tick(calmSignals()); l != CoarseSubsample {
+			t.Fatalf("stepped down after broken streak at tick %d: %v", i, l)
+		}
+	}
+	if l := c.Tick(calmSignals()); l != HalfIters {
+		t.Fatalf("no step down after full calm streak: %v", l)
+	}
+}
+
+func TestControllerMonotoneRecovery(t *testing.T) {
+	c := New(Config{StepUpHold: 1, StepDownHold: 2})
+	for i := 0; i < 10; i++ {
+		c.Tick(Signals{QueueFill: 1, DeadlineMisses: 1})
+	}
+	if l := c.Level(); l != Shed {
+		t.Fatalf("sustained overload reached %v, want shed", l)
+	}
+	// Under calm signals the level must fall one step at a time and
+	// never rise.
+	prev := c.Level()
+	steps := 0
+	for i := 0; i < 40 && c.Level() > Full; i++ {
+		l := c.Tick(calmSignals())
+		if l > prev {
+			t.Fatalf("level rose during recovery: %v -> %v", prev, l)
+		}
+		if l < prev {
+			if prev-l != 1 {
+				t.Fatalf("recovery skipped levels: %v -> %v", prev, l)
+			}
+			steps++
+		}
+		prev = l
+	}
+	if c.Level() != Full {
+		t.Fatalf("recovery stalled at %v", c.Level())
+	}
+	if steps != int(Shed) {
+		t.Fatalf("recovery took %d steps, want %d", steps, int(Shed))
+	}
+}
+
+func TestControllerPin(t *testing.T) {
+	c := New(Config{StepUpHold: 1, StepDownHold: 1})
+	c.Pin(CoarseSubsample)
+	for i := 0; i < 5; i++ {
+		if l := c.Tick(hotSignals()); l != CoarseSubsample {
+			t.Fatalf("pinned level moved to %v", l)
+		}
+	}
+	c.Unpin()
+	if l := c.Tick(hotSignals()); l != FewerSuperpixels {
+		t.Fatalf("unpinned controller did not resume: %v", l)
+	}
+}
+
+func TestControllerMaxLevelBound(t *testing.T) {
+	c := New(Config{Max: HalfIters, StepUpHold: 1})
+	for i := 0; i < 10; i++ {
+		c.Tick(hotSignals())
+	}
+	if l := c.Level(); l != HalfIters {
+		t.Fatalf("level %v escaped Max %v", l, HalfIters)
+	}
+	c.Pin(Shed)
+	if l := c.Level(); l != HalfIters {
+		t.Fatalf("Pin bypassed Max: %v", l)
+	}
+}
+
+func TestControllerMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{Registry: reg, StepUpHold: 1, StepDownHold: 1})
+	c.Tick(hotSignals())
+	c.Tick(calmSignals())
+	g := reg.Gauge("sslic_degrade_level", "")
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %g after up+down, want 0", g.Value())
+	}
+	ups := reg.Counter("sslic_degrade_transitions_total", "", telemetry.Label{Name: "direction", Value: "up"})
+	downs := reg.Counter("sslic_degrade_transitions_total", "", telemetry.Label{Name: "direction", Value: "down"})
+	if ups.Value() != 1 || downs.Value() != 1 {
+		t.Fatalf("transitions up/down = %g/%g, want 1/1", ups.Value(), downs.Value())
+	}
+}
+
+func TestControllerRunStopsOnCancel(t *testing.T) {
+	c := New(Config{StepUpHold: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx, time.Millisecond, hotSignals)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Level() == Full {
+		if time.Now().After(deadline) {
+			t.Fatal("Run never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

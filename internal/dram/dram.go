@@ -9,6 +9,7 @@ package dram
 import (
 	"fmt"
 
+	"sslic/internal/faults"
 	"sslic/internal/telemetry"
 )
 
@@ -108,6 +109,10 @@ func (m *Model) Record(s Stream, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
+	// Fault hook: Record returns no error, so only the latency and panic
+	// actions apply — a slow or crashing memory interface under the
+	// functional simulator.
+	_ = faults.Fire(faults.PointDRAM)
 	m.bytes[s] += bytes
 	m.transfers++
 	if m.byteMetrics[s] != nil {
@@ -119,6 +124,7 @@ func (m *Model) Record(s Stream, bytes int64) {
 // RecordBurst accounts a multi-stream burst as a single transfer (e.g.
 // one tile fill moving pixel and label planes together).
 func (m *Model) RecordBurst(pixelBytes, labelBytes, centerBytes int64) {
+	_ = faults.Fire(faults.PointDRAM)
 	m.bytes[StreamPixels] += pixelBytes
 	m.bytes[StreamLabels] += labelBytes
 	m.bytes[StreamCenters] += centerBytes

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+
+	"sslic/internal/faults"
 )
 
 // Streaming decode paths: the serving layer receives frames as request
@@ -39,6 +41,11 @@ func DecodeImage(r io.Reader) (*Image, error) {
 // compressed formats (PNG), where a tiny hostile payload can claim an
 // enormous canvas.
 func DecodeImageLimit(r io.Reader, maxPixels int) (*Image, error) {
+	// Fault hook: a failing/slow decoder is the first dependency a frame
+	// meets, so chaos schedules start here. Free when injection is off.
+	if err := faults.Fire(faults.PointDecode); err != nil {
+		return nil, fmt.Errorf("imgio: decoding frame: %w", err)
+	}
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(2)
 	if err != nil {

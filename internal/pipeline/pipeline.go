@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/sslic"
@@ -288,7 +289,11 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			tctx := telemetry.WithTrace(ctx, tr)
 			p.srcStats.arrive(0)
 			sp := p.srcStats.beginCtx(tctx, "frame", t)
-			if err := p.render(t, img, gt); err != nil {
+			err := faults.Fire(faults.PointPipelineSource)
+			if err == nil {
+				err = p.render(t, img, gt)
+			}
+			if err != nil {
 				sp.Abort()
 				tr.SetError(err)
 				tr.Finish()
@@ -347,7 +352,11 @@ func (p *Pipeline) Run(ctx context.Context) error {
 				params.LabelBuf = p.lblPool.Get().(*imgio.LabelMap)
 				tctx := telemetry.WithTrace(ctx, tk.trace)
 				sp := p.segStats.beginCtx(tctx, "frame", tk.index, "warm", warm)
-				r, err := sslic.SegmentContext(tctx, tk.img, params)
+				var r *sslic.Result
+				err := faults.Fire(faults.PointPipelineSegment)
+				if err == nil {
+					r, err = sslic.SegmentContext(tctx, tk.img, params)
+				}
 				if err != nil {
 					sp.Abort()
 					tk.trace.SetError(err)
@@ -417,7 +426,11 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			}
 			sp := p.snkStats.beginCtx(telemetry.WithTrace(ctx, r.Trace), "frame", r.Index)
 			tr := r.Trace // the sink may recycle r; finish the trace after
-			if err := p.sink(r); err != nil {
+			err := faults.Fire(faults.PointPipelineSink)
+			if err == nil {
+				err = p.sink(r)
+			}
+			if err != nil {
 				sp.Abort()
 				tr.SetError(err)
 				tr.Finish()

@@ -12,6 +12,7 @@ import (
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/sslic"
+	"sslic/internal/telemetry/testutil"
 	"sslic/internal/video"
 )
 
@@ -202,6 +203,7 @@ func TestOrderedDelivery(t *testing.T) {
 // TestCancellationDrains: cancelling mid-run returns context.Canceled,
 // drains cleanly, and accounts for every started frame.
 func TestCancellationDrains(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	s := testStream(t)
 	w, h := s.Size()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -236,6 +238,7 @@ func TestCancellationDrains(t *testing.T) {
 
 // TestSinkErrorCancels: a sink error aborts the run and surfaces.
 func TestSinkErrorCancels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	s := testStream(t)
 	w, h := s.Size()
 	boom := errors.New("boom")
@@ -252,6 +255,7 @@ func TestSinkErrorCancels(t *testing.T) {
 
 // TestSourceErrorCancels: a render error aborts the run and surfaces.
 func TestSourceErrorCancels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	boom := errors.New("render failed")
 	render := func(tt int, img *imgio.Image, gt *imgio.LabelMap) error {
 		if tt == 2 {
@@ -273,6 +277,7 @@ func TestSourceErrorCancels(t *testing.T) {
 
 // TestSegmentErrorCancels: invalid segmentation params fail the run.
 func TestSegmentErrorCancels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	s := testStream(t)
 	w, h := s.Size()
 	bad := testParams()

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/sslic"
@@ -48,6 +49,12 @@ type Pool struct {
 	mu     sync.RWMutex
 	closed bool
 
+	// inflight counts admitted-but-unfinished jobs per stream, so the
+	// warm-state eviction can tell an idle stream from one with frames
+	// still queued ("mid-frame") and never evict the latter.
+	inflightMu sync.Mutex
+	inflight   map[string]int
+
 	depth      atomic.Int64 // authoritative queued-job count behind the gauges
 	queueDepth *telemetry.Gauge
 	queueHW    *telemetry.Gauge
@@ -55,6 +62,9 @@ type Pool struct {
 	admitted   *telemetry.Counter
 	rejected   *telemetry.Counter
 	warmJobs   *telemetry.Counter
+	retries    *telemetry.Counter
+	stuck      *telemetry.Counter
+	evictions  *telemetry.Counter
 	streams    *telemetry.Gauge
 	spans      *telemetry.Spans
 }
@@ -72,9 +82,26 @@ type PoolConfig struct {
 	QueueDepth int
 	// WarmIters is FullIters for warm-started jobs; <= 0 selects 3.
 	WarmIters int
-	// MaxStreams caps the warm states kept per shard; the oldest stream
-	// is evicted beyond it. <= 0 selects 64.
+	// MaxStreams caps the warm states kept per shard; the
+	// least-recently-used stream without queued work is evicted beyond
+	// it. <= 0 selects 64.
 	MaxStreams int
+	// Retries bounds per-job retries of transient faults (injected
+	// failures per faults.IsTransient): the frame is re-run from scratch
+	// after a doubling backoff, so a surviving retry still yields the
+	// deterministic fault-free output. < 0 disables; 0 selects 2.
+	Retries int
+	// RetryBackoff is the first retry's backoff, doubling per attempt;
+	// <= 0 selects 2ms. The backoff honors the job's context.
+	RetryBackoff time.Duration
+	// WatchdogGrace arms the stuck-worker watchdog: a job whose backend
+	// has not returned by its context deadline plus this grace is failed
+	// with ErrWorkerStuck (the caller gets an error, the worker moves
+	// on) instead of wedging the shard forever. The abandoned attempt's
+	// goroutine exits whenever the backend finally returns; its result
+	// is discarded. 0 disables (jobs without a deadline are never
+	// watched either way).
+	WatchdogGrace time.Duration
 	// Segment is the backend; nil selects sslic.SegmentContext.
 	Segment SegmentFunc
 	// Registry receives the pool's metrics; nil selects a private one.
@@ -95,6 +122,14 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 64
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
 	}
 	if c.Segment == nil {
 		c.Segment = sslic.SegmentContext
@@ -137,6 +172,16 @@ var ErrSaturated = errors.New("pipeline: admission queue full")
 // ErrPoolClosed is returned by Submit after Close started draining.
 var ErrPoolClosed = errors.New("pipeline: pool closed")
 
+// ErrSegmentPanic wraps a panic recovered from the segmentation
+// backend. Callers that track backend health (the server's panic-rate
+// circuit breaker) match it with errors.Is.
+var ErrSegmentPanic = errors.New("pipeline: segment backend panic")
+
+// ErrWorkerStuck is returned for a job the watchdog abandoned: the
+// backend ignored its deadline for longer than WatchdogGrace, so the
+// frame fails instead of the shard hanging.
+var ErrWorkerStuck = errors.New("pipeline: worker abandoned stuck frame")
+
 // poolReq is one queued submission.
 type poolReq struct {
 	ctx      context.Context
@@ -162,8 +207,9 @@ func NewPool(cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	p := &Pool{
-		cfg:    cfg,
-		shards: make([]chan *poolReq, cfg.Workers),
+		cfg:      cfg,
+		shards:   make([]chan *poolReq, cfg.Workers),
+		inflight: make(map[string]int),
 		queueDepth: reg.Gauge("sslic_pool_queue_depth",
 			"Jobs admitted but not yet started, across all shards."),
 		queueHW: reg.Gauge("sslic_pool_queue_depth_high_water",
@@ -177,6 +223,12 @@ func NewPool(cfg PoolConfig) *Pool {
 			"Jobs refused because the shard queue was full."),
 		warmJobs: reg.Counter("sslic_pool_warm_jobs_total",
 			"Jobs seeded from their stream's previous centers."),
+		retries: reg.Counter("sslic_pool_retries_total",
+			"Segmentation attempts re-run after a transient fault."),
+		stuck: reg.Counter("sslic_pool_stuck_frames_total",
+			"Jobs the watchdog abandoned past their deadline plus grace."),
+		evictions: reg.Counter("sslic_pool_stream_evictions_total",
+			"Warm-start states evicted to respect MaxStreams."),
 		streams: reg.Gauge("sslic_pool_streams",
 			"Warm-start stream states currently held."),
 		spans: telemetry.NewSpans(reg, "sslic_pool_job",
@@ -204,6 +256,13 @@ func (p *Pool) Queued() int {
 	return n
 }
 
+// QueueCapacity reports the total admission-queue capacity
+// (Workers × QueueDepth) — the denominator load controllers need to
+// turn the queue-depth gauge into a fill fraction.
+func (p *Pool) QueueCapacity() int {
+	return p.cfg.Workers * p.cfg.QueueDepth
+}
+
 // shardFor maps a stream ID onto a shard. Jobs without a stream spread
 // round-robin; streams stick by FNV-1a hash.
 func (p *Pool) shardFor(streamID string) chan *poolReq {
@@ -225,13 +284,21 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := faults.Fire(faults.PointPoolSubmit); err != nil {
+		return nil, err
+	}
 	req := &poolReq{ctx: ctx, job: job, enqueued: time.Now(), reply: make(chan poolReply, 1)}
+
+	// The stream's in-flight count is raised before the send so the
+	// worker's matching decrement (at dequeue) can never run first.
+	p.streamAdd(job.StreamID)
 
 	// The RLock pairs with Close's Lock: it guarantees no Submit is
 	// mid-send on a channel Close is about to close.
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		p.streamDone(job.StreamID)
 		return nil, ErrPoolClosed
 	}
 	select {
@@ -243,6 +310,7 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
 		p.queueHW.SetMax(d)
 	default:
 		p.mu.RUnlock()
+		p.streamDone(job.StreamID)
 		p.rejected.Inc()
 		return nil, ErrSaturated
 	}
@@ -258,12 +326,47 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*JobResult, error) {
 	}
 }
 
+// streamAdd raises a stream's in-flight count (no-op for anonymous
+// jobs); streamDone lowers it, dropping the entry at zero so the map
+// stays bounded by concurrent streams, not historical ones.
+func (p *Pool) streamAdd(id string) {
+	if id == "" {
+		return
+	}
+	p.inflightMu.Lock()
+	p.inflight[id]++
+	p.inflightMu.Unlock()
+}
+
+func (p *Pool) streamDone(id string) {
+	if id == "" {
+		return
+	}
+	p.inflightMu.Lock()
+	if n := p.inflight[id] - 1; n <= 0 {
+		delete(p.inflight, id)
+	} else {
+		p.inflight[id] = n
+	}
+	p.inflightMu.Unlock()
+}
+
+// streamBusy reports whether the stream has admitted jobs not yet
+// dequeued by its worker — the "mid-frame" state eviction must spare.
+func (p *Pool) streamBusy(id string) bool {
+	p.inflightMu.Lock()
+	busy := p.inflight[id] > 0
+	p.inflightMu.Unlock()
+	return busy
+}
+
 // worker owns one shard: its queue and its streams' warm states.
 func (p *Pool) worker(in chan *poolReq) {
 	defer p.wg.Done()
 	states := make(map[string]*warmState)
-	var order []string // insertion order for MaxStreams eviction
+	var order []string // least- to most-recently-used, for eviction
 	for req := range in {
+		p.streamDone(req.job.StreamID)
 		p.queueDepth.Set(float64(p.depth.Add(-1)))
 		wait := time.Since(req.enqueued)
 		p.queueWait.Observe(wait.Seconds())
@@ -284,7 +387,7 @@ func (p *Pool) worker(in chan *poolReq) {
 			warm = true
 		}
 		sp := p.spans.StartCtx(req.ctx, "stream", req.job.StreamID, "warm", warm)
-		r, err := p.runSegment(req.ctx, req.job.Image, params)
+		r, err := p.runJob(req.ctx, req.job.Image, params)
 		if err != nil {
 			sp.Abort()
 			req.reply <- poolReply{err: err}
@@ -295,22 +398,108 @@ func (p *Pool) worker(in chan *poolReq) {
 			p.warmJobs.Inc()
 		}
 		if req.job.StreamID != "" {
-			if states[req.job.StreamID] == nil {
-				order = append(order, req.job.StreamID)
-				if len(order) > p.cfg.MaxStreams {
-					delete(states, order[0])
-					order = order[1:]
-					p.streams.Add(-1)
-				}
-				p.streams.Add(1)
-			}
-			states[req.job.StreamID] = &warmState{
+			order = p.storeState(states, order, req.job.StreamID, &warmState{
 				centers: r.Centers, w: req.job.Image.W, h: req.job.Image.H, k: req.job.Params.K,
-			}
+			})
 		}
 		req.reply <- poolReply{res: &JobResult{Result: r, Warm: warm, Latency: lat}}
 	}
 	p.streams.Add(-float64(len(states)))
+}
+
+// storeState records a stream's warm state, maintaining LRU order and
+// evicting beyond MaxStreams. The victim is the least-recently-used
+// stream with no in-flight work; only if every candidate is mid-frame
+// does strict LRU apply — so a hot stream (steadily resubmitting) is
+// never evicted between two of its queued frames.
+func (p *Pool) storeState(states map[string]*warmState, order []string, id string, st *warmState) []string {
+	if states[id] == nil {
+		order = append(order, id)
+		p.streams.Add(1)
+		if len(order) > p.cfg.MaxStreams {
+			victim := 0
+			for i, sid := range order[:len(order)-1] { // the new id is last, never the victim
+				if !p.streamBusy(sid) {
+					victim = i
+					break
+				}
+			}
+			sid := order[victim]
+			order = append(order[:victim], order[victim+1:]...)
+			delete(states, sid)
+			p.streams.Add(-1)
+			p.evictions.Inc()
+		}
+	} else {
+		for i, sid := range order { // LRU touch: move to back
+			if sid == id {
+				order = append(append(order[:i], order[i+1:]...), id)
+				break
+			}
+		}
+	}
+	states[id] = st
+	return order
+}
+
+// runJob is one job's full attempt chain: the injected-fault hook, the
+// watchdog-guarded backend call, and bounded retry-with-backoff for
+// transient faults. A retry re-runs the frame from scratch with the
+// same parameters, so a job that eventually succeeds still produces
+// the deterministic fault-free output for its configuration.
+func (p *Pool) runJob(ctx context.Context, im *imgio.Image, params sslic.Params) (*sslic.Result, error) {
+	var r *sslic.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			backoff := p.cfg.RetryBackoff << (attempt - 1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			p.retries.Inc()
+		}
+		r, err = p.runAttempt(ctx, im, params)
+		if err == nil || attempt >= p.cfg.Retries || !faults.IsTransient(err) || ctx.Err() != nil {
+			return r, err
+		}
+	}
+}
+
+// runAttempt runs the backend once, under the stuck-worker watchdog
+// when armed. The watchdog only engages for jobs with a deadline: a
+// backend still running past deadline+grace is abandoned (the shard
+// fails the frame and moves on; the orphaned goroutine's late result
+// is discarded via its buffered channel).
+func (p *Pool) runAttempt(ctx context.Context, im *imgio.Image, params sslic.Params) (*sslic.Result, error) {
+	if err := faults.Fire(faults.PointPoolRun); err != nil {
+		return nil, err
+	}
+	dl, hasDeadline := ctx.Deadline()
+	if p.cfg.WatchdogGrace <= 0 || !hasDeadline {
+		return p.runSegment(ctx, im, params)
+	}
+	type outcome struct {
+		r   *sslic.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := p.runSegment(ctx, im, params)
+		ch <- outcome{r, err}
+	}()
+	wd := time.NewTimer(time.Until(dl) + p.cfg.WatchdogGrace)
+	defer wd.Stop()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-wd.C:
+		p.stuck.Inc()
+		return nil, fmt.Errorf("%w (grace %v past deadline)", ErrWorkerStuck, p.cfg.WatchdogGrace)
+	}
 }
 
 // runSegment isolates the backend: a panic on one frame becomes that
@@ -319,7 +508,7 @@ func (p *Pool) worker(in chan *poolReq) {
 func (p *Pool) runSegment(ctx context.Context, im *imgio.Image, params sslic.Params) (res *sslic.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = fmt.Errorf("pipeline: segment panic: %v", v)
+			err = fmt.Errorf("%w: %v", ErrSegmentPanic, v)
 		}
 	}()
 	return p.cfg.Segment(ctx, im, params)

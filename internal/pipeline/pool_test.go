@@ -12,6 +12,7 @@ import (
 
 	"sslic/internal/imgio"
 	"sslic/internal/sslic"
+	"sslic/internal/telemetry/testutil"
 )
 
 func poolTestImage(w, h int) *imgio.Image {
@@ -126,6 +127,7 @@ func (b *blockingSegment) fn(ctx context.Context, im *imgio.Image, p sslic.Param
 // slot full, the next Submit must fail fast with ErrSaturated — and the
 // parked work must still complete once released.
 func TestPoolAdmissionControl(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	const workers, depth = 2, 1
 	blk := &blockingSegment{release: make(chan struct{})}
 	pool := NewPool(PoolConfig{Workers: workers, QueueDepth: depth, Segment: blk.fn})
@@ -177,6 +179,7 @@ func TestPoolAdmissionControl(t *testing.T) {
 // TestPoolSubmitCanceled: a context canceled while the job is queued
 // must release the caller with the context error, and never run it.
 func TestPoolSubmitCanceled(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	blk := &blockingSegment{release: make(chan struct{})}
 	pool := NewPool(PoolConfig{Workers: 1, QueueDepth: 4, Segment: blk.fn})
 	defer pool.Close()
@@ -228,6 +231,7 @@ func TestPoolSubmitCanceled(t *testing.T) {
 // TestPoolCloseDrains: Close must let admitted jobs finish, reject new
 // ones, and never deadlock — even called concurrently with submitters.
 func TestPoolCloseDrains(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	pool := NewPool(PoolConfig{Workers: 2, QueueDepth: 4})
 	im := poolTestImage(32, 24)
 	params := sslic.DefaultParams(6, 0.5)

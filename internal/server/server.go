@@ -43,6 +43,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslic/internal/degrade"
+	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/pipeline"
 	"sslic/internal/sslic"
@@ -84,6 +86,29 @@ type Config struct {
 	// capped at MaxTimeout (<= 0 selects 30s).
 	RequestTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Degrade tunes the graceful-degradation controller. Its Registry
+	// and Logger fields are overridden with the server's own.
+	Degrade degrade.Config
+	// DegradeInterval is the load-controller sampling interval; 0
+	// selects 250ms, < 0 disables the sampling loop (the controller
+	// still exists and can be driven via Degrade().Tick or pinned —
+	// how the chaos suite holds a level steady).
+	DegradeInterval time.Duration
+	// Retries, RetryBackoff and WatchdogGrace pass through to the
+	// pool's fault-recovery layer (see pipeline.PoolConfig). The
+	// watchdog defaults on at 2s grace; RetryBackoff defaults per the
+	// pool.
+	Retries       int
+	RetryBackoff  time.Duration
+	WatchdogGrace time.Duration
+	// BreakerThreshold is the backend panic count within BreakerWindow
+	// that opens the panic circuit breaker (the segment endpoint
+	// fast-fails 503 until a cooldown probe succeeds). 0 selects 3;
+	// < 0 disables the breaker. BreakerWindow and BreakerCooldown
+	// default to 10s and 2s.
+	BreakerThreshold int
+	BreakerWindow    time.Duration
+	BreakerCooldown  time.Duration
 	// Segment overrides the segmentation backend; nil selects
 	// sslic.SegmentContext.
 	Segment pipeline.SegmentFunc
@@ -130,6 +155,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Second
 	}
+	if c.DegradeInterval == 0 {
+		c.DegradeInterval = 250 * time.Millisecond
+	}
+	if c.WatchdogGrace == 0 {
+		c.WatchdogGrace = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -144,6 +184,12 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
+	degrade       *degrade.Controller
+	sampler       *signalSampler
+	brk           *breaker // nil when disabled
+	degradeCancel context.CancelFunc
+	degradeDone   chan struct{}
+
 	rejected *telemetry.Counter // base; per-reason series via reason()
 	panics   *telemetry.Counter
 }
@@ -156,16 +202,37 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg}
 	s.pool = pipeline.NewPool(pipeline.PoolConfig{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		WarmIters:  cfg.WarmIters,
-		MaxStreams: cfg.MaxStreams,
-		Segment:    cfg.Segment,
-		Registry:   cfg.Registry,
-		Logger:     cfg.Logger,
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		WarmIters:     cfg.WarmIters,
+		MaxStreams:    cfg.MaxStreams,
+		Retries:       cfg.Retries,
+		RetryBackoff:  cfg.RetryBackoff,
+		WatchdogGrace: cfg.WatchdogGrace,
+		Segment:       cfg.Segment,
+		Registry:      cfg.Registry,
+		Logger:        cfg.Logger,
 	})
 	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
 		"Handler panics recovered by the middleware.")
+
+	dcfg := cfg.Degrade
+	dcfg.Registry = cfg.Registry
+	dcfg.Logger = cfg.Logger
+	s.degrade = degrade.New(dcfg)
+	s.sampler = newSignalSampler(s.pool, cfg.Registry)
+	if cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, cfg.Registry, nil)
+	}
+	if cfg.DegradeInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.degradeCancel = cancel
+		s.degradeDone = make(chan struct{})
+		go func() {
+			defer close(s.degradeDone)
+			s.degrade.Run(ctx, cfg.DegradeInterval, s.sampler.sample)
+		}()
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/segment", s.instrument("segment", s.handleSegment))
@@ -173,6 +240,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
 }
+
+// Degrade returns the load controller — the operator/override surface
+// (Pin, Unpin) and the chaos suite's deterministic drive (Tick).
+func (s *Server) Degrade() *degrade.Controller { return s.degrade }
+
+// SampleSignals closes one load-observation window and returns it —
+// what the background sampling loop feeds the controller, exposed for
+// tests that drive the controller manually.
+func (s *Server) SampleSignals() degrade.Signals { return s.sampler.sample() }
 
 // Handler returns the service's HTTP handler (all endpoints behind the
 // instrumenting, panic-isolating middleware).
@@ -191,9 +267,14 @@ func (s *Server) Drain() {
 }
 
 // Close drains and then waits for every queued and in-flight job to
-// finish. Safe to call more than once.
+// finish, stopping the load-controller loop. Safe to call more than
+// once.
 func (s *Server) Close() {
 	s.Drain()
+	if s.degradeCancel != nil {
+		s.degradeCancel()
+		<-s.degradeDone
+	}
 	s.pool.Close()
 }
 
@@ -256,6 +337,20 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		tr.SetError(fmt.Errorf("%s (HTTP %d): %s", reason, code, msg))
 		s.reject(w, reason, code, msg)
 	}
+	if s.brk != nil && !s.brk.allow() {
+		w.Header().Set("Retry-After", "1")
+		fail("breaker", http.StatusServiceUnavailable, "backend circuit breaker open")
+		return
+	}
+	// The degradation level is read once and governs the whole request:
+	// the response always names the level it was served at.
+	lvl := s.degrade.Level()
+	w.Header().Set("X-Degradation-Level", strconv.Itoa(int(lvl)))
+	if lvl >= degrade.Shed {
+		w.Header().Set("Retry-After", "1")
+		fail("shed", http.StatusServiceUnavailable, "service shedding load (degradation level 4)")
+		return
+	}
 	opts, err := parseOptions(s.cfg, r.URL.Query())
 	if err != nil {
 		fail("bad_request", http.StatusBadRequest, err.Error())
@@ -273,6 +368,11 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, imgio.ErrImageTooLarge):
 			fail("too_large", http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("frame exceeds the %d-pixel budget", s.cfg.MaxPixels))
+		case faults.IsTransient(err):
+			// An injected decode fault is a backend problem, not a bad
+			// request: 503 keeps chaos responses retriable.
+			w.Header().Set("Retry-After", "1")
+			fail("fault", http.StatusServiceUnavailable, "transient decode fault")
 		default:
 			fail("bad_request", http.StatusBadRequest, err.Error())
 		}
@@ -282,7 +382,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		tr.Emit("decode", "server", t0, time.Since(t0),
 			map[string]any{"width": im.W, "height": im.H})
 	}
-	params := s.paramsFor(opts)
+	params := degrade.Apply(s.paramsFor(opts), lvl)
 	if err := params.Validate(im.W, im.H); err != nil {
 		fail("bad_request", http.StatusBadRequest, err.Error())
 		return
@@ -299,18 +399,39 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, pipeline.ErrPoolClosed):
 			w.Header().Set("Retry-After", "5")
 			fail("draining", http.StatusServiceUnavailable, "service draining")
+		case errors.Is(err, pipeline.ErrWorkerStuck):
+			fail("stuck", http.StatusGatewayTimeout, "backend abandoned past deadline")
+		case errors.Is(err, pipeline.ErrSegmentPanic):
+			s.recordPanic()
+			w.Header().Set("Retry-After", "1")
+			fail("backend_panic", http.StatusServiceUnavailable, "segmentation backend crashed on this frame")
 		case errors.Is(err, context.DeadlineExceeded):
 			fail("deadline", http.StatusGatewayTimeout, "request deadline exceeded")
 		case errors.Is(err, context.Canceled):
 			// The client went away; 499 is the de-facto convention for
 			// logging a client-closed request (nothing reads the body).
 			fail("canceled", 499, "client canceled request")
+		case faults.IsTransient(err):
+			// An injected fault that survived the pool's retries:
+			// transient by construction, so tell the client to try again.
+			w.Header().Set("Retry-After", "1")
+			fail("fault", http.StatusServiceUnavailable, "transient backend fault")
 		default:
 			fail("internal", http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
+	if s.brk != nil {
+		s.brk.recordSuccess()
+	}
 	s.writeResult(w, opts, im, res, tr)
+}
+
+// recordPanic feeds the circuit breaker (when enabled).
+func (s *Server) recordPanic() {
+	if s.brk != nil {
+		s.brk.recordPanic()
+	}
 }
 
 // writeResult renders the segmentation in the requested format.
@@ -376,6 +497,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Inc()
+				s.recordPanic()
 				sp.Abort()
 				if s.cfg.Logger != nil {
 					buf := make([]byte, 4096)

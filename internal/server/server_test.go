@@ -451,8 +451,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 }
 
 // TestPanicIsolation: a panic on one frame (here from the backend, the
-// deepest point a poisoned request reaches) must produce a 500 and
-// leave the server — including the worker that hit it — serving.
+// deepest point a poisoned request reaches) must produce a 503 (the
+// backend_panic classification the circuit breaker counts — transient
+// from the client's view, so retryable) and leave the server —
+// including the worker that hit it — serving.
 func TestPanicIsolation(t *testing.T) {
 	boom := func(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error) {
 		panic("poisoned frame")
@@ -466,8 +468,8 @@ func TestPanicIsolation(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("panic status %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("panic status %d, want 503", resp.StatusCode)
 	}
 
 	hz, err := http.Get(ts.URL + "/healthz")

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"sslic/internal/degrade"
+	"sslic/internal/pipeline"
+	"sslic/internal/telemetry"
+)
+
+// signalSampler turns the registry series the service already
+// maintains into the windowed degrade.Signals the load controller
+// consumes. Each sample closes one observation window: latency
+// percentiles and miss counts are computed from the delta since the
+// previous sample, while queue fill is an instantaneous reading.
+type signalSampler struct {
+	pool *pipeline.Pool
+	hist *telemetry.Histogram // segment endpoint request latency
+
+	deadline  *telemetry.Counter // rejected{reason="deadline"}
+	saturated *telemetry.Counter // rejected{reason="saturated"}
+
+	mu            sync.Mutex
+	prevHist      telemetry.HistogramSnapshot
+	prevDeadline  float64
+	prevSaturated float64
+}
+
+func newSignalSampler(pool *pipeline.Pool, reg *telemetry.Registry) *signalSampler {
+	lbl := telemetry.Label{Name: "endpoint", Value: "segment"}
+	return &signalSampler{
+		pool: pool,
+		// Same family+labels as the instrument middleware's span
+		// histogram: re-registration returns the identical series.
+		hist: reg.Histogram("sslic_server_request_seconds",
+			"Per-request service time.", nil, lbl),
+		deadline: reg.Counter("sslic_server_rejected_total",
+			"Requests refused, by reason.",
+			telemetry.Label{Name: "reason", Value: "deadline"}),
+		saturated: reg.Counter("sslic_server_rejected_total",
+			"Requests refused, by reason.",
+			telemetry.Label{Name: "reason", Value: "saturated"}),
+	}
+}
+
+// sample closes the current observation window.
+func (s *signalSampler) sample() degrade.Signals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := s.hist.Snapshot()
+	win := cur.Sub(s.prevHist)
+	s.prevHist = cur
+
+	dl := s.deadline.Value()
+	sat := s.saturated.Value()
+	misses := int(dl - s.prevDeadline)
+	rejected := int(sat - s.prevSaturated)
+	s.prevDeadline, s.prevSaturated = dl, sat
+
+	fill := 0.0
+	if cap := s.pool.QueueCapacity(); cap > 0 {
+		fill = float64(s.pool.Queued()) / float64(cap)
+	}
+	return degrade.Signals{
+		QueueFill:      fill,
+		P95:            time.Duration(win.Quantile(0.95) * float64(time.Second)),
+		DeadlineMisses: misses,
+		Rejected:       rejected,
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sslic/internal/telemetry/testutil"
 )
 
 // TestServeUnderLoadWithCancelAndDrain is the service-grade race test:
@@ -29,6 +31,7 @@ func TestServeUnderLoadWithCancelAndDrain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
+	testutil.VerifyNoLeaks(t)
 	im := testFrame(48, 36)
 	frame := ppmBody(t, im)
 	wantLabelBytes := labelMapLen(t, im.W, im.H)

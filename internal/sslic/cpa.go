@@ -2,9 +2,11 @@ package sslic
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"time"
 
+	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/telemetry"
@@ -52,6 +54,9 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		// subset pass bounds cancel latency to a subset round.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if err := faults.Fire(faults.PointSubsetPass); err != nil {
+			return nil, fmt.Errorf("sslic: pass %d: %w", pass, err)
 		}
 		subset := pass % k
 		passStart := time.Now()

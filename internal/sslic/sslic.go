@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
 	"sslic/internal/telemetry"
@@ -328,9 +329,14 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	acc := make([]sigma, len(centers))
 	for pass := 0; pass < totalPasses; pass++ {
 		// Checked once per subset pass: a pass touches ~1/k of the image,
-		// so cancellation latency is bounded by one subset round.
+		// so cancellation latency is bounded by one subset round. The
+		// fault hook rides the same granularity — an injected failure
+		// surfaces between passes, exactly where cancellation would.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if err := faults.Fire(faults.PointSubsetPass); err != nil {
+			return nil, fmt.Errorf("sslic: pass %d: %w", pass, err)
 		}
 		subset := pass % k
 		passStart := time.Now()

@@ -231,6 +231,67 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Sub returns the windowed difference s − prev: the observations that
+// arrived between the two snapshots of the same (monotone) histogram.
+// Min, Max and Exemplar are not differentiable and are left zero. A
+// zero-valued or mismatched prev (different bucket layout) is treated
+// as empty, so the first window of a sampling loop needs no special
+// case.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: append([]uint64(nil), s.Counts...),
+	}
+	if len(prev.Counts) != len(s.Counts) || prev.Count > s.Count {
+		out.Count = s.Count
+		out.Sum = s.Sum
+		return out
+	}
+	out.Count = s.Count - prev.Count
+	out.Sum = s.Sum - prev.Sum
+	for i := range out.Counts {
+		out.Counts[i] -= prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts with linear interpolation inside the target bucket — the same
+// estimate Prometheus's histogram_quantile computes. Observations in
+// the overflow bucket are credited to the highest finite bound (or Max
+// when the snapshot carries one), so the estimate is conservative but
+// bounded. Returns 0 when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	lower := 0.0
+	for i, b := range s.Bounds {
+		c := float64(s.Counts[i])
+		if c > 0 && cum+c >= rank {
+			return lower + (b-lower)*(rank-cum)/c
+		}
+		cum += c
+		lower = b
+	}
+	// Target falls in the +Inf bucket.
+	if s.Max > lower {
+		return s.Max
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return s.Max
+}
+
 // Snapshot reads the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

@@ -95,6 +95,63 @@ func TestHistogramEmptySnapshot(t *testing.T) {
 	}
 }
 
+func TestHistogramSnapshotSub(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("win_seconds", "", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	prev := h.Snapshot()
+	h.Observe(1.5)
+	h.Observe(9)
+	win := h.Snapshot().Sub(prev)
+	if win.Count != 2 || win.Sum != 10.5 {
+		t.Fatalf("window count/sum = %d/%g, want 2/10.5", win.Count, win.Sum)
+	}
+	want := []uint64{0, 1, 0, 1} // only the post-prev observations
+	for i, w := range want {
+		if win.Counts[i] != w {
+			t.Fatalf("window bucket %d = %d, want %d", i, win.Counts[i], w)
+		}
+	}
+	// A zero prev (first window) passes the full snapshot through.
+	full := h.Snapshot().Sub(HistogramSnapshot{})
+	if full.Count != 4 {
+		t.Fatalf("zero-prev window count = %d, want 4", full.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// Median rank 10 lands exactly at the first bucket's upper bound.
+	if got := s.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p50 = %g, want 10", got)
+	}
+	// p75 interpolates halfway into the second bucket: 10 + 10*(15-10)/10.
+	if got := s.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("p75 = %g, want 15", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.95); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	// Overflow-bucket quantiles cap at the observed max.
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(1); got != 100 {
+		t.Fatalf("p100 with overflow = %g, want max 100", got)
+	}
+	// A windowed snapshot (no Max) caps at the highest finite bound.
+	win := h.Snapshot().Sub(HistogramSnapshot{Counts: make([]uint64, 4), Bounds: []float64{10, 20, 40}})
+	if got := win.Quantile(1); got != 40 {
+		t.Fatalf("windowed p100 = %g, want last bound 40", got)
+	}
+}
+
 func TestHistogramBoundaryInclusive(t *testing.T) {
 	h := NewRegistry().Histogram("b_seconds", "", []float64{1})
 	h.Observe(1) // le="1" is inclusive

@@ -1,0 +1,53 @@
+// Package testutil holds test-only observability helpers. It lives in
+// its own package (not telemetry proper) so production binaries never
+// link the testing package.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks registers a cleanup that fails the test if the process
+// goroutine count has not returned to (near) its value at the call, a
+// cheap end-of-test tripwire for the leak class this repo actually
+// risks: abandoned pool attempts, undained pipeline stages, and server
+// handlers blocked past shutdown.
+//
+// Call it first in the test, before the code under test starts any
+// goroutines. The check polls with a grace period, because legitimate
+// teardown (http.Server.Shutdown, pool Close, watchdog-abandoned
+// attempts finishing late) finishes asynchronously; only a count still
+// elevated after the full grace is a failure. A small tolerance
+// absorbs runtime-internal goroutines (GC workers, timer threads) that
+// come and go on their own.
+func VerifyNoLeaks(t *testing.T) {
+	t.Helper()
+	VerifyNoLeaksWithin(t, 5*time.Second)
+}
+
+// VerifyNoLeaksWithin is VerifyNoLeaks with an explicit grace period.
+func VerifyNoLeaksWithin(t *testing.T, grace time.Duration) {
+	t.Helper()
+	const tolerance = 3
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base+tolerance {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at start, %d after %v grace\n%s", base, n, grace, buf)
+	})
+}
