@@ -48,8 +48,11 @@ const (
 	// PointPoolSubmit fires in pipeline.(*Pool).Submit before admission —
 	// a failing or slow admission layer.
 	PointPoolSubmit = "pool.submit"
-	// PointPoolRun fires in the pool worker before each segmentation
-	// attempt — the transient per-frame fault the retry layer absorbs.
+	// PointPoolRun fires in the pool worker at the top of each
+	// segmentation attempt, inside the worker's panic recover — an
+	// error action is the transient per-frame fault the retry layer
+	// absorbs; a panic action simulates a crashing worker and surfaces
+	// as ErrSegmentPanic, never a process crash.
 	PointPoolRun = "pool.run"
 	// PointPipelineSource, PointPipelineSegment and PointPipelineSink
 	// fire at the streaming pipeline's stage hand-offs.

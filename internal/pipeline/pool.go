@@ -475,9 +475,6 @@ func (p *Pool) runJob(ctx context.Context, im *imgio.Image, params sslic.Params)
 // fails the frame and moves on; the orphaned goroutine's late result
 // is discarded via its buffered channel).
 func (p *Pool) runAttempt(ctx context.Context, im *imgio.Image, params sslic.Params) (*sslic.Result, error) {
-	if err := faults.Fire(faults.PointPoolRun); err != nil {
-		return nil, err
-	}
 	dl, hasDeadline := ctx.Deadline()
 	if p.cfg.WatchdogGrace <= 0 || !hasDeadline {
 		return p.runSegment(ctx, im, params)
@@ -504,13 +501,19 @@ func (p *Pool) runAttempt(ctx context.Context, im *imgio.Image, params sslic.Par
 
 // runSegment isolates the backend: a panic on one frame becomes that
 // job's error instead of taking down the worker (and with it every
-// stream sharded onto it).
+// stream sharded onto it). The pool.run injection point fires inside
+// this recover so an injected panic simulates a crashing worker
+// (ErrSegmentPanic) rather than killing the process, and an injected
+// latency runs under the watchdog like real backend time.
 func (p *Pool) runSegment(ctx context.Context, im *imgio.Image, params sslic.Params) (res *sslic.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("%w: %v", ErrSegmentPanic, v)
 		}
 	}()
+	if err := faults.Fire(faults.PointPoolRun); err != nil {
+		return nil, err
+	}
 	return p.cfg.Segment(ctx, im, params)
 }
 

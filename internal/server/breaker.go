@@ -20,8 +20,9 @@ const (
 // shared buffer) burns a worker-restart's worth of work per request.
 // When threshold panics land within window, the breaker opens and the
 // segment endpoint fast-fails with 503 — no decode, no queueing —
-// until a cooldown passes; then a single probe request is let through,
-// and its outcome (success vs panic) closes or re-opens the circuit.
+// until a cooldown passes; then a single probe request is let through:
+// success closes the circuit, a panic re-opens it, and any other
+// terminal outcome releases the probe slot so the next request probes.
 type breaker struct {
 	threshold int
 	window    time.Duration
@@ -32,7 +33,8 @@ type breaker struct {
 	state    int
 	panics   []time.Time // panic times within the sliding window
 	openedAt time.Time
-	probing  bool // a half-open probe is in flight
+	probing  bool   // a half-open probe is in flight
+	probeGen uint64 // current probe's generation, guards stale releases
 
 	stateGauge *telemetry.Gauge
 	opens      *telemetry.Counter
@@ -61,28 +63,51 @@ func newBreaker(threshold int, window, cooldown time.Duration, reg *telemetry.Re
 
 // allow reports whether a request may proceed. In the open state it
 // returns false until the cooldown elapses, then lets exactly one
-// probe through at a time.
-func (b *breaker) allow() bool {
+// probe through at a time. When the admitted request is that probe,
+// probeDone is non-nil and the caller MUST invoke it when the request
+// reaches any terminal outcome — otherwise a probe that ends without a
+// success or a panic (bad request, saturation, deadline, client
+// cancel, shed) would hold the probe slot forever and wedge the
+// endpoint in permanent fast-fail.
+func (b *breaker) allow() (ok bool, probeDone func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, nil
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown {
 			b.fastFails.Inc()
-			return false
+			return false, nil
 		}
 		b.setState(breakerHalfOpen)
-		b.probing = true
-		return true
+		return true, b.startProbe()
 	default: // half-open
 		if b.probing {
 			b.fastFails.Inc()
-			return false
+			return false, nil
 		}
-		b.probing = true
-		return true
+		return true, b.startProbe()
+	}
+}
+
+// startProbe marks a probe in flight and returns its release func.
+// The release is idempotent and generation-guarded: it frees the probe
+// slot only if this probe is still unresolved — recordSuccess and
+// recordPanic settle the conclusive outcomes first, and a slot already
+// handed to a newer probe is left alone. An inconclusive outcome says
+// nothing about backend health, so the circuit stays half-open and the
+// next request becomes a fresh probe. Caller holds mu.
+func (b *breaker) startProbe() func() {
+	b.probing = true
+	b.probeGen++
+	gen := b.probeGen
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.state == breakerHalfOpen && b.probing && b.probeGen == gen {
+			b.probing = false
+		}
 	}
 }
 

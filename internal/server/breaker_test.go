@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
+	"sslic/internal/telemetry/testutil"
+)
+
+// toggleBackend panics until set(true), then segments normally.
+type toggleBackend struct {
+	mu sync.Mutex
+	ok bool
+}
+
+func (b *toggleBackend) set(ok bool) {
+	b.mu.Lock()
+	b.ok = ok
+	b.mu.Unlock()
+}
+
+func (b *toggleBackend) segment(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error) {
+	b.mu.Lock()
+	ok := b.ok
+	b.mu.Unlock()
+	if !ok {
+		panic("poisoned model")
+	}
+	return sslic.SegmentContext(ctx, im, p)
+}
+
+// TestBreakerProbeSlotReleases drives the probe lifecycle against a
+// fake clock: a half-open probe that ends without a success or a panic
+// must release the probe slot (so the next request probes), and a
+// stale release must never free a newer probe's slot.
+func TestBreakerProbeSlotReleases(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(1, 10*time.Second, time.Second, telemetry.NewRegistry(), clock)
+
+	b.recordPanic() // threshold 1: opens immediately
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	now = now.Add(2 * time.Second)
+	ok, probe1 := b.allow()
+	if !ok || probe1 == nil {
+		t.Fatal("cooldown elapsed: want the request admitted as the probe")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// The probe ends inconclusively (a 400, a 429, a client cancel…):
+	// the slot must free so the next request becomes a fresh probe.
+	probe1()
+	ok, probe2 := b.allow()
+	if !ok || probe2 == nil {
+		t.Fatal("released probe slot: want a fresh probe admitted")
+	}
+
+	// A duplicate release of the finished probe is stale — it must not
+	// free the slot now held by probe2.
+	probe1()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("stale release freed the live probe's slot")
+	}
+
+	b.recordSuccess() // probe2 succeeds: circuit closes
+	if b.state != breakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed", b.state)
+	}
+	probe2() // stale release after close must not disturb the state
+	if b.state != breakerClosed || b.probing {
+		t.Fatal("stale release corrupted the closed breaker")
+	}
+	if ok, probe := b.allow(); !ok || probe != nil {
+		t.Fatal("closed breaker should admit without a probe")
+	}
+}
+
+// TestBreakerRecoversAfterInconclusiveProbe is the HTTP-level
+// regression for the probe wedge: open the circuit with panics, let the
+// cooldown probe be a request that fails before reaching the backend
+// (garbage body, 400), and check the endpoint still recovers — before
+// the fix the 400 probe held the slot forever and every later request
+// fast-failed 503.
+func TestBreakerRecoversAfterInconclusiveProbe(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	healthy := &toggleBackend{}
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, Segment: healthy.segment, DegradeInterval: -1,
+		BreakerThreshold: 3, BreakerWindow: 10 * time.Second, BreakerCooldown: 50 * time.Millisecond,
+	})
+
+	body := ppmBody(t, testFrame(16, 16))
+	for i := 0; i < 3; i++ {
+		resp, _ := segmentOnce(t, ts.URL+"/v1/segment?k=8", body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("panic %d status %d, want 503", i, resp.StatusCode)
+		}
+	}
+	// Open: fast-fail 503s, which still carry the degradation header.
+	resp, _ := segmentOnce(t, ts.URL+"/v1/segment?k=8", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Degradation-Level"); got != "0" {
+		t.Fatalf("breaker fast-fail X-Degradation-Level = %q, want 0", got)
+	}
+
+	healthy.set(true)
+	time.Sleep(100 * time.Millisecond) // past the cooldown
+
+	// The probe request dies at decode with a 400 — an outcome that is
+	// neither a segmentation success nor a panic.
+	resp, _ = segmentOnce(t, ts.URL+"/v1/segment?k=8", []byte("not an image"))
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("garbage probe status %d, want 400 (or 503 if it raced the cooldown)", resp.StatusCode)
+	}
+
+	// The slot must have been released: a good request becomes the next
+	// probe, succeeds, and closes the circuit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ = segmentOnce(t, ts.URL+"/v1/segment?k=8", body)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered after inconclusive probe; last status %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

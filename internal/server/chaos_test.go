@@ -106,8 +106,9 @@ func TestChaosSeededSchedule(t *testing.T) {
 
 	// The seeded schedule: decode errors, admission latency jitter,
 	// retryable worker faults, and two backend panics. Panic actions
-	// live only at sslic.pass (inside the pool's recover); a panic at
-	// imgio.decode or pool.run would escape the backend's isolation.
+	// live at sslic.pass and pool.run (both inside the pool's recover,
+	// so they surface as ErrSegmentPanic 503s); a panic at imgio.decode
+	// would instead be caught by the server middleware as a 500.
 	inj := faults.New(42)
 	inj.Set(faults.PointDecode, faults.PointConfig{Probability: 0.12, ErrMsg: "chaos: decode"})
 	inj.Set(faults.PointPoolSubmit, faults.PointConfig{Every: 6, Latency: 2 * time.Millisecond})

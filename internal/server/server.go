@@ -324,6 +324,12 @@ func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *telemetry.T
 
 // handleSegment is the core endpoint: decode → admit → segment → render.
 func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	// The degradation level is read once and governs the whole request:
+	// every response — drain and breaker fast-fails included — names
+	// the level it was served at, the invariant the chaos suite and
+	// clients rely on.
+	lvl := s.degrade.Level()
+	w.Header().Set("X-Degradation-Level", strconv.Itoa(int(lvl)))
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "5")
 		s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
@@ -337,19 +343,27 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		tr.SetError(fmt.Errorf("%s (HTTP %d): %s", reason, code, msg))
 		s.reject(w, reason, code, msg)
 	}
-	if s.brk != nil && !s.brk.allow() {
-		w.Header().Set("Retry-After", "1")
-		fail("breaker", http.StatusServiceUnavailable, "backend circuit breaker open")
-		return
-	}
-	// The degradation level is read once and governs the whole request:
-	// the response always names the level it was served at.
-	lvl := s.degrade.Level()
-	w.Header().Set("X-Degradation-Level", strconv.Itoa(int(lvl)))
+	// Shedding is decided before the breaker so a shed request never
+	// consumes the half-open probe slot.
 	if lvl >= degrade.Shed {
 		w.Header().Set("Retry-After", "1")
 		fail("shed", http.StatusServiceUnavailable, "service shedding load (degradation level 4)")
 		return
+	}
+	if s.brk != nil {
+		ok, probeDone := s.brk.allow()
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			fail("breaker", http.StatusServiceUnavailable, "backend circuit breaker open")
+			return
+		}
+		if probeDone != nil {
+			// This request is the half-open probe. recordSuccess and
+			// recordPanic settle the conclusive outcomes; this defer
+			// settles every other exit (4xx, 429, 499, 504, faults) so
+			// the probe slot can never leak.
+			defer probeDone()
+		}
 	}
 	opts, err := parseOptions(s.cfg, r.URL.Query())
 	if err != nil {
@@ -497,7 +511,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Inc()
-				s.recordPanic()
+				// Only segment-path panics feed the segment endpoint's
+				// circuit breaker: a bug in /metrics or /healthz must
+				// not fast-fail segmentation traffic.
+				if endpoint == "segment" {
+					s.recordPanic()
+				}
 				sp.Abort()
 				if s.cfg.Logger != nil {
 					buf := make([]byte, 4096)
