@@ -235,7 +235,7 @@ func BenchmarkAblationSLICO(b *testing.B) { runExperiment(b, "ablation-slico") }
 func BenchmarkSegmentSSLICParallel(b *testing.B) {
 	s := sample(b)
 	p := islic.DefaultParams(900, 0.5)
-	p.Workers = -1
+	p.TileWorkers = -1
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

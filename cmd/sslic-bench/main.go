@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +48,7 @@ func main() {
 		md      = flag.Bool("md", false, "write Markdown files per experiment")
 		out     = flag.String("out", ".", "directory for CSV/Markdown output")
 		jsonOut = flag.String("json", "", "run the perf harness and write its JSON report here (a directory derives BENCH_<stamp>.json); empty runs the paper experiments instead")
+		speedy  = flag.String("speedups", "", "print the speedup table of an existing perf report as Markdown rows and exit")
 		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while experiments run; empty disables")
 	)
 	flag.Parse()
@@ -54,6 +56,14 @@ func main() {
 	if *list {
 		for _, r := range bench.Experiments() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	if *speedy != "" {
+		if err := printSpeedups(*speedy); err != nil {
+			fmt.Fprintln(os.Stderr, "sslic-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -161,5 +171,26 @@ func runPerf(dest string, quick bool) error {
 			r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp, r.DistanceCalcsPerFrame)
 	}
 	fmt.Printf("perf report: %s\n", dest)
+	return nil
+}
+
+// printSpeedups renders a report's derived speedup ratios as Markdown
+// table rows (sorted by name), for the CI speedup-table artifact.
+func printSpeedups(path string) error {
+	rep, err := bench.LoadPerf(path)
+	if err != nil {
+		return err
+	}
+	if len(rep.Speedups) == 0 {
+		return fmt.Errorf("%s carries no speedups (report predates them?)", path)
+	}
+	names := make([]string, 0, len(rep.Speedups))
+	for n := range rep.Speedups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("| %s | %.2fx |\n", n, rep.Speedups[n])
+	}
 	return nil
 }

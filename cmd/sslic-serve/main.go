@@ -40,6 +40,7 @@ import (
 
 	"sslic/internal/faults"
 	"sslic/internal/server"
+	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 )
 
@@ -48,7 +49,8 @@ func main() {
 		addr         = flag.String("addr", ":8080", "service listen address")
 		workers      = flag.Int("workers", 0, "segmentation workers/shards (<=0 uses all CPUs)")
 		queue        = flag.Int("queue", 2, "admission queue depth per worker; beyond it requests get 429")
-		segWorkers   = flag.Int("seg-workers", 0, "intra-frame parallelism per request (0 keeps results byte-deterministic)")
+		segWorkers   = flag.Int("seg-workers", 0, "intra-frame parallelism per request (0 keeps results byte-deterministic on the float64 datapath; overridable via ?tile_workers=)")
+		datapath     = flag.String("datapath", "float64", "default hot-loop arithmetic: float64 or fixed (the integer LUT datapath; overridable via ?datapath=)")
 		k            = flag.Int("k", 900, "default superpixel count (overridable per request via ?k=)")
 		ratio        = flag.Float64("ratio", 0.5, "default subsample ratio (?ratio=)")
 		iters        = flag.Int("iters", 10, "default full iterations (?iters=)")
@@ -71,6 +73,16 @@ func main() {
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var dp sslic.DatapathKind
+	switch *datapath {
+	case "float64":
+		dp = sslic.Float64
+	case "fixed":
+		dp = sslic.Fixed
+	default:
+		fatal(fmt.Errorf("unknown -datapath %q (want float64 or fixed)", *datapath))
+	}
 
 	level, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
@@ -104,6 +116,7 @@ func main() {
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		SegWorkers:         *segWorkers,
+		Datapath:           dp,
 		DefaultK:           *k,
 		DefaultRatio:       *ratio,
 		DefaultIters:       *iters,

@@ -51,6 +51,8 @@ func main() {
 		warmIter  = flag.Int("warm-iters", 3, "iterations for warm-started frames")
 		outDir    = flag.String("out", "", "write per-frame overlays to this directory")
 		workers   = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
+		tileWork  = flag.Int("tile-workers", 0, "intra-frame row-band parallelism per frame (0/1 serial, -1 all CPUs)")
+		datapath  = flag.String("datapath", "float64", "hot-loop arithmetic: float64 or fixed (the integer LUT datapath)")
 		queue     = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
 		traceBuf  = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
@@ -108,6 +110,15 @@ func main() {
 	w, h := stream.Size()
 	params := sslic.DefaultParams(*k, 0.5)
 	params.Metrics = sslic.NewMetrics(reg)
+	params.TileWorkers = *tileWork
+	switch *datapath {
+	case "float64":
+		params.Datapath = sslic.Float64
+	case "fixed":
+		params.Datapath = sslic.Fixed
+	default:
+		fatal(fmt.Errorf("unknown -datapath %q (want float64 or fixed)", *datapath))
+	}
 
 	// The accelerator model runs alongside the software stream: one
 	// analytic simulation per frame mode (cold frames run the full

@@ -67,6 +67,12 @@ type PerfReport struct {
 	Quick  bool `json:"quick,omitempty"`
 
 	Results []PerfResult `json:"results"`
+
+	// Speedups are derived wall-time ratios between named result pairs
+	// (e.g. the fixed tiled datapath against the float64 serial
+	// baseline). Host-dependent like every wall-time number — reported
+	// for the speedup-table artifact, never gated by ComparePerf.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
 // perfConfig is one cell of the measurement matrix: the paper's two
@@ -76,11 +82,13 @@ type PerfReport struct {
 // level 0 and level 2, quantifying what the overload ladder trades
 // (latency and distance calcs down, boundary recall slightly down).
 type perfConfig struct {
-	name    string
-	arch    sslic.Arch
-	ratio   float64
-	level   degrade.Level
-	quality bool // also record the boundary-recall proxy
+	name     string
+	arch     sslic.Arch
+	ratio    float64
+	level    degrade.Level
+	quality  bool // also record the boundary-recall proxy
+	workers  int  // sslic.Params.TileWorkers (-1 = GOMAXPROCS)
+	datapath sslic.DatapathKind
 }
 
 func perfConfigs() []perfConfig {
@@ -91,6 +99,20 @@ func perfConfigs() []perfConfig {
 		{name: "cpa_r050", arch: sslic.CPA, ratio: 0.5},
 		{name: "degrade_l0", arch: sslic.PPA, ratio: 0.5, level: degrade.Full, quality: true},
 		{name: "degrade_l2", arch: sslic.PPA, ratio: 0.5, level: degrade.CoarseSubsample, quality: true},
+		// The in-frame tiling sweep on the float64 datapath: same work,
+		// 1/4/8 row bands. Wall time scales with the host's cores; the
+		// deterministic metrics must NOT move across the sweep — that
+		// invariance is itself a gated property.
+		{name: "tiled_w1", arch: sslic.PPA, ratio: 0.5, workers: 1},
+		{name: "tiled_w4", arch: sslic.PPA, ratio: 0.5, workers: 4},
+		{name: "tiled_w8", arch: sslic.PPA, ratio: 0.5, workers: 8},
+		// The integer LUT datapath, serial and at eight bands — the
+		// degrade_l0-equivalent workload on the paper's arithmetic, with
+		// the boundary-recall proxy recorded so the speedup is visibly
+		// at quality parity. The band count is pinned (not -1) so the
+		// deterministic metrics stay host-independent for the CI gate.
+		{name: "fixed_w1", arch: sslic.PPA, ratio: 0.5, datapath: sslic.Fixed, workers: 1, quality: true},
+		{name: "fixed_w8", arch: sslic.PPA, ratio: 0.5, datapath: sslic.Fixed, workers: 8, quality: true},
 	}
 }
 
@@ -124,6 +146,8 @@ func RunPerf(quick bool) (*PerfReport, error) {
 	for _, c := range perfConfigs() {
 		p := sslic.DefaultParams(k, c.ratio)
 		p.Arch = c.arch
+		p.TileWorkers = c.workers
+		p.Datapath = c.datapath
 		p = degrade.Apply(p, c.level) // level 0 is the identity
 		var calcs int64
 		var benchErr error
@@ -168,7 +192,38 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		}
 		rep.Results = append(rep.Results, pr)
 	}
+	rep.Speedups = speedups(rep.Results)
 	return rep, nil
+}
+
+// speedups derives the headline wall-time ratios: the tiling sweep
+// against its own single-band run, and the fixed datapath against the
+// float64 serial baseline (degrade_l0 — the same workload, reference
+// arithmetic, no bands).
+func speedups(results []PerfResult) map[string]float64 {
+	ns := make(map[string]int64, len(results))
+	for _, r := range results {
+		ns[r.Name] = r.NsPerOp
+	}
+	ratio := func(base, cur string) (float64, bool) {
+		b, c := ns[base], ns[cur]
+		if b <= 0 || c <= 0 {
+			return 0, false
+		}
+		return float64(b) / float64(c), true
+	}
+	out := map[string]float64{}
+	for name, pair := range map[string][2]string{
+		"tiled_w4_vs_w1":        {"tiled_w1", "tiled_w4"},
+		"tiled_w8_vs_w1":        {"tiled_w1", "tiled_w8"},
+		"fixed_vs_float_serial": {"degrade_l0", "fixed_w1"},
+		"fixed_w8_vs_float":     {"degrade_l0", "fixed_w8"},
+	} {
+		if v, ok := ratio(pair[0], pair[1]); ok {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 // WritePerf serializes a report as indented JSON.

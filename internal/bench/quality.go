@@ -243,7 +243,7 @@ func bitWidth(o Options) (*Table, error) {
 		p := sslic.DefaultParams(fig2K, 0.5)
 		p.FullIters = iters
 		if bits > 0 {
-			p.Datapath = slic.NewDatapath(bits)
+			p.Quantization = slic.NewDatapath(bits)
 		}
 		r, err := sslic.Segment(s.Image, p)
 		if err != nil {

@@ -62,6 +62,11 @@ const (
 	// PointSubsetPass fires at the top of every S-SLIC subset pass (PPA
 	// and CPA) — a fault inside the core compute loop.
 	PointSubsetPass = "sslic.pass"
+	// PointTile fires at the start of every tile band within a PPA
+	// cluster-update pass — one firing per band per pass, concurrent with
+	// the other bands when TileWorkers > 1. A failing band fails the pass
+	// deterministically (lowest band index wins).
+	PointTile = "sslic.tile"
 	// PointDRAM fires in the DRAM model's transfer accounting. Record
 	// returns no error, so only the latency and panic actions apply.
 	PointDRAM = "hw.dram"
@@ -73,7 +78,7 @@ func KnownPoints() []string {
 	pts := []string{
 		PointDecode, PointPoolSubmit, PointPoolRun,
 		PointPipelineSource, PointPipelineSegment, PointPipelineSink,
-		PointSubsetPass, PointDRAM,
+		PointSubsetPass, PointTile, PointDRAM,
 	}
 	sort.Strings(pts)
 	return pts

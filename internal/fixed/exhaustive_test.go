@@ -1,0 +1,129 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// The quick.Check properties in fixed_test.go sample the space; the
+// tests here close it. Every format narrow enough to enumerate gets its
+// full raw domain (and, for Mul, its full operand square) checked
+// against first-principles references, so the arithmetic the bit-width
+// exploration trusts carries no untested input.
+
+// exhaustiveFormats are the formats whose raw domains are enumerated.
+var exhaustiveFormats = []Format{
+	U8,
+	S8,
+	MustNew(8, 4, true, Truncate),
+	MustNew(8, 4, true, Nearest),
+	MustNew(8, 8, false, Nearest),
+	MustNew(12, 6, true, Truncate),
+	MustNew(12, 6, true, Nearest),
+}
+
+// TestRoundTripIdentityExhaustive: every representable value must
+// survive ToFloat→Quantize unchanged, for both rounding modes — the
+// zero-ULP anchor of the representation.
+func TestRoundTripIdentityExhaustive(t *testing.T) {
+	for _, f := range exhaustiveFormats {
+		for raw := f.MinRaw(); raw <= f.MaxRaw(); raw++ {
+			if got := f.Quantize(f.ToFloat(raw)); got != raw {
+				t.Fatalf("%v: raw %d round-trips to %d", f, raw, got)
+			}
+		}
+	}
+}
+
+// TestQuantizeErrorBoundExhaustive sweeps a grid finer than one LSB
+// across each format's entire representable range and checks Quantize
+// against an independent float64 reference, including the ErrorBound
+// contract: at most one LSB for truncation, half for nearest.
+func TestQuantizeErrorBoundExhaustive(t *testing.T) {
+	for _, f := range exhaustiveFormats {
+		step := f.Resolution() / 7
+		for x := f.MinFloat(); x <= f.MaxFloat(); x += step {
+			raw := f.Quantize(x)
+			if raw < f.MinRaw() || raw > f.MaxRaw() {
+				t.Fatalf("%v: Quantize(%g) = %d outside raw range", f, x, raw)
+			}
+			if err := math.Abs(f.ToFloat(raw) - x); err > f.ErrorBound()+1e-12 {
+				t.Fatalf("%v: |RoundTrip(%g)-x| = %g > bound %g", f, x, err, f.ErrorBound())
+			}
+			// Independent reference for the chosen rounding rule.
+			scaled := x * float64(int64(1)<<f.Frac)
+			var want int64
+			if f.Round == Nearest {
+				want = int64(math.Round(scaled)) // ties away from zero, as documented
+			} else {
+				want = int64(math.Floor(scaled))
+			}
+			if want >= f.MinRaw() && want <= f.MaxRaw() && raw != want {
+				t.Fatalf("%v: Quantize(%g) = %d, reference %d", f, x, raw, want)
+			}
+		}
+	}
+}
+
+// TestSaturateExhaustive: Saturate must be the identity inside the raw
+// range and clamp hard just outside it.
+func TestSaturateExhaustive(t *testing.T) {
+	for _, f := range exhaustiveFormats {
+		for raw := f.MinRaw(); raw <= f.MaxRaw(); raw++ {
+			if f.Saturate(raw) != raw {
+				t.Fatalf("%v: Saturate(%d) altered an in-range value", f, raw)
+			}
+		}
+		if f.Saturate(f.MaxRaw()+1) != f.MaxRaw() || f.Saturate(f.MinRaw()-1) != f.MinRaw() {
+			t.Fatalf("%v: boundary saturation broken", f)
+		}
+	}
+}
+
+// TestMulExhaustivePairs enumerates every operand pair of a small
+// signed format in both rounding modes and checks Mul against an exact
+// integer reference: full-precision product, reference rescale, then
+// saturation.
+func TestMulExhaustivePairs(t *testing.T) {
+	for _, round := range []Rounding{Truncate, Nearest} {
+		f := MustNew(6, 2, true, round)
+		for a := f.MinRaw(); a <= f.MaxRaw(); a++ {
+			for b := f.MinRaw(); b <= f.MaxRaw(); b++ {
+				prod := a * b
+				var want int64
+				if round == Nearest {
+					// math.Round rounds half away from zero — the
+					// documented tie rule of Nearest.
+					want = int64(math.Round(float64(prod) / float64(int64(1)<<f.Frac)))
+				} else {
+					want = prod >> f.Frac // arithmetic shift: floor
+				}
+				if got := f.Mul(a, b); got != f.Saturate(want) {
+					t.Fatalf("%v: Mul(%d,%d) = %d, want %d", f, a, b, got, f.Saturate(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSqDiffExhaustivePairs: the distance calculator's inner op over
+// every pair of U8 color codes — the exact domain the accelerator's
+// color distance sees — must equal the saturated square of the
+// difference.
+func TestSqDiffExhaustivePairs(t *testing.T) {
+	// Wide enough that (255-0)² never saturates: the real datapath's
+	// accumulator width choice.
+	f := MustNew(18, 0, true, Truncate)
+	for a := int64(0); a <= 255; a++ {
+		for b := int64(0); b <= 255; b++ {
+			d := a - b
+			if got := f.SqDiff(a, b); got != d*d {
+				t.Fatalf("SqDiff(%d,%d) = %d, want %d", a, b, got, d*d)
+			}
+		}
+	}
+	// And on U8 itself, saturation caps at MaxRaw instead of wrapping.
+	if got := U8.SqDiff(255, 0); got != U8.MaxRaw() {
+		t.Fatalf("U8.SqDiff(255,0) = %d, want saturation at %d", got, U8.MaxRaw())
+	}
+}

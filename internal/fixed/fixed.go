@@ -157,13 +157,16 @@ func (f Format) Mul(a, b int64) int64 {
 	if f.Frac > 0 {
 		switch f.Round {
 		case Nearest:
+			// Round half away from zero: bias by half an LSB in the
+			// operand's own direction, then shift the magnitude. Shifting
+			// the biased two's-complement value directly instead would
+			// floor negative results one LSB too low (-1.25 → -2).
 			half := int64(1) << (f.Frac - 1)
 			if prod >= 0 {
-				prod += half
+				prod = (prod + half) >> f.Frac
 			} else {
-				prod -= half - 1
+				prod = -((-prod + half) >> f.Frac)
 			}
-			prod >>= f.Frac
 		default:
 			prod >>= f.Frac // arithmetic shift truncates toward -inf
 		}

@@ -124,7 +124,7 @@ func TestFuncSimAgreesWithSoftware(t *testing.T) {
 
 	p := sslic.DefaultParams(k, 1)
 	p.FullIters = fs.cfg.Passes
-	p.Datapath = slic.NewDatapath(8)
+	p.Quantization = slic.NewDatapath(8)
 	p.PerturbCenters = false // hardware uses static grid centers
 	p.EnforceConnectivity = false
 	sw, err := sslic.Segment(im, p)

@@ -18,6 +18,7 @@ package lut
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"sslic/internal/colorspace"
 	"sslic/internal/imgio"
@@ -152,17 +153,25 @@ func (c *Converter) labFFixed(t int32) int32 {
 	if t > one {
 		t = one
 	}
-	// Find octave k such that t ∈ [2^(16-k-1), 2^(16-k)).
-	for k := 0; k < c.segments-1; k++ {
-		lo := int32(1) << (fracBits - k - 1)
-		if t >= lo {
-			dt := int64(t - c.segT0[k])
-			return c.segBase[k] + int32((dt*int64(c.segSlope[k]))>>fracBits)
+	// Octave k hosts t ∈ [2^(16-k-1), 2^(16-k)), so k is the number of
+	// leading zeros of t within the Q0.16 word — a single priority encode
+	// on the leading set bit, exactly the hardware's segment select.
+	// Inputs below the last breakpoint — including t = 0, where no bit is
+	// set at all — take the bottom linear segment (whose segT0 is 0).
+	var k int
+	if t == 0 {
+		k = c.segments - 1
+	} else {
+		k = fracBits - bits.Len32(uint32(t))
+		if k < 0 {
+			k = 0 // t == one: top octave
+		}
+		if k > c.segments-1 {
+			k = c.segments - 1
 		}
 	}
-	// Bottom linear segment.
-	last := c.segments - 1
-	return c.segBase[last] + int32((int64(t)*int64(c.segSlope[last]))>>fracBits)
+	dt := int64(t - c.segT0[k])
+	return c.segBase[k] + int32((dt*int64(c.segSlope[k]))>>fracBits)
 }
 
 // Convert maps one 8-bit sRGB pixel to the 8-bit Lab encoding used by the

@@ -173,6 +173,112 @@ func TestLabFFixedMatchesEquation4(t *testing.T) {
 	}
 }
 
+// TestGammaLUTExhaustive checks every one of the 256 gamma entries —
+// the full input domain of the sRGB LUT — against the float64 reference
+// transfer function. The ROM must round-to-nearest exactly: zero ULP of
+// slack in Q0.16.
+func TestGammaLUTExhaustive(t *testing.T) {
+	c := MustNewConverter(DefaultSegments)
+	for i := 0; i < gammaEntries; i++ {
+		want := int32(math.Round(colorspace.SRGBToLinear(float64(i)/255) * one))
+		if c.gamma[i] != want {
+			t.Fatalf("gamma[%d] = %d, want %d", i, c.gamma[i], want)
+		}
+	}
+	// Endpoints are exact by construction: 0 → 0, 255 → 1.0.
+	if c.gamma[0] != 0 || c.gamma[255] != one {
+		t.Fatalf("gamma endpoints %d, %d", c.gamma[0], c.gamma[255])
+	}
+}
+
+// TestLabFFixedExhaustiveDomain sweeps the cube-root PWL across its
+// entire Q0.16 input domain, all 65537 values, against Equation 4's
+// float64 form. The pinned bound (0.0065 ≈ 426 LSB) sits just above the
+// measured worst case of the 8-segment minimax fit (0.0059); a wrong
+// slope, breakpoint, or segment select moves the error by orders of
+// magnitude.
+func TestLabFFixedExhaustiveDomain(t *testing.T) {
+	c := MustNewConverter(DefaultSegments)
+	labF := func(tt float64) float64 {
+		if tt > 0.008856 {
+			return math.Cbrt(tt)
+		}
+		return (903.3*tt + 16) / 116
+	}
+	var maxAbs float64
+	for tq := int32(0); tq <= one; tq++ {
+		got := float64(c.labFFixed(tq)) / one
+		want := labF(float64(tq) / one)
+		if e := math.Abs(got - want); e > maxAbs {
+			maxAbs = e
+		}
+	}
+	if maxAbs > 0.0065 {
+		t.Fatalf("max |labFFixed - f| = %.6f over full domain, want <= 0.0065", maxAbs)
+	}
+}
+
+// TestLabFFixedSegmentSelectExhaustive proves the priority-encode
+// segment select against a straight loop over the breakpoint table, for
+// every input value and every legal segment count. The two formulations
+// must agree bit for bit — the encode is an optimization, not an
+// approximation.
+func TestLabFFixedSegmentSelectExhaustive(t *testing.T) {
+	for _, segments := range []int{2, 3, 8, 24} {
+		c := MustNewConverter(segments)
+		ref := func(t32 int32) int32 {
+			if t32 < 0 {
+				t32 = 0
+			}
+			if t32 > one {
+				t32 = one
+			}
+			// Octaves below one LSB don't exist in Q0.16: k stops at
+			// fracBits-1, everything smaller is the bottom segment. (The
+			// pre-encode loop implementation missed that cap and shifted
+			// by a negative amount on t=0 with segments > 17.)
+			for k := 0; k < c.segments-1 && k < fracBits; k++ {
+				if t32 >= int32(1)<<(fracBits-k-1) {
+					dt := int64(t32 - c.segT0[k])
+					return c.segBase[k] + int32((dt*int64(c.segSlope[k]))>>fracBits)
+				}
+			}
+			last := c.segments - 1
+			return c.segBase[last] + int32((int64(t32)*int64(c.segSlope[last]))>>fracBits)
+		}
+		for tq := int32(-2); tq <= one+2; tq++ {
+			if got, want := c.labFFixed(tq), ref(tq); got != want {
+				t.Fatalf("segments=%d t=%d: priority encode %d, loop reference %d", segments, tq, got, want)
+			}
+		}
+	}
+}
+
+// TestConvertExhaustiveGrayAndPrimaries runs the full integer pipeline
+// over every 8-bit input on the axes that cover all three LUT channels —
+// the gray ramp plus the pure R, G, B ramps — against the float64
+// reference, bounding the worst deviation in output code units.
+func TestConvertExhaustiveGrayAndPrimaries(t *testing.T) {
+	c := MustNewConverter(DefaultSegments)
+	var maxD int
+	check := func(r, g, b uint8) {
+		l8, a8, b8 := c.Convert(r, g, b)
+		lr, ar, br := refLab8(r, g, b)
+		maxD = maxInt(maxD, absInt(int(l8)-int(lr)))
+		maxD = maxInt(maxD, absInt(int(a8)-int(ar)))
+		maxD = maxInt(maxD, absInt(int(b8)-int(br)))
+	}
+	for v := 0; v < 256; v++ {
+		check(uint8(v), uint8(v), uint8(v))
+		check(uint8(v), 0, 0)
+		check(0, uint8(v), 0)
+		check(0, 0, uint8(v))
+	}
+	if maxD > 8 {
+		t.Fatalf("max deviation %d codes on exhaustive axes, want <= 8", maxD)
+	}
+}
+
 func TestConvertImage(t *testing.T) {
 	c := MustNewConverter(DefaultSegments)
 	im := imgio.NewImage(3, 2)

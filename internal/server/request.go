@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sslic/internal/imgio"
+	"sslic/internal/sslic"
 )
 
 // The two request decoders — frame payload and query options — are the
@@ -36,11 +37,18 @@ type options struct {
 	Ratio       float64
 	Iters       int
 	Compactness float64
+	Datapath    sslic.DatapathKind
+	TileWorkers int // -1: use the server's configured SegWorkers
 	Stream      string
 	Format      string
 	Encoding    string
 	Timeout     time.Duration
 }
+
+// maxTileWorkers bounds the per-request intra-frame parallelism: the
+// knob selects a band count, so values past any plausible core count
+// only buy goroutine churn a client could use as an amplifier.
+const maxTileWorkers = 64
 
 // maxStreamIDLen bounds client stream identifiers: they key warm-state
 // maps, so they must stay cheap to hash and impossible to abuse as a
@@ -56,6 +64,8 @@ func parseOptions(cfg Config, q url.Values) (options, error) {
 		Ratio:       cfg.DefaultRatio,
 		Iters:       cfg.DefaultIters,
 		Compactness: cfg.DefaultCompactness,
+		Datapath:    cfg.Datapath,
+		TileWorkers: -1,
 		Format:      formatLabels,
 		Encoding:    encodingPPM,
 		Timeout:     cfg.RequestTimeout,
@@ -71,6 +81,19 @@ func parseOptions(cfg Config, q url.Values) (options, error) {
 		return o, err
 	}
 	if o.Compactness, err = floatParam(q, "compactness", o.Compactness, math.Nextafter(0, 1), 1e6); err != nil {
+		return o, err
+	}
+	if v := q.Get("datapath"); v != "" {
+		switch v {
+		case "float64":
+			o.Datapath = sslic.Float64
+		case "fixed":
+			o.Datapath = sslic.Fixed
+		default:
+			return o, fmt.Errorf("server: unknown datapath %q (want float64 or fixed)", v)
+		}
+	}
+	if o.TileWorkers, err = intParam(q, "tile_workers", o.TileWorkers, 0, maxTileWorkers); err != nil {
 		return o, err
 	}
 	if v := q.Get("stream"); v != "" {

@@ -58,10 +58,16 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds each shard's admission queue; <= 0 selects 2.
 	QueueDepth int
-	// SegWorkers is the intra-frame parallelism (sslic.Params.Workers)
+	// SegWorkers is the intra-frame parallelism (sslic.Params.TileWorkers)
 	// of each request; 0 runs each frame serially, which keeps results
-	// byte-deterministic across deployments.
+	// byte-deterministic across deployments on the float64 datapath (the
+	// fixed datapath is byte-deterministic at every worker count).
+	// Requests may override it with ?tile_workers=.
 	SegWorkers int
+	// Datapath is the default hot-loop arithmetic for requests that do
+	// not pass ?datapath=: Float64 (zero value) or Fixed, the
+	// accelerator's integer LUT datapath.
+	Datapath sslic.DatapathKind
 	// DefaultK, DefaultRatio, DefaultIters, DefaultCompactness are the
 	// segmentation defaults when the request does not override them.
 	// Zero values select 900, 0.5, 10 and 10 (the paper's evaluation
@@ -494,7 +500,11 @@ func (s *Server) paramsFor(o options) sslic.Params {
 	p := sslic.DefaultParams(o.K, o.Ratio)
 	p.FullIters = o.Iters
 	p.Compactness = o.Compactness
-	p.Workers = s.cfg.SegWorkers
+	p.Datapath = o.Datapath
+	p.TileWorkers = s.cfg.SegWorkers
+	if o.TileWorkers >= 0 {
+		p.TileWorkers = o.TileWorkers
+	}
 	return p
 }
 

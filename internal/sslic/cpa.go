@@ -27,7 +27,7 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
-	p.Datapath.QuantizeLab(lab)
+	p.Quantization.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
 	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
 
@@ -38,7 +38,7 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 
 	s := slic.GridInterval(im.W, im.H, p.K)
 	invS2 := p.Compactness * p.Compactness / (s * s)
-	quant := p.Datapath.DistQuantizer()
+	quant := p.Quantization.DistQuantizer()
 
 	k := p.Subsets()
 	totalPasses := p.FullIters * k

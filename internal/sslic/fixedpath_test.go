@@ -1,0 +1,408 @@
+package sslic
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sslic/internal/dataset"
+	"sslic/internal/faults"
+	"sslic/internal/imgio"
+	"sslic/internal/metrics"
+	"sslic/internal/slic"
+	"sslic/internal/telemetry"
+)
+
+// bestMatchDisagreement maps each label of got onto the label of want it
+// overlaps most, then counts the pixels outside that majority mapping.
+// Raw label comparison between independent runs is meaningless — the
+// connectivity sweep renumbers components — so parity between the fixed
+// and float datapaths is measured on matched regions.
+func bestMatchDisagreement(got, want *imgio.LabelMap) float64 {
+	overlap := map[[2]int32]int{}
+	for i := range got.Labels {
+		overlap[[2]int32{got.Labels[i], want.Labels[i]}]++
+	}
+	best := map[int32]int32{}
+	bestN := map[int32]int{}
+	for k, n := range overlap {
+		if n > bestN[k[0]] {
+			bestN[k[0]] = n
+			best[k[0]] = k[1]
+		}
+	}
+	bad := 0
+	for i := range got.Labels {
+		if best[got.Labels[i]] != want.Labels[i] {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(got.Labels))
+}
+
+// fixedParams is the common fixed-datapath configuration of this file.
+func fixedParams(k int, ratio float64) Params {
+	p := DefaultParams(k, ratio)
+	p.Datapath = Fixed
+	return p
+}
+
+func TestFixedDatapathValidation(t *testing.T) {
+	im := testImage(32, 32)
+	cases := []struct {
+		name string
+		mod  func(*Params)
+	}{
+		{"unknown datapath", func(p *Params) { p.Datapath = DatapathKind(9) }},
+		{"fixed on CPA", func(p *Params) { p.Arch = CPA }},
+		{"fixed with quantization", func(p *Params) { p.Quantization = slic.NewDatapath(8) }},
+		{"fixed with software center update", func(p *Params) { p.SoftwareCenterUpdate = true }},
+	}
+	for _, c := range cases {
+		p := fixedParams(9, 0.5)
+		c.mod(&p)
+		if _, err := Segment(im, p); err == nil {
+			t.Errorf("%s: Segment succeeded, want validation error", c.name)
+		}
+	}
+	if _, err := Segment(im, fixedParams(9, 0.5)); err != nil {
+		t.Fatalf("valid fixed config rejected: %v", err)
+	}
+}
+
+// TestFixedTiledMatchesSerialExact is the tiled determinism contract on
+// the fixed datapath: the integer sigma accumulators make the band merge
+// exactly associative, so every TileWorkers value must reproduce the
+// serial run bit for bit — labels, centers, and work counters alike.
+func TestFixedTiledMatchesSerialExact(t *testing.T) {
+	im := testImage(128, 96)
+	serial, err := Segment(im, fixedParams(48, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, -1} {
+		p := fixedParams(48, 0.5)
+		p.TileWorkers = workers
+		r, err := Segment(im, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial.Labels.Labels {
+			if serial.Labels.Labels[i] != r.Labels.Labels[i] {
+				t.Fatalf("workers=%d: label mismatch at pixel %d", workers, i)
+			}
+		}
+		if serial.Stats.DistanceCalcs != r.Stats.DistanceCalcs {
+			t.Fatalf("workers=%d: calcs %d vs serial %d", workers,
+				r.Stats.DistanceCalcs, serial.Stats.DistanceCalcs)
+		}
+		// Centers come out of integer accumulators: equality is exact,
+		// no floating-point tolerance.
+		for ci := range serial.Centers {
+			if serial.Centers[ci] != r.Centers[ci] {
+				t.Fatalf("workers=%d: center %d differs from serial", workers, ci)
+			}
+		}
+		for pi := range serial.Stats.MoveHistory {
+			if serial.Stats.MoveHistory[pi] != r.Stats.MoveHistory[pi] {
+				t.Fatalf("workers=%d: residual history differs at pass %d", workers, pi)
+			}
+		}
+	}
+}
+
+// TestFloatWorkersOneMatchesSerial pins the trivial end of the contract
+// on the float64 datapath too: TileWorkers 0 and 1 are the same serial
+// code path and must agree exactly (larger counts are covered by
+// parallel_test.go up to FP summation order).
+func TestFloatWorkersOneMatchesSerial(t *testing.T) {
+	im := testImage(96, 64)
+	a, err := Segment(im, DefaultParams(24, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(24, 0.5)
+	p.TileWorkers = 1
+	b, err := Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels.Labels {
+		if a.Labels.Labels[i] != b.Labels.Labels[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+	for ci := range a.Centers {
+		if a.Centers[ci] != b.Centers[ci] {
+			t.Fatalf("center %d differs", ci)
+		}
+	}
+}
+
+// TestFixedParityWithFloat is the property-based parity suite: over
+// seeded random scenes, the tiled fixed datapath must stay within a
+// pinned label-disagreement budget of the serial float64 oracle, and its
+// boundary recall against the scene ground truth must not trail the
+// oracle's by more than a pinned margin. The budgets are deliberately
+// tight enough that a broken distance scale or a mis-merged band blows
+// straight through them.
+func TestFixedParityWithFloat(t *testing.T) {
+	// The disagreement sits on superpixel boundaries (8-bit color codes
+	// and Q8 coordinates round the tie zone), so the budget scales with
+	// the boundary fraction: ~6% on a 240×160 frame, more on the small
+	// frames here. 0.15 is loose enough for that and far too tight for a
+	// broken distance scale, which lands above 0.5.
+	const (
+		disagreementBudget = 0.15 // fraction of pixels outside the matched mapping
+		brMargin           = 0.05 // boundary-recall points the fixed path may trail by
+	)
+	for _, seed := range []int64{1, 2, 3, 4} {
+		cfg := dataset.DefaultConfig()
+		cfg.W, cfg.H = 120, 90
+		cfg.Regions = 10
+		s, err := dataset.Generate(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := Segment(s.Image, DefaultParams(48, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := fixedParams(48, 0.5)
+		p.TileWorkers = 3
+		fixed, err := Segment(s.Image, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := bestMatchDisagreement(fixed.Labels, oracle.Labels); d > disagreementBudget {
+			t.Errorf("seed %d: matched disagreement %.4f exceeds budget %.2f", seed, d, disagreementBudget)
+		}
+		brFloat, err := metrics.BoundaryRecall(oracle.Labels, s.GT, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brFixed, err := metrics.BoundaryRecall(fixed.Labels, s.GT, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if brFixed < brFloat-brMargin {
+			t.Errorf("seed %d: fixed BR %.4f trails float BR %.4f by more than %.2f",
+				seed, brFixed, brFloat, brMargin)
+		}
+	}
+}
+
+// TestFixedInvariantsOnRandomImages sweeps the fixed datapath across
+// random sizes, K values, ratios, schemes and worker counts; the
+// structural label invariants must hold regardless of content.
+func TestFixedInvariantsOnRandomImages(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 16 + r.Intn(60)
+		h := 16 + r.Intn(60)
+		k := 2 + r.Intn(20)
+		ratios := []float64{1, 0.5, 0.25}
+		schemes := []Scheme{Interleaved, Rows, Blocks, Hashed}
+		p := fixedParams(k, ratios[r.Intn(len(ratios))])
+		p.Scheme = schemes[r.Intn(len(schemes))]
+		p.FullIters = 1 + r.Intn(4)
+		p.TileWorkers = r.Intn(5)
+		im := randomImage(rng, w, h)
+		res, err := Segment(im, p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		n := res.Labels.NumRegions()
+		if int(res.Labels.MaxLabel())+1 != n {
+			t.Logf("seed %d: labels not dense", seed)
+			return false
+		}
+		for _, v := range res.Labels.Labels {
+			if v < 0 || int(v) >= n {
+				t.Logf("seed %d: label %d out of range", seed, v)
+				return false
+			}
+		}
+		if !allConnected(res.Labels) {
+			t.Logf("seed %d: disconnected label after connectivity pass", seed)
+			return false
+		}
+		for _, c := range res.Centers {
+			if c.X < 0 || c.X >= float64(w) || c.Y < 0 || c.Y >= float64(h) {
+				t.Logf("seed %d: center (%g,%g) outside %dx%d", seed, c.X, c.Y, w, h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixedWarmStart drives the float→fixed center quantization path:
+// a warm-started fixed run must accept the previous frame's centers and
+// still satisfy the label invariants.
+func TestFixedWarmStart(t *testing.T) {
+	im := testImage(96, 72)
+	first, err := Segment(im, fixedParams(24, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fixedParams(24, 0.5)
+	p.InitialCenters = first.Centers
+	p.FullIters = 2
+	second, err := Segment(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range second.Labels.Labels {
+		if v < 0 {
+			t.Fatalf("pixel %d unassigned after warm start", i)
+		}
+	}
+}
+
+// TestFixedPreemptive composes the settled-tile early halt with the
+// fixed datapath; skips must register and the result stays valid. On
+// the fixed path the settled flags derive from integer movement, so the
+// combination is deterministic for every worker count — assert that too.
+func TestFixedPreemptive(t *testing.T) {
+	im := testImage(96, 96)
+	run := func(workers int) *Result {
+		p := fixedParams(36, 0.5)
+		p.Preemptive = true
+		p.FullIters = 12
+		p.TileWorkers = workers
+		r, err := Segment(im, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, par := run(0), run(4)
+	if serial.Labels.NumRegions() == 0 {
+		t.Fatal("no regions")
+	}
+	for i := range serial.Labels.Labels {
+		if serial.Labels.Labels[i] != par.Labels.Labels[i] {
+			t.Fatalf("preemptive fixed run not worker-invariant at pixel %d", i)
+		}
+	}
+	if serial.Stats.SkippedTiles != par.Stats.SkippedTiles {
+		t.Fatalf("skip counts differ: %d vs %d", serial.Stats.SkippedTiles, par.Stats.SkippedTiles)
+	}
+}
+
+// TestFixedCancelStress hammers concurrent tiled fixed runs under
+// randomized cancellation — the workload the -race CI job locks down.
+// Every run must either complete with a fully labeled map or fail with
+// the context's error; a torn result is a bug either way.
+func TestFixedCancelStress(t *testing.T) {
+	im := testImage(80, 60)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	results := make([]*Result, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if g%2 == 1 {
+				// Cancel at a pseudo-random point mid-run.
+				timer := time.AfterFunc(time.Duration(1+g*37%11)*time.Millisecond, cancel)
+				defer timer.Stop()
+			}
+			p := fixedParams(24, 0.5)
+			p.TileWorkers = 3
+			results[g], errs[g] = SegmentContext(ctx, im, p)
+		}(g)
+	}
+	wg.Wait()
+	var done *Result
+	for g := range errs {
+		switch {
+		case errs[g] == nil:
+			for i, v := range results[g].Labels.Labels {
+				if v < 0 {
+					t.Fatalf("goroutine %d: pixel %d unassigned in successful run", g, i)
+				}
+			}
+			if done == nil {
+				done = results[g]
+			} else {
+				// Completed runs are bit-identical regardless of the
+				// cancellation churn around them.
+				for i := range done.Labels.Labels {
+					if done.Labels.Labels[i] != results[g].Labels.Labels[i] {
+						t.Fatalf("completed runs disagree at pixel %d", i)
+					}
+				}
+			}
+		case errors.Is(errs[g], context.Canceled):
+			// Expected for the canceled half.
+		default:
+			t.Fatalf("goroutine %d: unexpected error %v", g, errs[g])
+		}
+	}
+	if done == nil {
+		t.Fatal("every run was canceled; stress test proved nothing")
+	}
+}
+
+// TestTileFaultInjection covers the sslic.tile injection point: a fault
+// in any band must fail the whole run, and with every band firing the
+// reported band is deterministically the lowest index.
+func TestTileFaultInjection(t *testing.T) {
+	defer faults.Disable()
+	im := testImage(64, 48)
+	for _, workers := range []int{0, 3} {
+		inj := faults.New(1)
+		inj.Set(faults.PointTile, faults.PointConfig{Every: 1, ErrMsg: "tile dead"})
+		faults.Enable(inj)
+		p := fixedParams(16, 0.5)
+		p.TileWorkers = workers
+		_, err := Segment(im, p)
+		if err == nil {
+			t.Fatalf("workers=%d: injected tile fault did not surface", workers)
+		}
+		if !faults.IsTransient(err) {
+			t.Fatalf("workers=%d: error %v does not unwrap to ErrInjected", workers, err)
+		}
+		faults.Disable()
+	}
+	// The float64 path shares the band plumbing; one spot check.
+	inj := faults.New(1)
+	inj.Set(faults.PointTile, faults.PointConfig{Every: 1, ErrMsg: "tile dead"})
+	faults.Enable(inj)
+	p := DefaultParams(16, 0.5)
+	p.TileWorkers = 2
+	if _, err := Segment(im, p); err == nil {
+		t.Fatal("float64 path: injected tile fault did not surface")
+	}
+}
+
+// TestFixedTelemetryGauges: a tiled run must report its band count and
+// a sane imbalance ratio on the registry.
+func TestFixedTelemetryGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := fixedParams(24, 0.5)
+	p.TileWorkers = 3
+	p.Metrics = NewMetrics(reg)
+	if _, err := Segment(testImage(96, 96), p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metrics.TileBands.Value(); got != 3 {
+		t.Fatalf("TileBands = %v, want 3", got)
+	}
+	if got := p.Metrics.TileImbalance.Value(); got < 1.0 {
+		t.Fatalf("TileImbalance = %v, want >= 1.0", got)
+	}
+}

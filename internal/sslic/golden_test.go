@@ -31,7 +31,7 @@ func goldenSegment(t *testing.T, workers int) *imgio.LabelMap {
 		t.Fatal(err)
 	}
 	p := DefaultParams(64, 0.5)
-	p.Workers = workers
+	p.TileWorkers = workers
 	r, err := Segment(s.Image, p)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +62,46 @@ func TestGoldenDeterminism(t *testing.T) {
 		if got != goldenLabelsSHA256 {
 			t.Errorf("workers=%d: label hash %s, want %s (if the change is intentional, update goldenLabelsSHA256)",
 				workers, got, goldenLabelsSHA256)
+		}
+	}
+}
+
+// goldenFixedLabelsSHA256 pins the fixed-datapath output of the same
+// scene. The integer hot loop makes the run bit-identical for every
+// worker count by construction (exact sigma merge), so a single
+// constant covers the whole TileWorkers sweep; it is also
+// platform-independent, carrying no floating-point arithmetic at all
+// past the LUT construction.
+const goldenFixedLabelsSHA256 = "7ece6671d83c89cf3b66f3af52226f4061287851c9373f5d59c19f681ed512a9"
+
+// goldenSegmentFixed is goldenSegment on the fixed LUT datapath.
+func goldenSegmentFixed(t *testing.T, workers int) *imgio.LabelMap {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 160, 120
+	cfg.Regions = 12
+	s, err := dataset.Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(64, 0.5)
+	p.Datapath = Fixed
+	p.TileWorkers = workers
+	r, err := Segment(s.Image, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Labels
+}
+
+// TestGoldenDeterminismFixed pins the fixed-datapath output across the
+// worker sweep: one hash, every TileWorkers value, byte-identical.
+func TestGoldenDeterminismFixed(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := labelsSHA256(goldenSegmentFixed(t, workers))
+		if got != goldenFixedLabelsSHA256 {
+			t.Errorf("workers=%d: label hash %s, want %s (if the change is intentional, update goldenFixedLabelsSHA256)",
+				workers, got, goldenFixedLabelsSHA256)
 		}
 	}
 }

@@ -26,7 +26,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}()
 	for _, workers := range []int{2, 3, 8, -1} {
 		p := DefaultParams(48, 0.5)
-		p.Workers = workers
+		p.TileWorkers = workers
 		r, err := Segment(im, p)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -53,7 +53,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestParallelMoreWorkersThanRows(t *testing.T) {
 	im := testImage(40, 24)
 	p := DefaultParams(4, 1) // 2 tile rows
-	p.Workers = 64
+	p.TileWorkers = 64
 	r, err := Segment(im, p)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func TestParallelMoreWorkersThanRows(t *testing.T) {
 func TestParallelWithPreemption(t *testing.T) {
 	im := testImage(96, 96)
 	p := DefaultParams(36, 0.5)
-	p.Workers = 4
+	p.TileWorkers = 4
 	p.Preemptive = true
 	p.FullIters = 12
 	r, err := Segment(im, p)
@@ -88,7 +88,7 @@ func TestParallelRepeatable(t *testing.T) {
 	im := testImage(96, 64)
 	run := func() *Result {
 		p := DefaultParams(24, 0.5)
-		p.Workers = 4
+		p.TileWorkers = 4
 		r, err := Segment(im, p)
 		if err != nil {
 			t.Fatal(err)

@@ -153,7 +153,7 @@ func TestSegmentWithDatapathNeverPanics(t *testing.T) {
 	for bits := 2; bits <= 16; bits++ {
 		p := DefaultParams(8, 0.5)
 		p.FullIters = 2
-		p.Datapath = slic.NewDatapath(bits)
+		p.Quantization = slic.NewDatapath(bits)
 		if _, err := Segment(im, p); err != nil {
 			t.Errorf("bits=%d: %v", bits, err)
 		}

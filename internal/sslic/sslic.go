@@ -85,6 +85,29 @@ func (s Scheme) String() string {
 	}
 }
 
+// DatapathKind selects the arithmetic of the PPA hot loop.
+type DatapathKind int
+
+const (
+	// Float64 is the reference datapath: float64 CIELAB conversion and
+	// Equation-5 distances, the oracle the fixed path is tested against.
+	Float64 DatapathKind = iota
+	// Fixed is the paper's hardware datapath (§4.3, §6.1): 8-bit Lab codes
+	// from the internal/lut Color Conversion Unit (gamma LUT + PWL cube
+	// root) and integer distance/accumulator arithmetic. Center sums use
+	// exact integer accumulators, so tiled runs are bit-identical for
+	// every TileWorkers value, not just per worker count.
+	Fixed
+)
+
+// String names the datapath.
+func (d DatapathKind) String() string {
+	if d == Fixed {
+		return "fixed"
+	}
+	return "float64"
+}
+
 // Params configures an S-SLIC run.
 type Params struct {
 	// K is the requested superpixel count.
@@ -111,8 +134,15 @@ type Params struct {
 	EnforceConnectivity bool
 	// MinRegionDivisor sets the connectivity minimum size S²/divisor.
 	MinRegionDivisor int
-	// Datapath optionally models the reduced-precision hardware datapath.
-	Datapath slic.Datapath
+	// Datapath selects the hot-loop arithmetic: Float64 (default) is the
+	// reference implementation, Fixed runs the paper's integer LUT
+	// datapath (PPA only; see DatapathKind).
+	Datapath DatapathKind
+	// Quantization optionally models the reduced-precision hardware
+	// datapath by quantizing the float64 path's Lab values and distances
+	// (the §6.1 bit-width exploration). Mutually exclusive with
+	// Datapath == Fixed, which replaces the arithmetic outright.
+	Quantization slic.Datapath
 	// Preemptive enables the per-cluster early halt of Preemptive SLIC
 	// (Neubert & Protzel, ICPR 2014) composed with subsampling: tiles
 	// whose 9 candidate centers have all stopped moving are skipped.
@@ -125,14 +155,16 @@ type Params struct {
 	// centers across frames. Length must equal the effective K (the
 	// center grid size for the image and K).
 	InitialCenters []slic.Center
-	// Workers sets the number of goroutines for the PPA cluster-update
+	// TileWorkers sets the number of goroutines for the PPA cluster-update
 	// pass: 0 or 1 runs serially, n > 1 uses n workers, -1 uses
-	// runtime.GOMAXPROCS(0). Tiles are partitioned by row bands with
-	// per-worker sigma accumulators merged in fixed order, so results
-	// are deterministic for a given worker count; center coordinates can
-	// differ from the serial path in the last floating-point bits
-	// because summation order changes.
-	Workers int
+	// runtime.GOMAXPROCS(0). Tile rows are partitioned into contiguous
+	// bands with per-band sigma accumulators merged in fixed band order,
+	// so labels are deterministic for a given worker count. On the
+	// Float64 datapath center coordinates can differ from the serial path
+	// in the last floating-point bits because summation order changes; on
+	// the Fixed datapath the integer accumulators are exactly
+	// associative, so output is bit-identical for EVERY worker count.
+	TileWorkers int
 	// LabelBuf optionally supplies a preallocated label map that the run
 	// writes its result into instead of allocating a fresh one — the
 	// buffer-reuse hook streaming pipelines use to keep the per-frame hot
@@ -196,6 +228,20 @@ func (p Params) Validate(w, h int) error {
 	if p.SubsampleRatio <= 0 || p.SubsampleRatio > 1 {
 		return fmt.Errorf("sslic: subsample ratio %g out of (0, 1]", p.SubsampleRatio)
 	}
+	if p.Datapath != Float64 && p.Datapath != Fixed {
+		return fmt.Errorf("sslic: unknown datapath %d", p.Datapath)
+	}
+	if p.Datapath == Fixed {
+		if p.Arch == CPA {
+			return fmt.Errorf("sslic: the fixed datapath requires the PPA architecture")
+		}
+		if p.Quantization.Enabled {
+			return fmt.Errorf("sslic: the fixed datapath replaces the arithmetic; Quantization does not apply")
+		}
+		if p.SoftwareCenterUpdate {
+			return fmt.Errorf("sslic: the fixed datapath uses the fused hardware center update; SoftwareCenterUpdate does not apply")
+		}
+	}
 	return nil
 }
 
@@ -237,9 +283,12 @@ func SegmentContext(ctx context.Context, im *imgio.Image, p Params) (*Result, er
 	t0 := time.Now()
 	var r *Result
 	var err error
-	if p.Arch == CPA {
+	switch {
+	case p.Arch == CPA:
 		r, err = segmentCPA(ctx, im, p)
-	} else {
+	case p.Datapath == Fixed:
+		r, err = segmentPPAFixed(ctx, im, p)
+	default:
 		r, err = segmentPPA(ctx, im, p)
 	}
 	if err == nil {
@@ -283,7 +332,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 
 	t0 := time.Now()
 	lab := slic.ToLab(im)
-	p.Datapath.QuantizeLab(lab)
+	p.Quantization.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
 	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
 
@@ -316,7 +365,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 
 	s := slic.GridInterval(im.W, im.H, p.K)
 	invS2 := p.Compactness * p.Compactness / (s * s)
-	quant := p.Datapath.DistQuantizer()
+	quant := p.Quantization.DistQuantizer()
 
 	k := p.Subsets()
 	totalPasses := p.FullIters * k
@@ -345,7 +394,10 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		for i := range acc {
 			acc[i] = sigma{}
 		}
-		calcs, skipped, saved := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, p, settled)
+		calcs, skipped, saved, err := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, p, settled, tr, pass)
+		if err != nil {
+			return nil, err
+		}
 		st.DistanceCalcs += calcs
 		st.SkippedTiles += skipped
 		st.SavedDistanceCalcs += saved
@@ -402,47 +454,117 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	return &Result{Labels: labels, Centers: centers, Tiling: tiling, Stats: st}, nil
 }
 
-// runPPAPass executes one subset pass, serially or across worker
-// goroutines per Params.Workers. Parallel runs partition the tile rows;
-// each worker accumulates into its own sigma slice, merged afterwards in
-// worker order so results match the serial path exactly.
-func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, labels *imgio.LabelMap,
-	acc []sigma, subset, k int, invS2 float64, quant func(float64) float64, p Params, settled []bool) (calcs, skippedTiles, saved int64) {
-
-	workers := p.Workers
+// tileBands splits the NY tile rows into min(workers, NY) contiguous
+// bands, resolving the TileWorkers conventions (-1 = all CPUs, <=1 =
+// serial). The [i*NY/n, (i+1)*NY/n) split is the fixed decomposition
+// both datapaths and the determinism tests rely on.
+func tileBands(workers, ny int) int {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > tiling.NY {
-		workers = tiling.NY
+	if workers > ny {
+		workers = ny
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// bandStat is one band's share of a pass, recorded for the per-tile
+// trace events and the imbalance gauge.
+type bandStat struct {
+	calcs, skipped, saved int64
+	start                 time.Time
+	dur                   time.Duration
+	err                   error
+}
+
+// observeBands lands the band timings on the trace (one "tile" span per
+// band, emitted in band order from the merging goroutine so traces stay
+// single-writer) and on the tile gauges. Serial passes skip the trace
+// spans — the "pass" event already covers the single band.
+func observeBands(tr *telemetry.Trace, m *Metrics, pass int, bands []bandStat) {
+	if tr != nil && len(bands) > 1 {
+		for i := range bands {
+			tr.Emit("tile", "sslic", bands[i].start, bands[i].dur, map[string]any{
+				"pass": pass, "band": i, "distance_calcs": bands[i].calcs,
+			})
+		}
+	}
+	var maxDur, sumDur time.Duration
+	for i := range bands {
+		sumDur += bands[i].dur
+		if bands[i].dur > maxDur {
+			maxDur = bands[i].dur
+		}
+	}
+	m.observeTiles(len(bands), maxDur, sumDur)
+}
+
+// bandError returns the lowest-band failure, so a multi-band pass fails
+// deterministically regardless of goroutine scheduling.
+func bandError(pass int, bands []bandStat) error {
+	for i := range bands {
+		if bands[i].err != nil {
+			return fmt.Errorf("sslic: pass %d band %d: %w", pass, i, bands[i].err)
+		}
+	}
+	return nil
+}
+
+// runPPAPass executes one subset pass, serially or across worker
+// goroutines per Params.TileWorkers. Parallel runs partition the tile
+// rows into bands; each band accumulates into its own sigma slice,
+// merged afterwards in band order so results match the serial path
+// exactly. Every band passes through the sslic.tile fault point.
+func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, labels *imgio.LabelMap,
+	acc []sigma, subset, k int, invS2 float64, quant func(float64) float64, p Params, settled []bool,
+	tr *telemetry.Trace, pass int) (calcs, skippedTiles, saved int64, err error) {
+
+	workers := tileBands(p.TileWorkers, tiling.NY)
 	if workers <= 1 {
-		return ppaPassRange(lab, tiling, centers, labels, acc, 0, tiling.NY, subset, k, invS2, quant, p, settled)
+		band := []bandStat{{start: time.Now()}}
+		if err := faults.Fire(faults.PointTile); err != nil {
+			band[0].err = err
+			return 0, 0, 0, bandError(pass, band)
+		}
+		calcs, skippedTiles, saved = ppaPassRange(lab, tiling, centers, labels, acc, 0, tiling.NY, subset, k, invS2, quant, p, settled)
+		band[0].calcs, band[0].skipped, band[0].saved = calcs, skippedTiles, saved
+		band[0].dur = time.Since(band[0].start)
+		observeBands(tr, p.Metrics, pass, band)
+		return calcs, skippedTiles, saved, nil
 	}
 
-	type partial struct {
-		acc                   []sigma
-		calcs, skipped, saved int64
-	}
-	parts := make([]partial, workers)
+	parts := make([]bandStat, workers)
+	accs := make([][]sigma, workers)
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wkr := wkr
 		ty0 := wkr * tiling.NY / workers
 		ty1 := (wkr + 1) * tiling.NY / workers
-		parts[wkr].acc = make([]sigma, len(centers))
+		accs[wkr] = make([]sigma, len(centers))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			parts[wkr].calcs, parts[wkr].skipped, parts[wkr].saved =
-				ppaPassRange(lab, tiling, centers, labels, parts[wkr].acc, ty0, ty1, subset, k, invS2, quant, p, settled)
+			parts[wkr].start = time.Now()
+			if err := faults.Fire(faults.PointTile); err != nil {
+				parts[wkr].err = err
+			} else {
+				parts[wkr].calcs, parts[wkr].skipped, parts[wkr].saved =
+					ppaPassRange(lab, tiling, centers, labels, accs[wkr], ty0, ty1, subset, k, invS2, quant, p, settled)
+			}
+			parts[wkr].dur = time.Since(parts[wkr].start)
 		}()
 	}
 	wg.Wait()
+	if err := bandError(pass, parts); err != nil {
+		return 0, 0, 0, err
+	}
 	for i := range parts {
 		for ci := range acc {
 			a := &acc[ci]
-			b := &parts[i].acc[ci]
+			b := &accs[i][ci]
 			a.l += b.l
 			a.a += b.a
 			a.b += b.b
@@ -454,7 +576,8 @@ func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, label
 		skippedTiles += parts[i].skipped
 		saved += parts[i].saved
 	}
-	return calcs, skippedTiles, saved
+	observeBands(tr, p.Metrics, pass, parts)
+	return calcs, skippedTiles, saved, nil
 }
 
 // ppaPassRange visits every pixel of the given subset within tile rows

@@ -357,7 +357,7 @@ func TestPreemptiveSavesWork(t *testing.T) {
 func TestSegmentWithDatapath(t *testing.T) {
 	im := testImage(48, 48)
 	p := DefaultParams(16, 0.5)
-	p.Datapath = slic.NewDatapath(8)
+	p.Quantization = slic.NewDatapath(8)
 	res, err := Segment(im, p)
 	if err != nil {
 		t.Fatal(err)

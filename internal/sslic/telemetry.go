@@ -41,6 +41,12 @@ type Metrics struct {
 	// extension's effect.
 	SkippedTiles       *telemetry.Counter
 	SavedDistanceCalcs *telemetry.Counter
+	// TileBands is the band count of the latest cluster-update pass (1 on
+	// the serial path); TileImbalance is that pass's max/mean band
+	// duration — 1.0 is a perfectly balanced split, higher means some
+	// cores idled at the merge barrier.
+	TileBands     *telemetry.Gauge
+	TileImbalance *telemetry.Gauge
 }
 
 // NewMetrics registers the S-SLIC core metrics on the registry.
@@ -67,7 +73,25 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Tiles skipped by the preemptive early-halt extension."),
 		SavedDistanceCalcs: reg.Counter("sslic_preempt_saved_calcs_total",
 			"Distance evaluations avoided by preemption."),
+		TileBands: reg.Gauge("sslic_tile_bands",
+			"Row bands of the latest cluster-update pass (1 = serial)."),
+		TileImbalance: reg.Gauge("sslic_tile_imbalance",
+			"Max/mean band duration of the latest pass (1.0 = balanced)."),
 	}
+}
+
+// observeTiles records one pass's band decomposition: how many bands ran
+// and how unevenly their durations split.
+func (m *Metrics) observeTiles(bands int, maxDur, sumDur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.TileBands.Set(float64(bands))
+	imbalance := 1.0
+	if bands > 0 && sumDur > 0 {
+		imbalance = float64(maxDur) * float64(bands) / float64(sumDur)
+	}
+	m.TileImbalance.Set(imbalance)
 }
 
 // observePass records one subset pass: its latency, the run's position

@@ -66,16 +66,25 @@ type Options struct {
 	// subsampling, 0.5 and 0.25 are the paper's variants. Ignored for
 	// Method == SLIC.
 	SubsampleRatio float64
-	// FixedPointBits, when nonzero, runs the reduced-precision datapath
-	// of the paper's §6.1 (8 is the hardware's choice; 0 = float64).
+	// FixedPointBits, when nonzero, quantizes the float64 datapath to the
+	// reduced precision of the paper's §6.1 exploration (8 is the
+	// hardware's choice; 0 = float64). For the full integer hardware
+	// datapath use FixedDatapath instead.
 	FixedPointBits int
+	// FixedDatapath runs the paper's integer LUT datapath in the hot
+	// loop: 8-bit Lab codes from the gamma/cube-root LUTs and integer
+	// distance arithmetic. S-SLIC PPA only; mutually exclusive with
+	// FixedPointBits.
+	FixedDatapath bool
 	// Preemptive composes the Preemptive-SLIC per-cluster early halt with
 	// subsampling (paper §8's suggested combination).
 	Preemptive bool
-	// Workers parallelizes the S-SLIC cluster-update pass across
-	// goroutines: 0 or 1 serial, n > 1 that many workers, -1 all CPUs.
-	// Results are deterministic per worker count.
-	Workers int
+	// TileWorkers parallelizes the S-SLIC cluster-update pass across
+	// goroutines, partitioning each frame into row bands: 0 or 1 serial,
+	// n > 1 that many workers, -1 all CPUs. Labels are deterministic per
+	// worker count; on the fixed datapath the whole result is
+	// bit-identical for every worker count.
+	TileWorkers int
 	// AdaptiveCompactness enables the SLICO variant (parameter-free
 	// per-cluster compactness normalization). Supported for Method SLIC.
 	AdaptiveCompactness bool
@@ -131,6 +140,9 @@ func Segment(img image.Image, opt Options) (*Segmentation, error) {
 	if opt.AdaptiveCompactness && opt.Method != SLIC {
 		return nil, fmt.Errorf("sslic: adaptive compactness (SLICO) requires the SLIC method")
 	}
+	if opt.FixedDatapath && opt.Method != SSLICPPA {
+		return nil, fmt.Errorf("sslic: the fixed datapath requires the S-SLIC PPA method")
+	}
 	im := imgio.FromGoImage(img)
 	switch opt.Method {
 	case SLIC:
@@ -152,10 +164,13 @@ func Segment(img image.Image, opt Options) (*Segmentation, error) {
 			p.Arch = islic.CPA
 		}
 		if opt.FixedPointBits > 0 {
-			p.Datapath = slic.NewDatapath(opt.FixedPointBits)
+			p.Quantization = slic.NewDatapath(opt.FixedPointBits)
+		}
+		if opt.FixedDatapath {
+			p.Datapath = islic.Fixed
 		}
 		p.Preemptive = opt.Preemptive
-		p.Workers = opt.Workers
+		p.TileWorkers = opt.TileWorkers
 		if opt.WarmStart != nil {
 			p.InitialCenters = opt.WarmStart.centers
 		}
