@@ -167,8 +167,12 @@ func runPerf(dest string, quick bool) error {
 		return err
 	}
 	for _, r := range rep.Results {
-		fmt.Printf("%-10s %12d ns/op %10.2f frames/s %8d allocs/op %12d dist-calcs/frame\n",
+		fmt.Printf("%-10s %12d ns/op %10.2f frames/s %8d allocs/op %12d dist-calcs/frame",
 			r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp, r.DistanceCalcsPerFrame)
+		if r.Cost != nil && r.Cost.EstPJ > 0 {
+			fmt.Printf(" %12.3g pJ/frame", r.Cost.EstPJ)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("perf report: %s\n", dest)
 	return nil

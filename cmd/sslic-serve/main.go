@@ -40,6 +40,7 @@ import (
 
 	"sslic/internal/faults"
 	"sslic/internal/server"
+	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 )
@@ -69,6 +70,13 @@ func main() {
 		traceBuf     = flag.Int("trace-buffer", 256, "finished traces the flight recorder retains (oldest overwritten)")
 		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this latency are always kept in the flight recorder")
 		traceRate    = flag.Float64("trace-sample", 0.01, "fraction of ordinary requests kept (errors, slow requests and explicit X-Trace-Id requests are always kept)")
+		sloSpec      = flag.String("slo", "", "SLO objectives, e.g. 'latency,threshold=50ms,budget=0.01;availability,budget=0.001;energy,target_pj=9e9,budget=0.05' (empty disables the engine; see internal/slo)")
+		sloBurn      = flag.Float64("slo-burn-threshold", 10, "fast-window burn rate that triggers an automatic profile capture and feeds the degrade ladder (<=0 disables alerting)")
+		sloFastWin   = flag.Int("slo-fast-window", 0, "fast burn window in degrade ticks (0 selects 20 — 5s at the default 250ms tick)")
+		sloSlowWin   = flag.Int("slo-slow-window", 0, "slow burn window in degrade ticks (0 selects 240 — 60s at the default tick)")
+		profCap      = flag.Int("profile-capacity", 8, "profile bundles retained by the burn-triggered capturer")
+		profCPUDur   = flag.Duration("profile-cpu-duration", 250*time.Millisecond, "CPU sampling window per profile capture")
+		profCooldown = flag.Duration("profile-cooldown", 30*time.Second, "minimum spacing between burn-triggered captures (on-demand captures ignore it)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -112,6 +120,14 @@ func main() {
 		SlowThreshold: *traceSlow,
 	}, reg)
 
+	var objectives []slo.Objective
+	if *sloSpec != "" {
+		objectives, err = slo.ParseObjectives(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	svc, err := server.New(server.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -130,6 +146,13 @@ func main() {
 		DegradeInterval:    *degradeEvery,
 		Registry:           reg,
 		Recorder:           recorder,
+		SLOObjectives:      objectives,
+		SLOFastWindow:      *sloFastWin,
+		SLOSlowWindow:      *sloSlowWin,
+		SLOBurnThreshold:   *sloBurn,
+		ProfileCapacity:    *profCap,
+		ProfileCPUDuration: *profCPUDur,
+		ProfileCooldown:    *profCooldown,
 		Logger:             logs.Component("server"),
 	})
 	if err != nil {
@@ -142,13 +165,15 @@ func main() {
 	if *telAddr != "" {
 		tel, err := telemetry.NewServer(telemetry.ServerConfig{
 			Addr: *telAddr, Registry: reg, Logger: logs, Recorder: recorder,
+			SLO:      slo.Handler(svc.SLOEngine()),
+			Profiles: telemetry.ProfilesHandler(svc.Profiles()),
 		})
 		if err != nil {
 			fatal(err)
 		}
 		go tel.Serve()
 		defer tel.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace)\n", tel.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace, /debug/slo, /debug/profiles)\n", tel.Addr())
 	}
 
 	httpSrv := &http.Server{

@@ -21,6 +21,7 @@ import (
 
 	"sslic/internal/dataset"
 	"sslic/internal/degrade"
+	"sslic/internal/hw"
 	"sslic/internal/metrics"
 	"sslic/internal/sslic"
 )
@@ -50,6 +51,28 @@ type PerfResult struct {
 	// saving). Not gated by ComparePerf — higher is better, unlike
 	// every compared metric.
 	BoundaryRecall float64 `json:"boundary_recall,omitempty"`
+	// Cost is the per-frame cost ledger for this configuration — the
+	// same accounting the serving layer stamps on X-Cost-* headers,
+	// evaluated offline so benchdiff can gate on cost regressions.
+	Cost *PerfCost `json:"cost,omitempty"`
+}
+
+// PerfCost mirrors the service's per-request ledger for one benchmark
+// configuration.
+type PerfCost struct {
+	// CPUNs is the summed segmentation phase time per frame — the
+	// ledger's AddCPU charge. Host-dependent (wall clocks), so it is a
+	// time-based metric that -skip-time excludes.
+	CPUNs int64 `json:"cpu_ns"`
+	// AllocBytes is the ledger's deterministic buffer-footprint charge
+	// per frame (the label map this workload allocates).
+	AllocBytes int64 `json:"alloc_bytes"`
+	// EstPJ is the hw analytic model's energy estimate for this exact
+	// workload shape (resolution, K, ratio, measured subset passes) in
+	// picojoules per frame. Host-independent and gated: a change that
+	// alters the pass count or subsampling mapping moves the frame's
+	// energy budget, and the diff catches it in the paper's own units.
+	EstPJ float64 `json:"est_pj"`
 }
 
 // PerfReport is one full harness run.
@@ -150,6 +173,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		p.Datapath = c.datapath
 		p = degrade.Apply(p, c.level) // level 0 is the identity
 		var calcs int64
+		var stats sslic.Stats
 		var benchErr error
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -160,6 +184,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 					b.FailNow()
 				}
 				calcs = res.Stats.DistanceCalcs
+				stats = res.Stats
 			}
 		})
 		if benchErr != nil {
@@ -190,10 +215,36 @@ func RunPerf(quick bool) (*PerfReport, error) {
 			}
 			pr.BoundaryRecall = recall
 		}
+		pr.Cost = perfCost(cfg.W, cfg.H, k, p, stats)
 		rep.Results = append(rep.Results, pr)
 	}
 	rep.Speedups = speedups(rep.Results)
 	return rep, nil
+}
+
+// perfCost prices one configuration's frame with the same ledger the
+// serving layer uses per request: summed phase time as the CPU charge,
+// the label-map footprint as the deterministic allocation charge, and
+// the hw analytic model for the energy estimate (the config's actual
+// resolution, K, subsample ratio, and the subset passes the measured
+// run executed). An energy-model failure leaves EstPJ zero rather than
+// failing the harness — the other cost fields are still comparable.
+func perfCost(w, h, k int, p sslic.Params, stats sslic.Stats) *PerfCost {
+	pc := &PerfCost{
+		CPUNs:      int64(stats.Total()),
+		AllocBytes: int64(4 * w * h), // one int32 label per pixel
+	}
+	hwCfg := hw.DefaultConfig()
+	hwCfg.Width, hwCfg.Height, hwCfg.K = w, h, k
+	hwCfg.SubsampleRatio = p.SubsampleRatio
+	hwCfg.Passes = stats.SubsetPasses
+	if hwCfg.Passes <= 0 {
+		hwCfg.Passes = 1
+	}
+	if report, err := hw.Simulate(hwCfg); err == nil {
+		pc.EstPJ = report.EnergyPerFrame * 1e12
+	}
+	return pc
 }
 
 // speedups derives the headline wall-time ratios: the tiling sweep
@@ -287,15 +338,26 @@ func ComparePerf(base, cur *PerfReport, tol float64, skipTime bool) (all, regres
 			missing = append(missing, b.Name)
 			continue
 		}
-		metrics := []struct {
+		type perfMetric struct {
 			name      string
 			base, cur float64
 			timeBased bool
-		}{
+		}
+		metrics := []perfMetric{
 			{"ns_per_op", float64(b.NsPerOp), float64(c.NsPerOp), true},
 			{"allocs_per_op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), false},
 			{"bytes_per_op", float64(b.BytesPerOp), float64(c.BytesPerOp), false},
 			{"distance_calcs_per_frame", float64(b.DistanceCalcsPerFrame), float64(c.DistanceCalcsPerFrame), false},
+		}
+		// The cost ledger joined the report after v1 baselines were cut;
+		// compare it only when both sides carry it so old reports still
+		// diff on the original metrics.
+		if b.Cost != nil && c.Cost != nil {
+			metrics = append(metrics,
+				perfMetric{"cost.cpu_ns", float64(b.Cost.CPUNs), float64(c.Cost.CPUNs), true},
+				perfMetric{"cost.alloc_bytes", float64(b.Cost.AllocBytes), float64(c.Cost.AllocBytes), false},
+				perfMetric{"cost.est_pj", b.Cost.EstPJ, c.Cost.EstPJ, false},
+			)
 		}
 		for _, m := range metrics {
 			if skipTime && m.timeBased {

@@ -99,3 +99,71 @@ func TestComparePerf(t *testing.T) {
 		t.Fatal("quick/full mismatch accepted")
 	}
 }
+
+func withCost(r *PerfReport, cpuNs, allocBytes int64, estPJ float64) *PerfReport {
+	r.Results[0].Cost = &PerfCost{CPUNs: cpuNs, AllocBytes: allocBytes, EstPJ: estPJ}
+	return r
+}
+
+func TestComparePerfCostLedger(t *testing.T) {
+	base := withCost(perfFixture(1_000_000, 100, 500_000), 900_000, 1<<20, 5e9)
+
+	// Identical ledgers: clean.
+	_, reg, _, err := ComparePerf(base,
+		withCost(perfFixture(1_000_000, 100, 500_000), 900_000, 1<<20, 5e9), 0.10, false)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("identical cost diff: %v err=%v", reg, err)
+	}
+
+	// Energy growth beyond tolerance regresses even with -skip-time —
+	// est_pj is host-independent, the whole point of the ledger gate.
+	_, reg, _, err = ComparePerf(base,
+		withCost(perfFixture(1_000_000, 100, 500_000), 900_000, 1<<20, 6e9), 0.10, true)
+	if err != nil || len(reg) != 1 || reg[0].Metric != "cost.est_pj" {
+		t.Fatalf("energy regression: %v err=%v", reg, err)
+	}
+
+	// CPU ledger growth is time-based: gated without -skip-time, ignored with.
+	slow := withCost(perfFixture(1_000_000, 100, 500_000), 2_000_000, 1<<20, 5e9)
+	_, reg, _, err = ComparePerf(base, slow, 0.10, false)
+	if err != nil || len(reg) != 1 || reg[0].Metric != "cost.cpu_ns" {
+		t.Fatalf("cpu regression: %v err=%v", reg, err)
+	}
+	_, reg, _, err = ComparePerf(base, slow, 0.10, true)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("cpu regression not skipped: %v err=%v", reg, err)
+	}
+
+	// A baseline without a ledger diffs only the original metrics.
+	all, reg, _, err := ComparePerf(perfFixture(1_000_000, 100, 500_000),
+		withCost(perfFixture(1_000_000, 100, 500_000), 900_000, 1<<20, 5e9), 0.10, false)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("legacy baseline diff: %v err=%v", reg, err)
+	}
+	for _, d := range all {
+		if d.Metric == "cost.est_pj" || d.Metric == "cost.cpu_ns" || d.Metric == "cost.alloc_bytes" {
+			t.Fatalf("cost metric compared against legacy baseline: %v", d)
+		}
+	}
+}
+
+func TestRunPerfQuickEmitsCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick benchmark matrix")
+	}
+	rep, err := RunPerf(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Cost == nil {
+			t.Fatalf("%s: no cost ledger", r.Name)
+		}
+		if r.Cost.CPUNs <= 0 || r.Cost.EstPJ <= 0 {
+			t.Fatalf("%s: cost = %+v, want positive cpu_ns and est_pj", r.Name, r.Cost)
+		}
+		if want := int64(4 * rep.Width * rep.Height); r.Cost.AllocBytes != want {
+			t.Fatalf("%s: alloc_bytes = %d, want %d", r.Name, r.Cost.AllocBytes, want)
+		}
+	}
+}

@@ -124,6 +124,10 @@ type Signals struct {
 	DeadlineMisses int
 	// Rejected counts admission rejections (saturation) in the window.
 	Rejected int
+	// BurnRate is the SLO engine's maximum fast-window error-budget
+	// burn across objectives (1 = sustainable consumption); zero when
+	// no SLO engine is wired.
+	BurnRate float64
 }
 
 // Config tunes a Controller. The zero value selects the defaults
@@ -144,6 +148,11 @@ type Config struct {
 	// than stepping up, so recovery cannot oscillate against a load
 	// edge.
 	StepUpHold, StepDownHold int
+	// BurnHigh marks the window overloaded when Signals.BurnRate
+	// reaches it; calm additionally requires burn below BurnHigh/2
+	// (the same high/low hysteresis band as the queue thresholds).
+	// 0 ignores the SLO signal.
+	BurnHigh float64
 	// Registry receives the controller's metrics; nil selects a
 	// private one.
 	Registry *telemetry.Registry
@@ -270,9 +279,11 @@ func (c *Controller) Tick(s Signals) Level {
 	}
 	overloaded := s.QueueFill >= c.cfg.QueueHighFrac ||
 		(c.cfg.P95High > 0 && s.P95 >= c.cfg.P95High) ||
+		(c.cfg.BurnHigh > 0 && s.BurnRate >= c.cfg.BurnHigh) ||
 		s.DeadlineMisses > 0 || s.Rejected > 0
 	calm := s.QueueFill <= c.cfg.QueueLowFrac &&
 		(c.cfg.P95Low <= 0 || s.P95 <= c.cfg.P95Low) &&
+		(c.cfg.BurnHigh <= 0 || s.BurnRate < c.cfg.BurnHigh/2) &&
 		s.DeadlineMisses == 0 && s.Rejected == 0
 
 	switch {

@@ -202,3 +202,28 @@ func TestControllerRunStopsOnCancel(t *testing.T) {
 		t.Fatal("Run did not stop on cancel")
 	}
 }
+
+func TestControllerBurnRateSignal(t *testing.T) {
+	c := New(Config{StepUpHold: 1, StepDownHold: 1, BurnHigh: 10})
+
+	// Burn at the threshold is overload even with an empty queue.
+	if l := c.Tick(Signals{BurnRate: 10}); l != HalfIters {
+		t.Fatalf("level after burn tick = %v, want half-iters", l)
+	}
+	// Elevated-but-subthreshold burn blocks calm (holds the level)
+	// without stepping up.
+	if l := c.Tick(Signals{BurnRate: 5}); l != HalfIters {
+		t.Fatalf("level under residual burn = %v, want held half-iters", l)
+	}
+	// Burn fully cleared: calm steps back down.
+	if l := c.Tick(Signals{}); l != Full {
+		t.Fatalf("level after burn cleared = %v, want full", l)
+	}
+}
+
+func TestControllerBurnRateIgnoredWhenDisabled(t *testing.T) {
+	c := New(Config{StepUpHold: 1, StepDownHold: 1}) // BurnHigh unset
+	if l := c.Tick(Signals{BurnRate: 1e9}); l != Full {
+		t.Fatalf("burn signal acted on with BurnHigh=0: %v", l)
+	}
+}

@@ -370,6 +370,7 @@ func (p *Pool) worker(in chan *poolReq) {
 		p.queueDepth.Set(float64(p.depth.Add(-1)))
 		wait := time.Since(req.enqueued)
 		p.queueWait.Observe(wait.Seconds())
+		telemetry.CostFrom(req.ctx).AddQueueWait(wait)
 		if tr := telemetry.TraceFrom(req.ctx); tr != nil {
 			tr.Emit("queue_wait", "pool", req.enqueued, wait,
 				map[string]any{"stream": req.job.StreamID})

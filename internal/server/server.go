@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/pipeline"
+	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 )
@@ -132,6 +134,28 @@ type Config struct {
 	// /debug/trace?id= on a telemetry.Server sharing this recorder. nil
 	// disables tracing.
 	Recorder *telemetry.FlightRecorder
+	// SLOObjectives, when non-empty, enables the embedded SLO engine:
+	// the objectives are evaluated every DegradeInterval tick over the
+	// same observation windows the degrade controller sees, exported on
+	// the registry and at the SLOHandler, and (via Degrade.BurnHigh)
+	// fed back into the degrade ladder.
+	SLOObjectives []slo.Objective
+	// SLOFastWindow and SLOSlowWindow are the burn-rate windows in
+	// ticks; zero selects the engine's defaults (20 and 240 — 5s and
+	// 60s at the default 250ms tick).
+	SLOFastWindow, SLOSlowWindow int
+	// SLOBurnThreshold is the fast-burn level that edge-triggers an
+	// automatic profile capture and counts as a burn alert; <= 0
+	// disables alerting (budgets and burn rates are still tracked).
+	SLOBurnThreshold float64
+	// ProfileCapacity, ProfileCPUDuration and ProfileCooldown tune the
+	// burn-triggered profile capturer (zero values select 8 bundles,
+	// 250ms CPU windows, 30s cooldown). The capturer always exists —
+	// on-demand captures work without an SLO engine — but automatic
+	// captures need SLOObjectives and SLOBurnThreshold.
+	ProfileCapacity    int
+	ProfileCPUDuration time.Duration
+	ProfileCooldown    time.Duration
 	// Logger, when set, logs request rejections and recovered panics.
 	Logger *slog.Logger
 }
@@ -196,6 +220,14 @@ type Server struct {
 	degradeCancel context.CancelFunc
 	degradeDone   chan struct{}
 
+	costs    *costAccountant
+	slo      *slo.Engine // nil when no objectives configured
+	capturer *telemetry.Capturer
+	runtime  *telemetry.RuntimeMetrics
+
+	inflightMu     sync.Mutex
+	inflightTraces map[string]struct{} // trace IDs currently being served
+
 	rejected *telemetry.Counter // base; per-reason series via reason()
 	panics   *telemetry.Counter
 }
@@ -221,12 +253,51 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
 		"Handler panics recovered by the middleware.")
+	s.inflightTraces = make(map[string]struct{})
+	s.costs = newCostAccountant(cfg.Registry)
+	s.runtime = telemetry.NewRuntimeMetrics(cfg.Registry)
+	s.capturer = telemetry.NewCapturer(telemetry.CaptureConfig{
+		Capacity:    cfg.ProfileCapacity,
+		CPUDuration: cfg.ProfileCPUDuration,
+		Cooldown:    cfg.ProfileCooldown,
+		TraceIDs:    s.tracesInFlight,
+		Runtime:     s.runtime.Snapshot,
+		Registry:    cfg.Registry,
+	})
 
 	dcfg := cfg.Degrade
 	dcfg.Registry = cfg.Registry
 	dcfg.Logger = cfg.Logger
+	if dcfg.BurnHigh == 0 && len(cfg.SLOObjectives) > 0 {
+		// An SLO engine feeds its max fast burn into the controller, so
+		// a burning budget degrades quality before it exhausts.
+		dcfg.BurnHigh = cfg.SLOBurnThreshold
+	}
 	s.degrade = degrade.New(dcfg)
 	s.sampler = newSignalSampler(s.pool, cfg.Registry)
+	if len(cfg.SLOObjectives) > 0 {
+		eng, err := slo.New(slo.Config{
+			Objectives: cfg.SLOObjectives,
+			Sources: slo.Sources{
+				Latency:  s.sampler.hist.Snapshot,
+				Requests: s.costs.requestCounts,
+				Energy:   s.costs.energyCounts,
+			},
+			FastWindow:    cfg.SLOFastWindow,
+			SlowWindow:    cfg.SLOSlowWindow,
+			BurnThreshold: cfg.SLOBurnThreshold,
+			OnBurn: func(objective string, fast, slow float64) {
+				s.capturer.TryCapture("burn:" + objective)
+			},
+			Registry: cfg.Registry,
+			Logger:   cfg.Logger,
+		})
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.slo = eng
+	}
 	if cfg.BreakerThreshold > 0 {
 		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, cfg.Registry, nil)
 	}
@@ -236,7 +307,7 @@ func New(cfg Config) (*Server, error) {
 		s.degradeDone = make(chan struct{})
 		go func() {
 			defer close(s.degradeDone)
-			s.degrade.Run(ctx, cfg.DegradeInterval, s.sampler.sample)
+			s.degrade.Run(ctx, cfg.DegradeInterval, s.sampleSignals)
 		}()
 	}
 
@@ -251,10 +322,42 @@ func New(cfg Config) (*Server, error) {
 // (Pin, Unpin) and the chaos suite's deterministic drive (Tick).
 func (s *Server) Degrade() *degrade.Controller { return s.degrade }
 
+// sampleSignals closes one load-observation window: the request-level
+// signals from the sampler, a runtime-metrics sample, and an SLO engine
+// tick whose maximum fast burn rides along as the controller's
+// BurnRate input. One loop, one cadence, every window closed together.
+func (s *Server) sampleSignals() degrade.Signals {
+	sig := s.sampler.sample()
+	s.runtime.Sample()
+	sig.BurnRate = s.slo.Tick()
+	return sig
+}
+
 // SampleSignals closes one load-observation window and returns it —
 // what the background sampling loop feeds the controller, exposed for
 // tests that drive the controller manually.
-func (s *Server) SampleSignals() degrade.Signals { return s.sampler.sample() }
+func (s *Server) SampleSignals() degrade.Signals { return s.sampleSignals() }
+
+// SLOEngine returns the embedded SLO engine, nil when no objectives
+// are configured. Mount slo.Handler on a telemetry server to serve it.
+func (s *Server) SLOEngine() *slo.Engine { return s.slo }
+
+// Profiles returns the burn-triggered profile capturer. Mount
+// telemetry.ProfilesHandler on a telemetry server to serve it.
+func (s *Server) Profiles() *telemetry.Capturer { return s.capturer }
+
+// tracesInFlight snapshots the trace IDs currently being served — the
+// capturer's link between a profile bundle and the requests it
+// overlapped with.
+func (s *Server) tracesInFlight() []string {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	out := make([]string, 0, len(s.inflightTraces))
+	for id := range s.inflightTraces {
+		out = append(out, id)
+	}
+	return out
+}
 
 // Handler returns the service's HTTP handler (all endpoints behind the
 // instrumenting, panic-isolating middleware).
@@ -325,7 +428,21 @@ func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *telemetry.T
 		id = telemetry.NewTraceID()
 	}
 	w.Header().Set("X-Trace-Id", id)
+	s.inflightMu.Lock()
+	s.inflightTraces[id] = struct{}{}
+	s.inflightMu.Unlock()
 	return s.cfg.Recorder.StartTrace(id, forced)
+}
+
+// endTrace finishes the trace and drops it from the in-flight set.
+func (s *Server) endTrace(tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	s.inflightMu.Lock()
+	delete(s.inflightTraces, tr.ID())
+	s.inflightMu.Unlock()
+	tr.Finish()
 }
 
 // handleSegment is the core endpoint: decode → admit → segment → render.
@@ -336,18 +453,24 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	// clients rely on.
 	lvl := s.degrade.Level()
 	w.Header().Set("X-Degradation-Level", strconv.Itoa(int(lvl)))
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
-		s.reject(w, "draining", http.StatusServiceUnavailable, "service draining")
-		return
-	}
+	// The trace opens before any rejection path — drain included — so
+	// every response carries X-Trace-Id: failures are the requests an
+	// operator most needs to look up afterwards.
 	tr := s.startTrace(w, r)
-	defer tr.Finish()
+	defer s.endTrace(tr)
+	cost := telemetry.NewCost()
 	// fail marks the trace failed (forcing tail retention — rejected
-	// flights are the interesting ones) and answers the error.
+	// flights are the interesting ones), stamps whatever the request
+	// did cost so far, and answers the error.
 	fail := func(reason string, code int, msg string) {
 		tr.SetError(fmt.Errorf("%s (HTTP %d): %s", reason, code, msg))
+		stampCostHeaders(w.Header(), cost.Snapshot())
 		s.reject(w, reason, code, msg)
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		fail("draining", http.StatusServiceUnavailable, "service draining")
+		return
 	}
 	// Shedding is decided before the breaker so a shed request never
 	// consumes the half-open probe slot.
@@ -398,6 +521,8 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	cost.AddDecode(time.Since(t0))
+	cost.AddAlloc(int64(len(im.C0) + len(im.C1) + len(im.C2)))
 	if tr != nil {
 		tr.Emit("decode", "server", t0, time.Since(t0),
 			map[string]any{"width": im.W, "height": im.H})
@@ -408,7 +533,8 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(telemetry.WithTrace(r.Context(), tr), opts.Timeout)
+	ctx, cancel := context.WithTimeout(
+		telemetry.WithCost(telemetry.WithTrace(r.Context(), tr), cost), opts.Timeout)
 	defer cancel()
 	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream})
 	if err != nil {
@@ -444,7 +570,15 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	if s.brk != nil {
 		s.brk.recordSuccess()
 	}
-	s.writeResult(w, opts, im, res, tr)
+	// Close the ledger before any body bytes: the energy estimate runs
+	// the hw analytic model for this exact workload, then the X-Cost-*
+	// headers and the trace's "cost" instant carry the same snapshot.
+	// Encode time is charged afterwards and lands in the trace and the
+	// registry only — headers are immutable once the body starts.
+	s.costs.chargeEnergy(cost, im, params, res, tr)
+	snap := s.costs.finish(cost, opts.Stream, tr)
+	stampCostHeaders(w.Header(), snap)
+	s.writeResult(w, opts, im, res, tr, cost)
 }
 
 // recordPanic feeds the circuit breaker (when enabled).
@@ -455,7 +589,7 @@ func (s *Server) recordPanic() {
 }
 
 // writeResult renders the segmentation in the requested format.
-func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult, tr *telemetry.Trace) {
+func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult, tr *telemetry.Trace, cost *telemetry.Cost) {
 	labels := res.Result.Labels
 	h := w.Header()
 	h.Set("X-Sslic-Warm", strconv.FormatBool(res.Warm))
@@ -473,6 +607,7 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 		} else {
 			out = imgio.MeanColor(im, labels)
 		}
+		cost.AddAlloc(int64(len(out.C0) + len(out.C1) + len(out.C2)))
 		if opts.Encoding == encodingPNG {
 			h.Set("Content-Type", "image/png")
 			err = imgio.EncodePNG(w, out)
@@ -481,6 +616,7 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 			err = imgio.EncodePPM(w, out)
 		}
 	}
+	cost.AddEncode(time.Since(t0))
 	if tr != nil {
 		tr.Emit("encode", "server", t0, time.Since(t0),
 			map[string]any{"format": opts.Format, "warm": res.Warm})
@@ -547,6 +683,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			s.cfg.Registry.Counter("sslic_server_responses_total",
 				"Responses sent, by endpoint and status code.",
 				lbl, telemetry.Label{Name: "code", Value: strconv.Itoa(code)}).Inc()
+			if endpoint == "segment" {
+				s.costs.observeResponse(code)
+			}
 		}()
 		h(sr, r)
 	})

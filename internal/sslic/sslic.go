@@ -292,7 +292,20 @@ func SegmentContext(ctx context.Context, im *imgio.Image, p Params) (*Result, er
 		r, err = segmentPPA(ctx, im, p)
 	}
 	if err == nil {
-		p.Metrics.observeRun(time.Since(t0), r.Stats, r.Stats.Converged)
+		dur := time.Since(t0)
+		p.Metrics.observeRun(dur, r.Stats, r.Stats.Converged)
+		// Charge the request's cost ledger: segmentation wall time,
+		// compute time (the summed phase times — on the serial path
+		// these equal the trace's per-phase event durations), and the
+		// label-map buffer when this run allocated one rather than
+		// reusing the caller's.
+		if c := telemetry.CostFrom(ctx); c != nil {
+			c.AddSegment(dur)
+			c.AddCPU(r.Stats.Total())
+			if p.LabelBuf == nil {
+				c.AddAlloc(int64(4 * im.W * im.H))
+			}
+		}
 	}
 	return r, err
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Cost is a per-request cost ledger: the request-scoped half of the
+// cost-accounting layer, the same way Trace is the request-scoped half
+// of tracing. It rides the request context through every layer; each
+// layer charges what it spent (queue wait at the pool, CPU and buffer
+// allocations in the segmentation core, decode/encode at the HTTP
+// front), and the server folds the final ledger into X-Cost-* response
+// headers, a trace event, and per-stream registry series.
+//
+// The paper argues in budgets — cycles, bytes and picojoules per frame
+// (Table 4) — and this ledger is that budget evaluated per served
+// request: how much CPU, allocation and estimated accelerator energy
+// this exact frame cost.
+//
+// All methods are atomic, safe from any goroutine, and no-ops on a nil
+// receiver, so instrumented code needs no "is accounting on" branches —
+// the same contract as Trace.
+type Cost struct {
+	cpuNs       atomic.Int64
+	allocBytes  atomic.Int64
+	queueWaitNs atomic.Int64
+	decodeNs    atomic.Int64
+	segmentNs   atomic.Int64
+	encodeNs    atomic.Int64
+	estPJ       atomicFloat
+}
+
+// NewCost returns an empty ledger.
+func NewCost() *Cost { return &Cost{} }
+
+// AddCPU charges compute time: the busy time the request's work spent
+// on-CPU (on the serial segmentation path this equals the summed phase
+// wall times; tiled runs charge the per-band sum).
+func (c *Cost) AddCPU(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.cpuNs.Add(int64(d))
+}
+
+// AddAlloc charges bytes of fresh buffer allocation attributable to the
+// request (decoded planes, label maps, render buffers). Pooled reuse is
+// deliberately not charged — the ledger reports what the request cost,
+// not what it borrowed.
+func (c *Cost) AddAlloc(bytes int64) {
+	if c == nil || bytes <= 0 {
+		return
+	}
+	c.allocBytes.Add(bytes)
+}
+
+// AddQueueWait charges time spent admitted but not yet running.
+func (c *Cost) AddQueueWait(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.queueWaitNs.Add(int64(d))
+}
+
+// AddDecode, AddSegment and AddEncode charge per-stage wall time.
+func (c *Cost) AddDecode(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.decodeNs.Add(int64(d))
+}
+
+// AddSegment charges segmentation wall time (queueing excluded).
+func (c *Cost) AddSegment(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.segmentNs.Add(int64(d))
+}
+
+// AddEncode charges response-encoding wall time.
+func (c *Cost) AddEncode(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.encodeNs.Add(int64(d))
+}
+
+// AddEnergyPJ charges estimated accelerator energy in picojoules (the
+// hw analytic model's per-frame estimate).
+func (c *Cost) AddEnergyPJ(pj float64) {
+	if c == nil || pj <= 0 {
+		return
+	}
+	c.estPJ.Add(pj)
+}
+
+// CostSnapshot is a point-in-time read of a ledger.
+type CostSnapshot struct {
+	// CPUNs is charged compute time in nanoseconds.
+	CPUNs int64 `json:"cpu_ns"`
+	// AllocBytes is charged fresh buffer allocation.
+	AllocBytes int64 `json:"alloc_bytes"`
+	// QueueWaitNs, DecodeNs, SegmentNs, EncodeNs are per-stage wall
+	// times in nanoseconds.
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	DecodeNs    int64 `json:"decode_ns"`
+	SegmentNs   int64 `json:"segment_ns"`
+	EncodeNs    int64 `json:"encode_ns"`
+	// EstPJ is the hw analytic model's estimated energy in picojoules.
+	EstPJ float64 `json:"est_pj"`
+}
+
+// Snapshot reads the ledger. Zero on a nil receiver.
+func (c *Cost) Snapshot() CostSnapshot {
+	if c == nil {
+		return CostSnapshot{}
+	}
+	return CostSnapshot{
+		CPUNs:       c.cpuNs.Load(),
+		AllocBytes:  c.allocBytes.Load(),
+		QueueWaitNs: c.queueWaitNs.Load(),
+		DecodeNs:    c.decodeNs.Load(),
+		SegmentNs:   c.segmentNs.Load(),
+		EncodeNs:    c.encodeNs.Load(),
+		EstPJ:       c.estPJ.Load(),
+	}
+}
+
+// costKey is the context key carrying a *Cost.
+type costKey struct{}
+
+// WithCost returns a context carrying the ledger. A nil ledger returns
+// ctx unchanged.
+func WithCost(ctx context.Context, c *Cost) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, costKey{}, c)
+}
+
+// CostFrom extracts the context's ledger, or nil when unaccounted. The
+// nil result is safe to use directly: every Cost method no-ops on nil.
+func CostFrom(ctx context.Context) *Cost {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(costKey{}).(*Cost)
+	return c
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCostAccumulatesAndSnapshots(t *testing.T) {
+	c := NewCost()
+	c.AddCPU(10 * time.Millisecond)
+	c.AddCPU(5 * time.Millisecond)
+	c.AddAlloc(1024)
+	c.AddQueueWait(2 * time.Millisecond)
+	c.AddDecode(time.Millisecond)
+	c.AddSegment(12 * time.Millisecond)
+	c.AddEncode(3 * time.Millisecond)
+	c.AddEnergyPJ(1.5e9)
+	c.AddEnergyPJ(0.5e9)
+
+	s := c.Snapshot()
+	if s.CPUNs != int64(15*time.Millisecond) {
+		t.Fatalf("cpu = %d, want 15ms", s.CPUNs)
+	}
+	if s.AllocBytes != 1024 {
+		t.Fatalf("alloc = %d, want 1024", s.AllocBytes)
+	}
+	if s.QueueWaitNs != int64(2*time.Millisecond) || s.DecodeNs != int64(time.Millisecond) ||
+		s.SegmentNs != int64(12*time.Millisecond) || s.EncodeNs != int64(3*time.Millisecond) {
+		t.Fatalf("stage times wrong: %+v", s)
+	}
+	if s.EstPJ != 2e9 {
+		t.Fatalf("est_pj = %g, want 2e9", s.EstPJ)
+	}
+}
+
+func TestCostNilSafe(t *testing.T) {
+	var c *Cost
+	// Every method must be callable on nil — the uninstrumented path.
+	c.AddCPU(time.Second)
+	c.AddAlloc(1)
+	c.AddQueueWait(time.Second)
+	c.AddDecode(time.Second)
+	c.AddSegment(time.Second)
+	c.AddEncode(time.Second)
+	c.AddEnergyPJ(1)
+	if s := c.Snapshot(); s != (CostSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+func TestCostIgnoresNonPositive(t *testing.T) {
+	c := NewCost()
+	c.AddCPU(-time.Second)
+	c.AddAlloc(-5)
+	c.AddEnergyPJ(-1)
+	if s := c.Snapshot(); s != (CostSnapshot{}) {
+		t.Fatalf("negative charges recorded: %+v", s)
+	}
+}
+
+func TestCostContextRoundTrip(t *testing.T) {
+	c := NewCost()
+	ctx := WithCost(context.Background(), c)
+	if got := CostFrom(ctx); got != c {
+		t.Fatalf("CostFrom returned %p, want %p", got, c)
+	}
+	if got := CostFrom(context.Background()); got != nil {
+		t.Fatalf("CostFrom(empty ctx) = %p, want nil", got)
+	}
+	if got := CostFrom(nil); got != nil { //nolint:staticcheck // nil ctx is the contract under test
+		t.Fatalf("CostFrom(nil) = %p, want nil", got)
+	}
+	// WithCost(nil) must not panic and must pass the context through.
+	if got := WithCost(ctx, nil); got != ctx {
+		t.Fatalf("WithCost(ctx, nil) replaced the context")
+	}
+}
+
+func TestCostConcurrentCharges(t *testing.T) {
+	c := NewCost()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddCPU(time.Microsecond)
+				c.AddAlloc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.CPUNs != 8*1000*int64(time.Microsecond) || s.AllocBytes != 8000 {
+		t.Fatalf("concurrent totals = %d ns / %d bytes, want 8000us / 8000", s.CPUNs, s.AllocBytes)
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func testCapturer(t *testing.T, cfg CaptureConfig) *Capturer {
+	t.Helper()
+	if cfg.CPUDuration == 0 {
+		cfg.CPUDuration = 10 * time.Millisecond // keep tests fast
+	}
+	return NewCapturer(cfg)
+}
+
+func TestCaptureProducesBundle(t *testing.T) {
+	reg := NewRegistry()
+	c := testCapturer(t, CaptureConfig{
+		Registry: reg,
+		TraceIDs: func() []string { return []string{"t1", "t2"} },
+		Runtime:  func() map[string]float64 { return map[string]float64{"goroutines": 7} },
+	})
+	b, err := c.Capture("on-demand")
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if b.ID != "p1" || b.Reason != "on-demand" {
+		t.Fatalf("bundle id/reason = %s/%s", b.ID, b.Reason)
+	}
+	if len(b.CPU) == 0 || len(b.Heap) == 0 || len(b.Goroutine) == 0 {
+		t.Fatalf("bundle missing profiles: cpu=%d heap=%d goroutine=%d",
+			len(b.CPU), len(b.Heap), len(b.Goroutine))
+	}
+	if len(b.TraceIDs) != 2 || b.Runtime["goroutines"] != 7 {
+		t.Fatalf("bundle context not linked: %+v", b)
+	}
+	if v := reg.Counter("sslic_profile_captures_total", "").Value(); v != 1 {
+		t.Fatalf("capture counter = %g, want 1", v)
+	}
+	if got := c.Lookup("p1"); got != b {
+		t.Fatalf("Lookup(p1) = %p, want %p", got, b)
+	}
+}
+
+func TestCaptureRingBounded(t *testing.T) {
+	c := testCapturer(t, CaptureConfig{Capacity: 2, CPUDuration: time.Millisecond})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Capture("on-demand"); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	bs := c.Bundles()
+	if len(bs) != 2 {
+		t.Fatalf("ring holds %d bundles, want 2", len(bs))
+	}
+	if bs[0].ID != "p4" || bs[1].ID != "p3" {
+		t.Fatalf("ring order = %s,%s, want p4,p3 (newest first)", bs[0].ID, bs[1].ID)
+	}
+	if c.Lookup("p1") != nil {
+		t.Fatalf("evicted bundle still findable")
+	}
+}
+
+func TestTryCaptureCooldown(t *testing.T) {
+	c := testCapturer(t, CaptureConfig{Cooldown: time.Hour, CPUDuration: time.Millisecond})
+	if !c.TryCapture("burn:p99") {
+		t.Fatalf("first TryCapture refused")
+	}
+	// Within cooldown: refused without blocking.
+	for i := 0; i < 3; i++ {
+		if c.TryCapture("burn:p99") {
+			t.Fatalf("TryCapture %d ignored the cooldown", i)
+		}
+	}
+	waitForIdle(t, c)
+	if got := len(c.Bundles()); got != 1 {
+		t.Fatalf("%d bundles after cooldown-limited burst, want 1", got)
+	}
+	if c.Bundles()[0].Reason != "burn:p99" {
+		t.Fatalf("reason = %s", c.Bundles()[0].Reason)
+	}
+}
+
+func TestNilCapturerSafe(t *testing.T) {
+	var c *Capturer
+	if c.TryCapture("x") {
+		t.Fatalf("nil TryCapture returned true")
+	}
+	if _, err := c.Capture("x"); err == nil {
+		t.Fatalf("nil Capture returned no error")
+	}
+	if c.Bundles() != nil || c.Lookup("p1") != nil {
+		t.Fatalf("nil accessors returned data")
+	}
+}
+
+func TestProfilesHandler(t *testing.T) {
+	c := testCapturer(t, CaptureConfig{CPUDuration: time.Millisecond})
+
+	// Empty listing first.
+	rec := httptest.NewRecorder()
+	ProfilesHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list status = %d", rec.Code)
+	}
+
+	// On-demand capture via the handler.
+	rec = httptest.NewRecorder()
+	ProfilesHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles?capture=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("capture status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var b ProfileBundle
+	if err := json.Unmarshal(rec.Body.Bytes(), &b); err != nil {
+		t.Fatalf("capture response not JSON: %v", err)
+	}
+	if b.ID == "" {
+		t.Fatalf("capture response has no bundle ID")
+	}
+
+	// Raw pprof payload fetch.
+	rec = httptest.NewRecorder()
+	ProfilesHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles?id="+b.ID+"&kind=heap", nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("heap fetch status/len = %d/%d", rec.Code, rec.Body.Len())
+	}
+
+	// Unknown bundle and bad kind.
+	rec = httptest.NewRecorder()
+	ProfilesHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles?id=p999", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	ProfilesHandler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles?id="+b.ID+"&kind=wibble", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad kind status = %d, want 400", rec.Code)
+	}
+
+	// Nil capturer (profiling disabled).
+	rec = httptest.NewRecorder()
+	ProfilesHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil capturer status = %d, want 404", rec.Code)
+	}
+}
+
+// waitForIdle blocks until the capturer's async capture finishes.
+func waitForIdle(t *testing.T, c *Capturer) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.active.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("capture did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

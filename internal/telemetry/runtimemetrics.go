@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// RuntimeMetrics exports the Go runtime's own health signals — GC pause
+// distribution, scheduler latency, goroutine count, heap size — as
+// registry series, sampled from runtime/metrics. These are the "why is
+// it slow" complements to the request-level series: a p99 regression
+// with a flat queue-wait histogram and a spiky GC pause gauge points at
+// the collector, not the workload.
+//
+// Sample is cheap (one metrics.Read over a fixed sample set) and is
+// driven by whatever loop already closes observation windows — the
+// server's signal sampler calls it once per degrade tick. Histogram
+// quantiles are computed over the delta since the previous Sample, so
+// the gauges describe the most recent window, not the process lifetime.
+type RuntimeMetrics struct {
+	goroutines   *Gauge
+	heapBytes    *Gauge
+	gcPauseP50   *Gauge
+	gcPauseP99   *Gauge
+	schedLatP50  *Gauge
+	schedLatP99  *Gauge
+	gcCycles     *Counter
+	allocedBytes *Counter
+	gcPauseTotal *Counter
+
+	mu      sync.Mutex
+	samples []metrics.Sample
+	prev    map[string]prevHist
+	last    map[string]float64 // latest scalar values, for Snapshot
+}
+
+// prevHist is the previous window's histogram state: counts copied out
+// of the runtime's buffers (metrics.Read reuses them) keyed by bucket
+// layout length so a runtime-side layout change resets the delta.
+type prevHist struct {
+	counts []uint64
+}
+
+// Runtime metric names sampled (see runtime/metrics documentation).
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmAllocBytes = "/gc/heap/allocs:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// NewRuntimeMetrics registers the runtime series on the registry.
+func NewRuntimeMetrics(reg *Registry) *RuntimeMetrics {
+	names := []string{rmGoroutines, rmHeapBytes, rmAllocBytes, rmGCCycles, rmGCPauses, rmSchedLat}
+	r := &RuntimeMetrics{
+		goroutines: reg.Gauge("sslic_go_goroutines",
+			"Live goroutines at the last runtime sample."),
+		heapBytes: reg.Gauge("sslic_go_heap_bytes",
+			"Heap bytes occupied by live objects at the last runtime sample."),
+		gcPauseP50: reg.Gauge("sslic_go_gc_pause_seconds",
+			"GC stop-the-world pause quantiles over the last sample window.",
+			Label{Name: "quantile", Value: "0.5"}),
+		gcPauseP99: reg.Gauge("sslic_go_gc_pause_seconds",
+			"GC stop-the-world pause quantiles over the last sample window.",
+			Label{Name: "quantile", Value: "0.99"}),
+		schedLatP50: reg.Gauge("sslic_go_sched_latency_seconds",
+			"Goroutine scheduling latency quantiles over the last sample window.",
+			Label{Name: "quantile", Value: "0.5"}),
+		schedLatP99: reg.Gauge("sslic_go_sched_latency_seconds",
+			"Goroutine scheduling latency quantiles over the last sample window.",
+			Label{Name: "quantile", Value: "0.99"}),
+		gcCycles: reg.Counter("sslic_go_gc_cycles_total",
+			"Completed GC cycles."),
+		allocedBytes: reg.Counter("sslic_go_alloc_bytes_total",
+			"Cumulative heap bytes allocated."),
+		gcPauseTotal: reg.Counter("sslic_go_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause time."),
+		samples: make([]metrics.Sample, len(names)),
+		prev:    map[string]prevHist{},
+		last:    map[string]float64{},
+	}
+	for i, n := range names {
+		r.samples[i].Name = n
+	}
+	r.Sample() // seed the deltas so the first real window is correct
+	return r
+}
+
+// Sample reads the runtime metrics and updates the registry series.
+func (r *RuntimeMetrics) Sample() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	metrics.Read(r.samples)
+	for _, s := range r.samples {
+		switch s.Name {
+		case rmGoroutines:
+			v := float64(s.Value.Uint64())
+			r.goroutines.Set(v)
+			r.last["goroutines"] = v
+		case rmHeapBytes:
+			v := float64(s.Value.Uint64())
+			r.heapBytes.Set(v)
+			r.last["heap_bytes"] = v
+		case rmAllocBytes:
+			r.counterTo(r.allocedBytes, s, "alloc_bytes_total")
+		case rmGCCycles:
+			r.counterTo(r.gcCycles, s, "gc_cycles_total")
+		case rmGCPauses:
+			h := s.Value.Float64Histogram()
+			if h == nil {
+				continue
+			}
+			delta := histDelta(h, r.prev[s.Name].counts)
+			r.gcPauseP50.Set(histQuantile(h.Buckets, delta, 0.5))
+			r.gcPauseP99.Set(histQuantile(h.Buckets, delta, 0.99))
+			r.gcPauseTotal.Add(histMassSeconds(h.Buckets, delta))
+			r.prev[s.Name] = prevHist{counts: append([]uint64(nil), h.Counts...)}
+			r.last["gc_pause_p99_seconds"] = r.gcPauseP99.Value()
+		case rmSchedLat:
+			h := s.Value.Float64Histogram()
+			if h == nil {
+				continue
+			}
+			delta := histDelta(h, r.prev[s.Name].counts)
+			r.schedLatP50.Set(histQuantile(h.Buckets, delta, 0.5))
+			r.schedLatP99.Set(histQuantile(h.Buckets, delta, 0.99))
+			r.prev[s.Name] = prevHist{counts: append([]uint64(nil), h.Counts...)}
+			r.last["sched_latency_p99_seconds"] = r.schedLatP99.Value()
+		}
+	}
+}
+
+// counterTo raises a monotonic registry counter to the runtime's
+// cumulative value (the runtime total is authoritative; the counter
+// tracks it by delta).
+func (r *RuntimeMetrics) counterTo(c *Counter, s metrics.Sample, key string) {
+	v := float64(s.Value.Uint64())
+	if d := v - c.Value(); d > 0 {
+		c.Add(d)
+	}
+	r.last[key] = v
+}
+
+// Snapshot returns the latest sampled values by short name — the
+// runtime health block a profile bundle embeds next to its pprof data.
+func (r *RuntimeMetrics) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.last))
+	for k, v := range r.last {
+		out[k] = v
+	}
+	return out
+}
+
+// histDelta returns cur minus prev bucket counts (cur's layout). A nil
+// or mismatched prev yields cur's counts unchanged, so the first window
+// needs no special case.
+func histDelta(cur *metrics.Float64Histogram, prev []uint64) []uint64 {
+	out := append([]uint64(nil), cur.Counts...)
+	if len(prev) != len(out) {
+		return out
+	}
+	for i := range out {
+		if prev[i] <= out[i] {
+			out[i] -= prev[i]
+		}
+	}
+	return out
+}
+
+// histQuantile estimates the q-quantile from runtime histogram buckets
+// (len(Buckets) == len(Counts)+1; boundaries may be ±Inf).
+func histQuantile(buckets []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			lo, hi := buckets[i], buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			return hi
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if math.IsInf(last, 1) {
+		last = buckets[len(buckets)-2]
+	}
+	return last
+}
+
+// histMassSeconds approximates the summed value of the window's
+// observations (each bucket's count at its upper boundary) — how the
+// cumulative GC pause counter advances without a runtime-provided sum.
+func histMassSeconds(buckets []float64, counts []uint64) float64 {
+	var sum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		hi := buckets[i+1]
+		if math.IsInf(hi, 1) {
+			hi = buckets[i]
+			if math.IsInf(hi, -1) {
+				hi = 0
+			}
+		}
+		sum += float64(c) * hi
+	}
+	return sum
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestRuntimeMetricsSample(t *testing.T) {
+	reg := NewRegistry()
+	rm := NewRuntimeMetrics(reg)
+	// Generate some heap and GC traffic so the cumulative series move.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	runtime.GC()
+	_ = sink
+	rm.Sample()
+
+	if v := reg.Gauge("sslic_go_goroutines", "").Value(); v < 1 {
+		t.Fatalf("goroutines gauge = %g, want >= 1", v)
+	}
+	if v := reg.Gauge("sslic_go_heap_bytes", "").Value(); v <= 0 {
+		t.Fatalf("heap gauge = %g, want > 0", v)
+	}
+	if v := reg.Counter("sslic_go_alloc_bytes_total", "").Value(); v <= 0 {
+		t.Fatalf("alloc counter = %g, want > 0", v)
+	}
+	if v := reg.Counter("sslic_go_gc_cycles_total", "").Value(); v < 1 {
+		t.Fatalf("gc cycles counter = %g, want >= 1 after runtime.GC", v)
+	}
+}
+
+func TestRuntimeMetricsCounterMonotone(t *testing.T) {
+	reg := NewRegistry()
+	rm := NewRuntimeMetrics(reg)
+	alloc := reg.Counter("sslic_go_alloc_bytes_total", "")
+	var last float64
+	for i := 0; i < 3; i++ {
+		_ = make([]byte, 1<<20)
+		rm.Sample()
+		if v := alloc.Value(); v < last {
+			t.Fatalf("alloc counter went backwards: %g -> %g", last, v)
+		} else {
+			last = v
+		}
+	}
+}
+
+func TestRuntimeMetricsSnapshot(t *testing.T) {
+	rm := NewRuntimeMetrics(NewRegistry())
+	rm.Sample()
+	snap := rm.Snapshot()
+	for _, key := range []string{"goroutines", "heap_bytes", "alloc_bytes_total", "gc_cycles_total"} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("snapshot missing %q: %v", key, snap)
+		}
+	}
+	// Snapshot must be a copy, not a view of internal state.
+	snap["goroutines"] = -1
+	if rm.Snapshot()["goroutines"] == -1 {
+		t.Fatalf("snapshot aliases internal state")
+	}
+	// Nil receiver is the disabled path.
+	var nilRM *RuntimeMetrics
+	nilRM.Sample()
+	if nilRM.Snapshot() != nil {
+		t.Fatalf("nil Snapshot should be nil")
+	}
+}
+
+func TestHistQuantileRuntimeBuckets(t *testing.T) {
+	// Runtime histograms carry ±Inf boundary buckets; the estimator
+	// must stay finite.
+	buckets := []float64{math.Inf(-1), 1e-9, 1e-6, 1e-3, math.Inf(1)}
+	counts := []uint64{0, 5, 5, 0}
+	if q := histQuantile(buckets, counts, 0.5); q <= 0 || q > 1e-6 {
+		t.Fatalf("p50 = %g, want within (0, 1e-6]", q)
+	}
+	// Mass in the +Inf bucket returns the last finite bound.
+	counts = []uint64{0, 0, 0, 3}
+	if q := histQuantile(buckets, counts, 0.99); q != 1e-3 {
+		t.Fatalf("overflow-bucket quantile = %g, want 1e-3", q)
+	}
+	if q := histQuantile(buckets, []uint64{0, 0, 0, 0}, 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistDeltaMismatchedPrev(t *testing.T) {
+	// A runtime-side bucket layout change (different length) must reset
+	// the delta to cur rather than mix layouts.
+	cur := &metrics.Float64Histogram{
+		Counts:  []uint64{3, 4},
+		Buckets: []float64{0, 1, 2},
+	}
+	if d := histDelta(cur, []uint64{1}); d[0] != 3 || d[1] != 4 {
+		t.Fatalf("mismatched delta = %v, want cur passthrough", d)
+	}
+	if d := histDelta(cur, []uint64{1, 1}); d[0] != 2 || d[1] != 3 {
+		t.Fatalf("delta = %v, want {2,3}", d)
+	}
+	// A prev count larger than cur (layout reuse after reset) clamps
+	// to cur instead of underflowing.
+	if d := histDelta(cur, []uint64{5, 1}); d[0] != 3 || d[1] != 3 {
+		t.Fatalf("wrapped delta = %v, want {3,3}", d)
+	}
+}

@@ -19,6 +19,13 @@ type ServerConfig struct {
 	// Recorder, when set, backs /debug/trace and /debug/traces so stored
 	// flight-recorder traces are fetchable by ID.
 	Recorder *FlightRecorder
+	// SLO, when set, is mounted at /debug/slo (the slo package's
+	// Handler — an http.Handler field keeps the import direction
+	// telemetry ← slo).
+	SLO http.Handler
+	// Profiles, when set, is mounted at /debug/profiles
+	// (ProfilesHandler over a Capturer).
+	Profiles http.Handler
 	// Logger, when set, logs server lifecycle events under the
 	// "telemetry" component.
 	Logger *Logger
@@ -33,6 +40,10 @@ type ServerConfig struct {
 //	/debug/traces  recent flight-recorder traces (JSON summaries)
 //	/debug/trace   one stored trace by ?id=, as Chrome trace_event JSON
 //	               (loadable in chrome://tracing / Perfetto) or ?format=json
+//	/debug/slo     SLO objectives, error budgets and burn rates (JSON),
+//	               when an engine is wired
+//	/debug/profiles  captured pprof bundles (list / fetch / on-demand
+//	               capture), when a capturer is wired
 //
 // so a live stream can be scraped, CPU-profiled and trace-replayed at
 // the same time.
@@ -67,6 +78,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Recorder != nil {
 		mux.Handle("/debug/trace", TraceHandler(cfg.Recorder))
 		mux.Handle("/debug/traces", TraceListHandler(cfg.Recorder))
+	}
+	if cfg.SLO != nil {
+		mux.Handle("/debug/slo", cfg.SLO)
+	}
+	if cfg.Profiles != nil {
+		mux.Handle("/debug/profiles", cfg.Profiles)
 	}
 	// The pprof handlers are registered explicitly: this mux is private,
 	// so nothing leaks onto http.DefaultServeMux.

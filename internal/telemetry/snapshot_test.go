@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// The SLO engine differentiates histograms every tick, so the window
+// algebra's edge cases — empty windows, single-bucket mass, wraparound
+// (a prev snapshot "newer" than cur), all-zero deltas — are load-bearing
+// in a way the happy-path tests don't cover.
+
+func TestSnapshotSubEmptyWindow(t *testing.T) {
+	h := NewRegistry().Histogram("sub_empty_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	prev := h.Snapshot()
+	win := h.Snapshot().Sub(prev) // no observations between snapshots
+	if win.Count != 0 || win.Sum != 0 {
+		t.Fatalf("empty window count/sum = %d/%g, want 0/0", win.Count, win.Sum)
+	}
+	for i, c := range win.Counts {
+		if c != 0 {
+			t.Fatalf("empty window bucket %d = %d, want 0", i, c)
+		}
+	}
+	if q := win.Quantile(0.99); q != 0 {
+		t.Fatalf("quantile of empty window = %g, want 0", q)
+	}
+	if m := win.Mean(); m != 0 {
+		t.Fatalf("mean of empty window = %g, want 0", m)
+	}
+}
+
+func TestSnapshotSubSingleBucketMass(t *testing.T) {
+	h := NewRegistry().Histogram("sub_single_seconds", "", []float64{1, 2, 4})
+	h.Observe(0.1)
+	prev := h.Snapshot()
+	// All window mass lands in one interior bucket.
+	for i := 0; i < 7; i++ {
+		h.Observe(1.5)
+	}
+	win := h.Snapshot().Sub(prev)
+	if win.Count != 7 {
+		t.Fatalf("window count = %d, want 7", win.Count)
+	}
+	if win.Counts[0] != 0 || win.Counts[1] != 7 || win.Counts[2] != 0 {
+		t.Fatalf("window buckets = %v, want mass only in bucket 1", win.Counts)
+	}
+	// Every quantile of a single-bucket window stays inside that
+	// bucket's bounds.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := win.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Fatalf("q%.2f = %g, escaped the (1,2] bucket", q, got)
+		}
+	}
+	if got := win.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("q1 of single-bucket window = %g, want upper bound 2", got)
+	}
+}
+
+func TestSnapshotSubWraparound(t *testing.T) {
+	h := NewRegistry().Histogram("sub_wrap_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(0.5)
+	stale := h.Snapshot()
+	// Simulate a restarted/replaced histogram: cur has FEWER
+	// observations than prev. Sub must treat the stale prev as empty
+	// rather than produce underflowed uint64 counts.
+	fresh := NewRegistry().Histogram("sub_wrap_seconds", "", []float64{1})
+	fresh.Observe(0.25)
+	win := fresh.Snapshot().Sub(stale)
+	if win.Count != 1 {
+		t.Fatalf("wraparound window count = %d, want cur's 1", win.Count)
+	}
+	if win.Counts[0] != 1 {
+		t.Fatalf("wraparound window buckets = %v, want cur's counts", win.Counts)
+	}
+	if q := win.Quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("wraparound quantile = %g, outside cur's range", q)
+	}
+}
+
+func TestSnapshotSubMismatchedLayout(t *testing.T) {
+	cur := NewRegistry().Histogram("sub_layout_a_seconds", "", []float64{1, 2})
+	cur.Observe(0.5)
+	prevH := NewRegistry().Histogram("sub_layout_b_seconds", "", []float64{1, 2, 4})
+	prevH.Observe(0.5)
+	win := cur.Snapshot().Sub(prevH.Snapshot())
+	if win.Count != 1 || len(win.Counts) != 3 {
+		t.Fatalf("mismatched-layout Sub = count %d / %d buckets, want cur passthrough (1 / 3)",
+			win.Count, len(win.Counts))
+	}
+}
+
+func TestSnapshotQuantileAllZeroDeltas(t *testing.T) {
+	// A window whose Count is nonzero but whose bucket deltas are all
+	// zero cannot happen from Sub on one histogram, but a hand-built
+	// inconsistent snapshot must not loop or divide by zero.
+	s := HistogramSnapshot{
+		Count:  3,
+		Bounds: []float64{1, 2},
+		Counts: []uint64{0, 0, 0},
+	}
+	got := s.Quantile(0.5)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("all-zero-delta quantile = %g, want a finite value", got)
+	}
+	if got != 2 {
+		t.Fatalf("all-zero-delta quantile = %g, want highest bound 2", got)
+	}
+}
