@@ -77,6 +77,7 @@ func main() {
 		profCap      = flag.Int("profile-capacity", 8, "profile bundles retained by the burn-triggered capturer")
 		profCPUDur   = flag.Duration("profile-cpu-duration", 250*time.Millisecond, "CPU sampling window per profile capture")
 		profCooldown = flag.Duration("profile-cooldown", 30*time.Second, "minimum spacing between burn-triggered captures (on-demand captures ignore it)")
+		noPool       = flag.Bool("no-buffer-pool", false, "disable the request buffer pool (every request allocates fresh frame and label buffers; for allocation A/B measurements)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -143,6 +144,7 @@ func main() {
 		MaxPixels:          *maxPixels,
 		RequestTimeout:     *reqTimeout,
 		MaxTimeout:         *maxTimeout,
+		NoBufferPool:       *noPool,
 		DegradeInterval:    *degradeEvery,
 		Registry:           reg,
 		Recorder:           recorder,

@@ -38,6 +38,7 @@ import (
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 	"sslic/internal/video"
+	"sslic/internal/wire"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 		cold      = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
 		warmIter  = flag.Int("warm-iters", 3, "iterations for warm-started frames")
 		outDir    = flag.String("out", "", "write per-frame overlays to this directory")
+		labelsFmt = flag.String("labels-format", "", "also write each frame's label map to -out as frame<N>.<fmt>: slbl, slbl-rle or slbl-delta (delta frames encode against the previous frame's labels)")
 		workers   = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
 		tileWork  = flag.Int("tile-workers", 0, "intra-frame row-band parallelism per frame (0/1 serial, -1 all CPUs)")
 		datapath  = flag.String("datapath", "float64", "hot-loop arithmetic: float64 or fixed (the integer LUT datapath)")
@@ -104,6 +106,16 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
+		}
+	}
+	var labelsWire wire.Format
+	if *labelsFmt != "" {
+		var ok bool
+		if labelsWire, ok = wire.ParseFormat(*labelsFmt); !ok {
+			fatal(fmt.Errorf("unknown -labels-format %q (want slbl, slbl-rle or slbl-delta)", *labelsFmt))
+		}
+		if *outDir == "" {
+			fatal(errors.New("-labels-format requires -out"))
 		}
 	}
 
@@ -210,6 +222,21 @@ func main() {
 			if err := imgio.WritePPMFile(path, imgio.Overlay(r.Image, r.Labels, 255, 0, 0)); err != nil {
 				return err
 			}
+			if *labelsFmt != "" {
+				// Deltas encode against the previous frame exactly like
+				// the serving layer's per-stream base: consecutive frames
+				// share most labels, so a static scene approaches zero
+				// bytes per frame.
+				var base *imgio.LabelMap
+				if labelsWire == wire.Delta && prev != nil {
+					base = prev.Labels
+				}
+				if err := writeWireLabels(
+					fmt.Sprintf("%s/frame%03d.%s", *outDir, r.Index, *labelsFmt),
+					labelsWire, r.Labels, base); err != nil {
+					return err
+				}
+			}
 		}
 		// The previous result was only kept for temporal consistency; its
 		// buffers can go back to the pool now.
@@ -253,6 +280,20 @@ func main() {
 	fmt.Printf("  source:  %s\n", st.Source)
 	fmt.Printf("  segment: %s\n", st.Segment)
 	fmt.Printf("  sink:    %s\n", st.Sink)
+}
+
+// writeWireLabels writes one frame's label map in the given wire
+// framing (base is non-nil only for delta frames after the first).
+func writeWireLabels(path string, f wire.Format, labels, base *imgio.LabelMap) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wire.Encode(out, f, labels, base); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func fatal(err error) {

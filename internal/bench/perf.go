@@ -11,6 +11,7 @@ package bench
 // is what CI gates on (benchdiff -skip-time).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,11 +20,15 @@ import (
 	"runtime"
 	"testing"
 
+	"sslic/internal/bufpool"
 	"sslic/internal/dataset"
 	"sslic/internal/degrade"
 	"sslic/internal/hw"
+	"sslic/internal/imgio"
 	"sslic/internal/metrics"
 	"sslic/internal/sslic"
+	"sslic/internal/telemetry"
+	"sslic/internal/wire"
 )
 
 // PerfSchema identifies the report format; bump on breaking changes so
@@ -218,8 +223,112 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		pr.Cost = perfCost(cfg.W, cfg.H, k, p, stats)
 		rep.Results = append(rep.Results, pr)
 	}
+	// The end-to-end pair measures the request core the serving layer
+	// runs between the HTTP layers — decode a PPM body, segment, encode
+	// the slbl-rle response — with and without the buffer pool. The
+	// allocs_per_op gap between the two IS the zero-copy claim, stated
+	// as a gated, diffable number.
+	for _, pooled := range []bool{false, true} {
+		pr, err := runE2E(sample.Image, k, pooled)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, pr)
+	}
 	rep.Speedups = speedups(rep.Results)
 	return rep, nil
+}
+
+// runE2E benchmarks decode → segment → encode over one frame. The
+// pooled variant recycles its buffers exactly as the server's success
+// path does, so after the warm-up iteration its allocations are the
+// steady-state request cost; the fresh variant allocates every plane
+// per op, which is what the service did before the buffer pool.
+func runE2E(im *imgio.Image, k int, pooled bool) (PerfResult, error) {
+	name := "e2e_fresh"
+	var pool *bufpool.Pool
+	if pooled {
+		name = "e2e_pooled"
+		pool = bufpool.New(bufpool.Config{})
+	}
+	var body bytes.Buffer
+	if err := imgio.EncodePPM(&body, im); err != nil {
+		return PerfResult{}, fmt.Errorf("bench: encoding e2e frame: %w", err)
+	}
+	p := sslic.DefaultParams(k, 0.5)
+	p.TileWorkers = 1 // deterministic alloc counts are the point here
+	var calcs int64
+	var freshBytes int64
+	var stats sslic.Stats
+	var benchErr error
+	run := func() error {
+		var alloc imgio.ImageAlloc
+		ledger := telemetry.NewCost()
+		if pool != nil {
+			alloc = pool.ImageAlloc(ledger)
+		}
+		frame, err := imgio.DecodeImageLimitAlloc(bytes.NewReader(body.Bytes()), im.W*im.H, alloc)
+		if err != nil {
+			return err
+		}
+		pp := p
+		if pool != nil {
+			lbuf, fresh := pool.GetLabelMap(frame.W, frame.H)
+			pp.LabelBuf = lbuf
+			freshBytes = ledger.Snapshot().AllocBytes + fresh
+		} else {
+			freshBytes = int64(3*len(frame.C0)) + int64(4*frame.W*frame.H)
+		}
+		res, err := sslic.Segment(frame, pp)
+		if err != nil {
+			return err
+		}
+		calcs = res.Stats.DistanceCalcs
+		stats = res.Stats
+		if err := wire.EncodeRLE(io.Discard, res.Labels); err != nil {
+			return err
+		}
+		if pool != nil {
+			pool.PutImage(frame)
+			pool.PutLabelMap(res.Labels)
+		}
+		return nil
+	}
+	if err := run(); err != nil { // warm the pool before measuring
+		return PerfResult{}, fmt.Errorf("bench: e2e config %s: %w", name, err)
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return PerfResult{}, fmt.Errorf("bench: e2e config %s: %w", name, benchErr)
+	}
+	ns := br.NsPerOp()
+	fps := 0.0
+	if ns > 0 {
+		fps = 1e9 / float64(ns)
+	}
+	pr := PerfResult{
+		Name:                  name,
+		NsPerOp:               ns,
+		FramesPerSec:          fps,
+		AllocsPerOp:           br.AllocsPerOp(),
+		BytesPerOp:            br.AllocedBytesPerOp(),
+		DistanceCalcsPerFrame: calcs,
+		Iterations:            br.N,
+	}
+	pr.Cost = perfCost(im.W, im.H, k, p, stats)
+	// The ledger charge is measured, not estimated: the pool's fresh
+	// bytes for the steady-state iteration (zero once warm) versus the
+	// full three-plane + label-map footprint on the fresh path.
+	pr.Cost.AllocBytes = freshBytes
+	return pr, nil
 }
 
 // perfCost prices one configuration's frame with the same ledger the

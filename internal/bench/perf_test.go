@@ -155,6 +155,8 @@ func TestRunPerfQuickEmitsCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var sawFresh, sawPooled bool
+	var freshAllocs, pooledAllocs int64
 	for _, r := range rep.Results {
 		if r.Cost == nil {
 			t.Fatalf("%s: no cost ledger", r.Name)
@@ -162,8 +164,40 @@ func TestRunPerfQuickEmitsCost(t *testing.T) {
 		if r.Cost.CPUNs <= 0 || r.Cost.EstPJ <= 0 {
 			t.Fatalf("%s: cost = %+v, want positive cpu_ns and est_pj", r.Name, r.Cost)
 		}
-		if want := int64(4 * rep.Width * rep.Height); r.Cost.AllocBytes != want {
-			t.Fatalf("%s: alloc_bytes = %d, want %d", r.Name, r.Cost.AllocBytes, want)
+		// The e2e pair carries measured buffer-pool bytes; the pure
+		// segmentation configs still charge the label-map estimate.
+		switch r.Name {
+		case "e2e_fresh":
+			sawFresh = true
+			freshAllocs = r.AllocsPerOp
+			if want := int64(7 * rep.Width * rep.Height); r.Cost.AllocBytes != want {
+				t.Fatalf("%s: alloc_bytes = %d, want the unpooled %d", r.Name, r.Cost.AllocBytes, want)
+			}
+		case "e2e_pooled":
+			sawPooled = true
+			pooledAllocs = r.AllocsPerOp
+			if r.Cost.AllocBytes != 0 {
+				t.Fatalf("%s: alloc_bytes = %d, want 0 at steady state", r.Name, r.Cost.AllocBytes)
+			}
+		default:
+			if want := int64(4 * rep.Width * rep.Height); r.Cost.AllocBytes != want {
+				t.Fatalf("%s: alloc_bytes = %d, want %d", r.Name, r.Cost.AllocBytes, want)
+			}
 		}
+	}
+	if !sawFresh || !sawPooled {
+		t.Fatal("report is missing the e2e_fresh/e2e_pooled pair")
+	}
+	// The zero-copy headline, in two parts. Pooling must beat the fresh
+	// path outright; and the steady-state request core must stay under
+	// half the pre-pool request cost (the committed quick baseline
+	// before the buffer pool landed measured 109 allocs/op for the
+	// segmentation alone, before decode and encode were even counted).
+	if pooledAllocs >= freshAllocs {
+		t.Fatalf("e2e_pooled allocs/op = %d, not below e2e_fresh %d", pooledAllocs, freshAllocs)
+	}
+	const prePoolBaseline = 109
+	if pooledAllocs*2 > prePoolBaseline {
+		t.Fatalf("e2e_pooled allocs/op = %d, not <= half the pre-pool baseline %d", pooledAllocs, prePoolBaseline)
 	}
 }

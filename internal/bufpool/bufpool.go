@@ -1,0 +1,265 @@
+// Package bufpool is the arena layer of the zero-copy request path: a
+// size-classed pool of the large, short-lived buffers a segmentation
+// request needs — decoded image planes, label maps, render targets —
+// handed out sized from the frame header and returned after the
+// response is written.
+//
+// The paper's accelerator avoids exactly this traffic in hardware: the
+// channel scratchpads and the assignment memory are allocated once and
+// every frame streams through them, so steady-state DRAM traffic is
+// pixel data, not allocator churn (§4.3). gSLICr makes the same move in
+// software with resident GPU buffers. This pool is the service's
+// equivalent: at steady state a request borrows every frame-sized
+// buffer it needs and allocates (nearly) nothing.
+//
+// Design points:
+//
+//   - Size classes are powers of two. Get rounds the request up to a
+//     class so a 639×480 frame and a 640×480 frame recycle the same
+//     backing; Put files a buffer under the largest class it can fully
+//     satisfy, so foreign buffers (plain NewImage allocations) are
+//     accepted too.
+//   - The free lists are bounded (MaxPerClass buffers per class) and
+//     mutex-guarded rather than sync.Pool-based: reuse is deterministic
+//     — a Put buffer IS found by the next Get regardless of which
+//     goroutine or GC cycle sits between them — which is what lets the
+//     alloc-regression tests assert hard ceilings and the cost ledger
+//     report measured bytes instead of estimates.
+//   - Get returns the bytes freshly allocated (0 on a pool hit). The
+//     serving layer charges exactly that to the request's cost ledger,
+//     so X-Cost-Alloc-Bytes reports what the request really cost the
+//     allocator, not a deterministic 3WH/4WH guess.
+//
+// Buffers are NOT zeroed on reuse. Every consumer overwrites all pixels
+// (decoders fill every plane byte, segmentation writes every label), and
+// the server's aliasing tests prove a recycled buffer never leaks a
+// prior request's pixels into a response.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+
+	"sslic/internal/imgio"
+	"sslic/internal/telemetry"
+)
+
+// numClasses covers buffer element counts up to 2^35 — far past the
+// decoder's pixel budgets.
+const numClasses = 36
+
+// minClassBits floors the class sizes at 256 elements: recycling
+// tiny buffers costs more bookkeeping than it saves.
+const minClassBits = 8
+
+// Config tunes a Pool.
+type Config struct {
+	// MaxPerClass bounds the buffers retained per size class (for each
+	// of the image and label-map lists); overflow on Put is dropped to
+	// the garbage collector. <= 0 selects 16.
+	MaxPerClass int
+	// Registry receives the pool's hit/miss/byte counters; nil selects
+	// a private one.
+	Registry *telemetry.Registry
+}
+
+// Pool is a size-classed recycler for frame-sized buffers. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	images [numClasses][]*imgio.Image
+	labels [numClasses][]*imgio.LabelMap
+	max    int
+
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	fresh   *telemetry.Counter
+	dropped *telemetry.Counter
+	held    *telemetry.Gauge
+}
+
+// New builds an empty pool.
+func New(cfg Config) *Pool {
+	if cfg.MaxPerClass <= 0 {
+		cfg.MaxPerClass = 16
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	p := &Pool{max: cfg.MaxPerClass}
+	p.hits = reg.Counter("sslic_bufpool_hits_total",
+		"Buffer requests served from a free list.")
+	p.misses = reg.Counter("sslic_bufpool_misses_total",
+		"Buffer requests that had to allocate fresh backing.")
+	p.fresh = reg.Counter("sslic_bufpool_fresh_bytes_total",
+		"Bytes freshly allocated on pool misses.")
+	p.dropped = reg.Counter("sslic_bufpool_dropped_total",
+		"Buffers dropped on Put because their class list was full.")
+	p.held = reg.Gauge("sslic_bufpool_held",
+		"Buffers currently parked on the free lists.")
+	return p
+}
+
+// classFor returns the smallest class whose capacity covers n elements.
+func classFor(n int) int {
+	if n <= 0 {
+		return minClassBits
+	}
+	c := bits.Len(uint(n - 1))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	return c
+}
+
+// floorClass returns the largest class a capacity of n elements fully
+// satisfies, or -1 when it is below the smallest class.
+func floorClass(n int) int {
+	if n < 1<<minClassBits {
+		return -1
+	}
+	c := bits.Len(uint(n)) - 1
+	if 1<<c > n { // defensive; cannot happen
+		c--
+	}
+	return c
+}
+
+// classSize is the element capacity of class c.
+func classSize(c int) int { return 1 << c }
+
+// GetImage returns a W×H planar image whose planes are either recycled
+// or freshly allocated, plus the bytes freshly allocated (0 on a pool
+// hit) — the number the caller charges to the request's cost ledger.
+// The planes are NOT zeroed; the caller must overwrite every pixel.
+func (p *Pool) GetImage(w, h int) (*imgio.Image, int64) {
+	n := w * h
+	c := classFor(n)
+	p.mu.Lock()
+	if l := p.images[c]; len(l) > 0 {
+		im := l[len(l)-1]
+		p.images[c] = l[:len(l)-1]
+		p.mu.Unlock()
+		p.hits.Inc()
+		p.held.Add(-1)
+		im.W, im.H = w, h
+		im.C0 = im.C0[:n]
+		im.C1 = im.C1[:n]
+		im.C2 = im.C2[:n]
+		return im, 0
+	}
+	p.mu.Unlock()
+	p.misses.Inc()
+	cs := classSize(c)
+	im := &imgio.Image{
+		W: w, H: h,
+		C0: make([]uint8, n, cs),
+		C1: make([]uint8, n, cs),
+		C2: make([]uint8, n, cs),
+	}
+	fresh := int64(3 * cs)
+	p.fresh.Add(float64(fresh))
+	return im, fresh
+}
+
+// PutImage parks an image for reuse. Safe for images from any source;
+// nil and degenerate images are ignored. The caller must not retain any
+// reference to the image or its planes afterwards.
+func (p *Pool) PutImage(im *imgio.Image) {
+	if im == nil {
+		return
+	}
+	cp := cap(im.C0)
+	if cap(im.C1) < cp {
+		cp = cap(im.C1)
+	}
+	if cap(im.C2) < cp {
+		cp = cap(im.C2)
+	}
+	c := floorClass(cp)
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.images[c]) >= p.max {
+		p.mu.Unlock()
+		p.dropped.Inc()
+		return
+	}
+	p.images[c] = append(p.images[c], im)
+	p.mu.Unlock()
+	p.held.Add(1)
+}
+
+// GetLabelMap returns a W×H label map (recycled or fresh) plus the
+// bytes freshly allocated (0 on a pool hit). Labels are NOT reset; the
+// PPA assignment loop writes every pixel, and callers that need the
+// Unassigned sentinel must reset explicitly (sslic's CPA path does).
+func (p *Pool) GetLabelMap(w, h int) (*imgio.LabelMap, int64) {
+	n := w * h
+	c := classFor(n)
+	p.mu.Lock()
+	if l := p.labels[c]; len(l) > 0 {
+		lm := l[len(l)-1]
+		p.labels[c] = l[:len(l)-1]
+		p.mu.Unlock()
+		p.hits.Inc()
+		p.held.Add(-1)
+		lm.W, lm.H = w, h
+		lm.Labels = lm.Labels[:n]
+		return lm, 0
+	}
+	p.mu.Unlock()
+	p.misses.Inc()
+	cs := classSize(c)
+	lm := &imgio.LabelMap{W: w, H: h, Labels: make([]int32, n, cs)}
+	fresh := int64(4 * cs)
+	p.fresh.Add(float64(fresh))
+	return lm, fresh
+}
+
+// PutLabelMap parks a label map for reuse; nil and tiny maps are
+// ignored. The caller must not retain any reference afterwards.
+func (p *Pool) PutLabelMap(lm *imgio.LabelMap) {
+	if lm == nil {
+		return
+	}
+	c := floorClass(cap(lm.Labels))
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.labels[c]) >= p.max {
+		p.mu.Unlock()
+		p.dropped.Inc()
+		return
+	}
+	p.labels[c] = append(p.labels[c], lm)
+	p.mu.Unlock()
+	p.held.Add(1)
+}
+
+// ImageAlloc adapts the pool to imgio's decode-target hook, charging
+// fresh allocations to the given ledger (nil ledger skips charging).
+// The decoder calls it once, after validating the frame header, so the
+// target is sized from trusted dimensions.
+func (p *Pool) ImageAlloc(cost *telemetry.Cost) imgio.ImageAlloc {
+	return func(w, h int) *imgio.Image {
+		im, fresh := p.GetImage(w, h)
+		cost.AddAlloc(fresh)
+		return im
+	}
+}
+
+// Held reports the buffers currently parked, for tests and introspection.
+func (p *Pool) Held() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for c := range p.images {
+		n += len(p.images[c]) + len(p.labels[c])
+	}
+	return n
+}

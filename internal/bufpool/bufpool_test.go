@@ -1,0 +1,195 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+
+	"sslic/internal/imgio"
+	"sslic/internal/telemetry"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, minClassBits},
+		{1, minClassBits},
+		{256, 8},
+		{257, 9},
+		{512, 9},
+		{513, 10},
+		{640 * 480, 19}, // 307200 -> 2^19 = 524288
+		{1 << 20, 20},
+		{1<<20 + 1, 21},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+		if cs := classSize(classFor(c.n)); c.n > 0 && cs < c.n {
+			t.Errorf("classSize(classFor(%d)) = %d < n", c.n, cs)
+		}
+	}
+}
+
+func TestFloorClass(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, -1},
+		{255, -1},
+		{256, 8},
+		{511, 8},
+		{512, 9},
+		{1<<19 - 1, 18},
+		{1 << 19, 19},
+	}
+	for _, c := range cases {
+		if got := floorClass(c.n); got != c.want {
+			t.Errorf("floorClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestImageReuseAndFreshAccounting(t *testing.T) {
+	p := New(Config{})
+	im, fresh := p.GetImage(640, 480)
+	if fresh == 0 {
+		t.Fatal("first GetImage reported 0 fresh bytes")
+	}
+	wantFresh := int64(3 * classSize(classFor(640*480)))
+	if fresh != wantFresh {
+		t.Fatalf("fresh = %d, want %d", fresh, wantFresh)
+	}
+	if im.W != 640 || im.H != 480 || len(im.C0) != 640*480 {
+		t.Fatalf("bad image geometry: %dx%d len %d", im.W, im.H, len(im.C0))
+	}
+	c0 := &im.C0[0]
+	p.PutImage(im)
+	if p.Held() != 1 {
+		t.Fatalf("Held = %d after Put, want 1", p.Held())
+	}
+
+	// Different dims, same class: must reuse the same backing, zero fresh.
+	im2, fresh2 := p.GetImage(639, 479)
+	if fresh2 != 0 {
+		t.Fatalf("same-class GetImage allocated %d fresh bytes", fresh2)
+	}
+	if &im2.C0[0] != c0 {
+		t.Fatal("same-class GetImage did not reuse pooled backing")
+	}
+	if im2.W != 639 || im2.H != 479 || len(im2.C0) != 639*479 {
+		t.Fatalf("recycled image not resliced: %dx%d len %d", im2.W, im2.H, len(im2.C0))
+	}
+	if p.Held() != 0 {
+		t.Fatalf("Held = %d after reuse, want 0", p.Held())
+	}
+}
+
+func TestLabelMapReuseAndFreshAccounting(t *testing.T) {
+	p := New(Config{})
+	lm, fresh := p.GetLabelMap(320, 240)
+	wantFresh := int64(4 * classSize(classFor(320*240)))
+	if fresh != wantFresh {
+		t.Fatalf("fresh = %d, want %d", fresh, wantFresh)
+	}
+	base := &lm.Labels[0]
+	p.PutLabelMap(lm)
+	lm2, fresh2 := p.GetLabelMap(300, 240)
+	if fresh2 != 0 {
+		t.Fatalf("same-class GetLabelMap allocated %d fresh bytes", fresh2)
+	}
+	if &lm2.Labels[0] != base {
+		t.Fatal("same-class GetLabelMap did not reuse pooled backing")
+	}
+	if lm2.W != 300 || lm2.H != 240 || len(lm2.Labels) != 300*240 {
+		t.Fatalf("recycled label map not resliced: %dx%d len %d",
+			lm2.W, lm2.H, len(lm2.Labels))
+	}
+}
+
+func TestPutAcceptsForeignBuffers(t *testing.T) {
+	// A plain NewImage allocation has exact-sized planes; Put must file
+	// it under the floor class and a smaller request must find it.
+	p := New(Config{})
+	im := imgio.NewImage(300, 200) // 60000 cap -> floor class 15 (32768)
+	p.PutImage(im)
+	if p.Held() != 1 {
+		t.Fatalf("Held = %d after foreign Put, want 1", p.Held())
+	}
+	got, fresh := p.GetImage(181, 181) // 32761 <= 32768 -> class 15
+	if fresh != 0 {
+		t.Fatalf("GetImage after foreign Put allocated %d fresh bytes", fresh)
+	}
+	if &got.C0[0] != &im.C0[0] {
+		t.Fatal("foreign buffer not reused")
+	}
+}
+
+func TestPutDropsTinyAndOverflow(t *testing.T) {
+	p := New(Config{MaxPerClass: 2})
+	p.PutImage(nil)
+	p.PutImage(imgio.NewImage(4, 4)) // below minClassBits: dropped
+	if p.Held() != 0 {
+		t.Fatalf("Held = %d after tiny Put, want 0", p.Held())
+	}
+	for i := 0; i < 4; i++ {
+		lm, _ := p.GetLabelMap(100, 100)
+		defer p.PutLabelMap(lm)
+	}
+	// The deferred Puts run at test end; exercise overflow inline instead.
+	a, _ := p.GetLabelMap(64, 64)
+	b, _ := p.GetLabelMap(64, 64)
+	c, _ := p.GetLabelMap(64, 64)
+	p.PutLabelMap(a)
+	p.PutLabelMap(b)
+	p.PutLabelMap(c) // third exceeds MaxPerClass=2: dropped
+	if got := len(p.labels[classFor(64*64)]); got != 2 {
+		t.Fatalf("class list len = %d, want 2 (overflow dropped)", got)
+	}
+}
+
+func TestImageAllocChargesLedger(t *testing.T) {
+	p := New(Config{})
+	cost := telemetry.NewCost()
+	alloc := p.ImageAlloc(cost)
+	im := alloc(128, 128)
+	if im == nil || im.W != 128 {
+		t.Fatal("ImageAlloc returned bad image")
+	}
+	if got := cost.Snapshot().AllocBytes; got != int64(3*classSize(classFor(128*128))) {
+		t.Fatalf("ledger charged %d bytes", got)
+	}
+	p.PutImage(im)
+	im2 := alloc(128, 128)
+	if got := cost.Snapshot().AllocBytes; got != int64(3*classSize(classFor(128*128))) {
+		t.Fatalf("pooled hit charged extra bytes: %d", got)
+	}
+	p.PutImage(im2)
+
+	// nil ledger must not panic.
+	p.ImageAlloc(nil)(64, 64)
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	p := New(Config{MaxPerClass: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				im, _ := p.GetImage(320, 240)
+				lm, _ := p.GetLabelMap(320, 240)
+				im.C0[0] = byte(i)
+				lm.Labels[0] = int32(i)
+				p.PutImage(im)
+				p.PutLabelMap(lm)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Held() == 0 {
+		t.Fatal("expected some buffers parked after concurrent churn")
+	}
+}

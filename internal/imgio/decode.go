@@ -41,6 +41,15 @@ func DecodeImage(r io.Reader) (*Image, error) {
 // compressed formats (PNG), where a tiny hostile payload can claim an
 // enormous canvas.
 func DecodeImageLimit(r io.Reader, maxPixels int) (*Image, error) {
+	return DecodeImageLimitAlloc(r, maxPixels, nil)
+}
+
+// DecodeImageLimitAlloc is DecodeImageLimit with the decode target
+// supplied by alloc (nil means fresh NewImage). alloc runs only after
+// the header has passed both the format's own bounds and the pixel
+// budget, so pooled targets are sized from trusted dimensions and every
+// plane byte is overwritten before return.
+func DecodeImageLimitAlloc(r io.Reader, maxPixels int, alloc ImageAlloc) (*Image, error) {
 	// Fault hook: a failing/slow decoder is the first dependency a frame
 	// meets, so chaos schedules start here. Free when injection is off.
 	if err := faults.Fire(faults.PointDecode); err != nil {
@@ -53,19 +62,9 @@ func DecodeImageLimit(r io.Reader, maxPixels int) (*Image, error) {
 	}
 	switch {
 	case magic[0] == pngSignature[0] && magic[1] == pngSignature[1]:
-		return decodePNGLimit(br, maxPixels)
+		return decodePNGLimitAlloc(br, maxPixels, alloc)
 	case magic[0] == 'P' && (magic[1] == '6' || magic[1] == '3'):
-		// PPM carries pixels uncompressed (3 bytes each), so allocation
-		// is already bounded by the input size; the budget is enforced
-		// after the parse.
-		im, err := DecodePPM(br)
-		if err != nil {
-			return nil, err
-		}
-		if im.Pixels() > maxPixels {
-			return nil, fmt.Errorf("imgio: PPM %dx%d: %w", im.W, im.H, ErrImageTooLarge)
-		}
-		return im, nil
+		return decodePPMAlloc(br, maxPixels, alloc)
 	default:
 		return nil, fmt.Errorf("imgio: unrecognized image format (magic %q)", magic)
 	}
@@ -75,10 +74,10 @@ func DecodeImageLimit(r io.Reader, maxPixels int) (*Image, error) {
 // The IHDR dimensions are validated against the same bounds as the
 // netpbm headers before the pixel decoder runs.
 func DecodePNG(r io.Reader) (*Image, error) {
-	return decodePNGLimit(bufio.NewReader(r), maxHeaderPixels)
+	return decodePNGLimitAlloc(bufio.NewReader(r), maxHeaderPixels, nil)
 }
 
-func decodePNGLimit(br *bufio.Reader, maxPixels int) (*Image, error) {
+func decodePNGLimitAlloc(br *bufio.Reader, maxPixels int, alloc ImageAlloc) (*Image, error) {
 	// The signature plus the complete IHDR chunk is 33 bytes; DecodeConfig
 	// on that prefix yields the claimed dimensions without consuming br.
 	hdr, err := br.Peek(33)
@@ -101,7 +100,13 @@ func decodePNGLimit(br *bufio.Reader, maxPixels int) (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("imgio: decoding PNG: %w", err)
 	}
-	return FromGoImage(src), nil
+	// The stdlib decoder owns its interleaved buffer; de-interleaving
+	// into the caller-supplied planes is the copy that replaces a fresh
+	// 3·W·H allocation.
+	sb := src.Bounds()
+	out := alloc.alloc(sb.Dx(), sb.Dy())
+	FromGoImageInto(out, src)
+	return out, nil
 }
 
 // EncodePNG writes im as a PNG stream, interpreting the channels as RGB.

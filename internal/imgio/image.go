@@ -32,6 +32,21 @@ func NewImage(w, h int) *Image {
 	return &Image{W: w, H: h, C0: make([]uint8, n), C1: make([]uint8, n), C2: make([]uint8, n)}
 }
 
+// ImageAlloc supplies decode targets: given validated header dimensions
+// it returns a W×H image whose planes the decoder will fully overwrite.
+// A buffer pool satisfies this with recycled backing; nil means NewImage.
+// Decoders call it only after the header passes their size checks, so an
+// implementation never sees hostile dimensions.
+type ImageAlloc func(w, h int) *Image
+
+// alloc resolves a possibly-nil ImageAlloc.
+func (a ImageAlloc) alloc(w, h int) *Image {
+	if a == nil {
+		return NewImage(w, h)
+	}
+	return a(w, h)
+}
+
 // Pixels returns the number of pixels W*H.
 func (im *Image) Pixels() int { return im.W * im.H }
 
@@ -66,17 +81,55 @@ func (im *Image) Bounds(x, y int) bool {
 func FromGoImage(src image.Image) *Image {
 	b := src.Bounds()
 	out := NewImage(b.Dx(), b.Dy())
+	FromGoImageInto(out, src)
+	return out
+}
+
+// FromGoImageInto fills dst (already sized to src's bounds) from src,
+// discarding alpha. *image.NRGBA and *image.RGBA take a direct-Pix fast
+// path; everything else goes through the color interface. It panics if
+// the dimensions disagree.
+func FromGoImageInto(dst *Image, src image.Image) {
+	b := src.Bounds()
+	if dst.W != b.Dx() || dst.H != b.Dy() {
+		panic("imgio: FromGoImageInto dimension mismatch")
+	}
+	switch s := src.(type) {
+	case *image.NRGBA:
+		fromPix(dst, s.Pix[s.PixOffset(b.Min.X, b.Min.Y):], s.Stride)
+		return
+	case *image.RGBA:
+		// Alpha is discarded, so premultiplied RGBA samples are taken
+		// as-is; fully opaque frames (the only kind our encoders emit)
+		// are bit-identical either way.
+		fromPix(dst, s.Pix[s.PixOffset(b.Min.X, b.Min.Y):], s.Stride)
+		return
+	}
 	i := 0
 	for y := b.Min.Y; y < b.Max.Y; y++ {
 		for x := b.Min.X; x < b.Max.X; x++ {
 			r, g, bl, _ := src.At(x, y).RGBA()
-			out.C0[i] = uint8(r >> 8)
-			out.C1[i] = uint8(g >> 8)
-			out.C2[i] = uint8(bl >> 8)
+			dst.C0[i] = uint8(r >> 8)
+			dst.C1[i] = uint8(g >> 8)
+			dst.C2[i] = uint8(bl >> 8)
 			i++
 		}
 	}
-	return out
+}
+
+// fromPix de-interleaves 4-byte-per-pixel Pix data (already offset to
+// the first pixel) into dst's planes.
+func fromPix(dst *Image, pix []uint8, stride int) {
+	i := 0
+	for y := 0; y < dst.H; y++ {
+		row := pix[y*stride : y*stride+dst.W*4]
+		for x := 0; x < dst.W; x++ {
+			dst.C0[i] = row[x*4+0]
+			dst.C1[i] = row[x*4+1]
+			dst.C2[i] = row[x*4+2]
+			i++
+		}
+	}
 }
 
 // ToGoImage converts the planar image to an *image.RGBA, interpreting the

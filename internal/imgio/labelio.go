@@ -14,20 +14,35 @@ import (
 // as little-endian int32.
 const labelMagic = "SLBL"
 
-// EncodeLabelMap writes lm in the binary label format.
+// EncodeLabelMap writes lm in the binary label format. The labels are
+// serialized through a fixed-size chunk with manual little-endian
+// stores; binary.Write would reflect-copy the whole 4·W·H slice into a
+// fresh buffer first, which is exactly the intermediate copy the
+// zero-copy response path exists to avoid.
 func EncodeLabelMap(w io.Writer, lm *LabelMap) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(labelMagic); err != nil {
+	if _, err := io.WriteString(w, labelMagic); err != nil {
 		return err
 	}
-	hdr := [2]uint32{uint32(lm.W), uint32(lm.H)}
-	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+	var chunk [4 * 1024]byte
+	binary.LittleEndian.PutUint32(chunk[0:], uint32(lm.W))
+	binary.LittleEndian.PutUint32(chunk[4:], uint32(lm.H))
+	if _, err := w.Write(chunk[:8]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, lm.Labels); err != nil {
-		return err
+	for i := 0; i < len(lm.Labels); {
+		m := len(lm.Labels) - i
+		if m > 1024 {
+			m = 1024
+		}
+		for j := 0; j < m; j++ {
+			binary.LittleEndian.PutUint32(chunk[4*j:], uint32(lm.Labels[i+j]))
+		}
+		if _, err := w.Write(chunk[:4*m]); err != nil {
+			return err
+		}
+		i += m
 	}
-	return bw.Flush()
+	return nil
 }
 
 // DecodeLabelMap reads a binary label map.
@@ -49,8 +64,19 @@ func DecodeLabelMap(r io.Reader) (*LabelMap, error) {
 		return nil, fmt.Errorf("imgio: invalid label dimensions %dx%d", w, h)
 	}
 	lm := NewLabelMap(w, h)
-	if err := binary.Read(br, binary.LittleEndian, lm.Labels); err != nil {
-		return nil, fmt.Errorf("imgio: reading labels: %w", err)
+	var chunk [4 * 1024]byte
+	for i := 0; i < len(lm.Labels); {
+		m := len(lm.Labels) - i
+		if m > 1024 {
+			m = 1024
+		}
+		if _, err := io.ReadFull(br, chunk[:4*m]); err != nil {
+			return nil, fmt.Errorf("imgio: reading labels: %w", err)
+		}
+		for j := 0; j < m; j++ {
+			lm.Labels[i+j] = int32(binary.LittleEndian.Uint32(chunk[4*j:]))
+		}
+		i += m
 	}
 	return lm, nil
 }

@@ -10,21 +10,46 @@ package imgio
 func Overlay(im *Image, lm *LabelMap, r, g, b uint8) *Image {
 	mustMatch(im, lm)
 	out := im.Clone()
+	OverlayInto(out, im, lm, r, g, b)
+	return out
+}
+
+// OverlayInto renders im with lm's boundaries in the given color into
+// dst, which may alias im (the render target on the pooled path is the
+// decode buffer itself). It panics if any dimensions disagree.
+func OverlayInto(dst, im *Image, lm *LabelMap, r, g, b uint8) {
+	mustMatch(im, lm)
+	mustMatch(dst, lm)
+	if dst != im {
+		copy(dst.C0, im.C0)
+		copy(dst.C1, im.C1)
+		copy(dst.C2, im.C2)
+	}
 	for y := 0; y < lm.H; y++ {
 		for x := 0; x < lm.W; x++ {
 			if lm.IsBoundary(x, y) {
-				out.Set(x, y, r, g, b)
+				dst.Set(x, y, r, g, b)
 			}
 		}
 	}
-	return out
 }
 
 // MeanColor renders each region of lm filled with the mean color of its
 // member pixels in im — the "superpixel abstraction" that downstream
 // vision stages consume instead of raw pixels.
 func MeanColor(im *Image, lm *LabelMap) *Image {
+	out := NewImage(im.W, im.H)
+	MeanColorInto(out, im, lm)
+	return out
+}
+
+// MeanColorInto renders the mean-color abstraction into dst, which may
+// alias im: the per-region sums are accumulated before any pixel of dst
+// is written. The K-sized sum table is still allocated per call — it is
+// region-count-, not pixel-sized. Panics if any dimensions disagree.
+func MeanColorInto(dst, im *Image, lm *LabelMap) {
 	mustMatch(im, lm)
+	mustMatch(dst, lm)
 	max := lm.MaxLabel()
 	sums := make([][4]int64, max+2) // c0, c1, c2, count; last slot for Unassigned
 	for i, v := range lm.Labels {
@@ -37,7 +62,6 @@ func MeanColor(im *Image, lm *LabelMap) *Image {
 		sums[s][2] += int64(im.C2[i])
 		sums[s][3]++
 	}
-	out := NewImage(im.W, im.H)
 	for i, v := range lm.Labels {
 		s := int(v)
 		if v < 0 {
@@ -45,13 +69,13 @@ func MeanColor(im *Image, lm *LabelMap) *Image {
 		}
 		n := sums[s][3]
 		if n == 0 {
+			dst.C0[i], dst.C1[i], dst.C2[i] = im.C0[i], im.C1[i], im.C2[i]
 			continue
 		}
-		out.C0[i] = uint8(sums[s][0] / n)
-		out.C1[i] = uint8(sums[s][1] / n)
-		out.C2[i] = uint8(sums[s][2] / n)
+		dst.C0[i] = uint8(sums[s][0] / n)
+		dst.C1[i] = uint8(sums[s][1] / n)
+		dst.C2[i] = uint8(sums[s][2] / n)
 	}
-	return out
 }
 
 // LabelColors renders each region with a deterministic pseudo-random color,

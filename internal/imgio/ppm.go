@@ -37,7 +37,16 @@ func EncodePPM(w io.Writer, im *Image) error {
 
 // DecodePPM reads a PPM (P6 or P3) stream into a planar Image.
 func DecodePPM(r io.Reader) (*Image, error) {
-	br := bufio.NewReader(r)
+	return decodePPMAlloc(bufio.NewReader(r), maxHeaderPixels, nil)
+}
+
+// decodePPMAlloc parses a PPM stream, failing with ErrImageTooLarge
+// before any pixel-sized allocation when the header claims more than
+// maxPixels. The decode target comes from alloc (nil means NewImage).
+// Binary pixel data is de-interleaved through a fixed-size chunk rather
+// than a full 3·W·H staging buffer, so a steady-state decode into a
+// pooled target allocates nothing image-sized.
+func decodePPMAlloc(br *bufio.Reader, maxPixels int, alloc ImageAlloc) (*Image, error) {
 	magic, err := readToken(br)
 	if err != nil {
 		return nil, fmt.Errorf("imgio: reading PPM magic: %w", err)
@@ -49,17 +58,28 @@ func DecodePPM(r io.Reader) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	im := NewImage(w, h)
+	if w*h > maxPixels {
+		return nil, fmt.Errorf("imgio: PPM %dx%d: %w", w, h, ErrImageTooLarge)
+	}
+	im := alloc.alloc(w, h)
 	n := w * h
 	if magic == "P6" {
-		buf := make([]byte, n*3)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("imgio: short PPM pixel data: %w", err)
-		}
-		for i := 0; i < n; i++ {
-			im.C0[i] = scale8(buf[i*3+0], maxv)
-			im.C1[i] = scale8(buf[i*3+1], maxv)
-			im.C2[i] = scale8(buf[i*3+2], maxv)
+		var chunk [3 * 1024]byte // whole pixels per chunk: none spans a boundary
+		for i := 0; i < n; {
+			m := n - i
+			if m > 1024 {
+				m = 1024
+			}
+			buf := chunk[:3*m]
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("imgio: short PPM pixel data: %w", err)
+			}
+			for j := 0; j < m; j++ {
+				im.C0[i+j] = scale8(buf[j*3+0], maxv)
+				im.C1[i+j] = scale8(buf[j*3+1], maxv)
+				im.C2[i+j] = scale8(buf[j*3+2], maxv)
+			}
+			i += m
 		}
 		return im, nil
 	}

@@ -151,6 +151,15 @@ type Job struct {
 	// StreamID identifies a client stream for warm-start stickiness.
 	// Empty runs cold and spreads round-robin across shards.
 	StreamID string
+	// LabelBuf, when set, is the caller-owned label buffer the backend
+	// segments into (sslic.Params.LabelBuf): the result's Labels alias
+	// it, so the response can be encoded straight from the caller's
+	// buffer with no intermediate copy. Ownership caveat: if Submit
+	// fails after admission (deadline, cancel, watchdog abandon), an
+	// orphaned attempt may still be writing into the buffer — the
+	// caller must treat it as poisoned and leak it to the garbage
+	// collector rather than recycle it.
+	LabelBuf *imgio.LabelMap
 }
 
 // JobResult is the outcome of one Job.
@@ -380,6 +389,9 @@ func (p *Pool) worker(in chan *poolReq) {
 			continue
 		}
 		params := req.job.Params
+		if req.job.LabelBuf != nil {
+			params.LabelBuf = req.job.LabelBuf
+		}
 		warm := false
 		if st := states[req.job.StreamID]; st != nil &&
 			st.w == req.job.Image.W && st.h == req.job.Image.H && st.k == params.K {

@@ -70,7 +70,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		// hostile PNG headers claiming gigapixel canvases, which is why
 		// the budget is enforced from the header inside decodeFrame.
 		const budget = 1 << 18
-		im, err := decodeFrame(bytes.NewReader(data), contentType, budget)
+		im, err := decodeFrame(bytes.NewReader(data), contentType, budget, nil)
 		if err != nil {
 			return
 		}
@@ -101,6 +101,7 @@ func FuzzParseOptions(f *testing.F) {
 		"stream=camA", "stream=a%20b", "stream=" + strings.Repeat("x", 65),
 		"stream=%ff", "stream=%00",
 		"format=labels", "format=jpeg", "format=",
+		"format=slbl", "format=slbl-rle", "format=slbl-delta&stream=cam0",
 		"encoding=png", "encoding=bmp",
 		"timeout_ms=0", "timeout_ms=-5", "timeout_ms=99999999",
 		"timeout_ms=9223372036854775808",
@@ -141,7 +142,8 @@ func FuzzParseOptions(f *testing.F) {
 			t.Fatalf("accepted invalid stream id %q: %v", o.Stream, err)
 		}
 		switch o.Format {
-		case formatLabels, formatOverlay, formatMean:
+		case formatLabels, formatOverlay, formatMean,
+			formatSLBL, formatSLBLRLE, formatSLBLDelta:
 		default:
 			t.Fatalf("accepted format %q", o.Format)
 		}

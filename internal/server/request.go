@@ -20,11 +20,15 @@ import (
 // of their inputs (no http types beyond the reader) and both carry fuzz
 // targets in fuzz_test.go.
 
-// Output formats and encodings.
+// Output formats and encodings. The slbl family is the binary wire
+// layer (internal/wire): raw, run-length and frame-delta label maps.
 const (
-	formatLabels  = "labels"
-	formatOverlay = "overlay"
-	formatMean    = "mean"
+	formatLabels    = "labels"
+	formatOverlay   = "overlay"
+	formatMean      = "mean"
+	formatSLBL      = "slbl"
+	formatSLBLRLE   = "slbl-rle"
+	formatSLBLDelta = "slbl-delta"
 
 	encodingPPM = "ppm"
 	encodingPNG = "png"
@@ -104,10 +108,11 @@ func parseOptions(cfg Config, q url.Values) (options, error) {
 	}
 	if v := q.Get("format"); v != "" {
 		switch v {
-		case formatLabels, formatOverlay, formatMean:
+		case formatLabels, formatOverlay, formatMean,
+			formatSLBL, formatSLBLRLE, formatSLBLDelta:
 			o.Format = v
 		default:
-			return o, fmt.Errorf("server: unknown format %q (want labels, overlay or mean)", v)
+			return o, fmt.Errorf("server: unknown format %q (want labels, overlay, mean, slbl, slbl-rle or slbl-delta)", v)
 		}
 	}
 	if v := q.Get("encoding"); v != "" {
@@ -189,7 +194,9 @@ func validateStreamID(id string) error {
 // decoder — from the header, before pixel allocation — because a
 // compressed format can claim a canvas thousands of times larger than
 // its payload (a post-decode check would already have paid for it).
-func decodeFrame(body io.Reader, contentType string, maxPixels int) (*imgio.Image, error) {
+// alloc supplies the decode target (a pooled buffer on the zero-copy
+// path); it only ever sees budget-validated dimensions.
+func decodeFrame(body io.Reader, contentType string, maxPixels int, alloc imgio.ImageAlloc) (*imgio.Image, error) {
 	mt, params, err := mime.ParseMediaType(contentType)
 	if err == nil && strings.HasPrefix(mt, "multipart/") {
 		boundary := params["boundary"]
@@ -206,9 +213,9 @@ func decodeFrame(body io.Reader, contentType string, maxPixels int) (*imgio.Imag
 				return nil, fmt.Errorf("server: reading multipart body: %w", err)
 			}
 			if part.FormName() == "frame" || part.FileName() != "" {
-				return imgio.DecodeImageLimit(part, maxPixels)
+				return imgio.DecodeImageLimitAlloc(part, maxPixels, alloc)
 			}
 		}
 	}
-	return imgio.DecodeImageLimit(body, maxPixels)
+	return imgio.DecodeImageLimitAlloc(body, maxPixels, alloc)
 }

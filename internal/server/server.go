@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslic/internal/bufpool"
 	"sslic/internal/degrade"
 	"sslic/internal/faults"
 	"sslic/internal/imgio"
@@ -51,6 +52,7 @@ import (
 	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
+	"sslic/internal/wire"
 )
 
 // Config sizes the service.
@@ -89,6 +91,13 @@ type Config struct {
 	// MaxPixels bounds the decoded frame size; exceeding it is a 413.
 	// <= 0 selects 4 Mpixel (comfortably above the paper's 1080p rows).
 	MaxPixels int
+	// NoBufferPool disables the zero-copy buffer pool: every request
+	// decodes into fresh planes and segments into a fresh label map,
+	// and X-Cost-Alloc-Bytes falls back to deterministic size
+	// estimates. The default (pooling on) recycles frame-sized buffers
+	// across requests — the serving analogue of the accelerator's
+	// resident scratchpads — and reports measured fresh bytes.
+	NoBufferPool bool
 	// RequestTimeout is the default per-request deadline; <= 0 selects
 	// 10s. Clients may tighten (never extend) it via ?timeout_ms=,
 	// capped at MaxTimeout (<= 0 selects 30s).
@@ -225,6 +234,9 @@ type Server struct {
 	capturer *telemetry.Capturer
 	runtime  *telemetry.RuntimeMetrics
 
+	bufs   *bufpool.Pool // nil when Config.NoBufferPool
+	deltas *deltaCache   // per-stream slbl-delta bases
+
 	inflightMu     sync.Mutex
 	inflightTraces map[string]struct{} // trace IDs currently being served
 
@@ -251,6 +263,10 @@ func New(cfg Config) (*Server, error) {
 		Registry:      cfg.Registry,
 		Logger:        cfg.Logger,
 	})
+	if !cfg.NoBufferPool {
+		s.bufs = bufpool.New(bufpool.Config{Registry: cfg.Registry})
+	}
+	s.deltas = newDeltaCache(cfg.MaxStreams)
 	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
 		"Handler panics recovered by the middleware.")
 	s.inflightTraces = make(map[string]struct{})
@@ -501,7 +517,15 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	t0 := time.Now()
-	im, err := decodeFrame(body, r.Header.Get("Content-Type"), s.cfg.MaxPixels)
+	// On the pooled path the decode target comes from the buffer pool
+	// and the ledger is charged the bytes the pool really allocated
+	// (zero at steady state); the fresh path charges the full plane
+	// size, which is exactly what NewImage allocates.
+	var alloc imgio.ImageAlloc
+	if s.bufs != nil {
+		alloc = s.bufs.ImageAlloc(cost)
+	}
+	im, err := decodeFrame(body, r.Header.Get("Content-Type"), s.cfg.MaxPixels, alloc)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		switch {
@@ -522,7 +546,9 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cost.AddDecode(time.Since(t0))
-	cost.AddAlloc(int64(len(im.C0) + len(im.C1) + len(im.C2)))
+	if s.bufs == nil {
+		cost.AddAlloc(int64(len(im.C0) + len(im.C1) + len(im.C2)))
+	}
 	if tr != nil {
 		tr.Emit("decode", "server", t0, time.Since(t0),
 			map[string]any{"width": im.W, "height": im.H})
@@ -533,11 +559,26 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The label buffer rides the job into the backend, which segments
+	// straight into it (sslic's ledger charge for a fresh map is
+	// skipped when LabelBuf is set — the pool's measured charge here
+	// replaces the estimate).
+	var lbuf *imgio.LabelMap
+	if s.bufs != nil {
+		var fresh int64
+		lbuf, fresh = s.bufs.GetLabelMap(im.W, im.H)
+		cost.AddAlloc(fresh)
+	}
+
 	ctx, cancel := context.WithTimeout(
 		telemetry.WithCost(telemetry.WithTrace(r.Context(), tr), cost), opts.Timeout)
 	defer cancel()
-	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream})
+	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream, LabelBuf: lbuf})
 	if err != nil {
+		// The buffers are NOT recycled on any post-submit failure: a
+		// watchdog-abandoned or canceled attempt's goroutine may still
+		// be writing into them, so they are leaked to the garbage
+		// collector rather than handed to the next request.
 		switch {
 		case errors.Is(err, pipeline.ErrSaturated):
 			w.Header().Set("Retry-After", "1")
@@ -579,6 +620,18 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	snap := s.costs.finish(cost, opts.Stream, tr)
 	stampCostHeaders(w.Header(), snap)
 	s.writeResult(w, opts, im, res, tr, cost)
+	// Success path: the response is fully written, no goroutine can
+	// still touch these buffers — park them for the next request.
+	if s.bufs != nil {
+		s.bufs.PutImage(im)
+		s.bufs.PutLabelMap(res.Result.Labels)
+		if lbuf != nil && res.Result.Labels != lbuf {
+			// The backend fell back to a fresh map (defensive: it only
+			// would on a dimension mismatch); the untouched pooled
+			// buffer is still clean to recycle.
+			s.bufs.PutLabelMap(lbuf)
+		}
+	}
 }
 
 // recordPanic feeds the circuit breaker (when enabled).
@@ -600,20 +653,30 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 	case formatLabels:
 		h.Set("Content-Type", "application/octet-stream")
 		err = imgio.EncodeLabelMap(w, labels)
-	case formatOverlay, formatMean:
-		var out *imgio.Image
-		if opts.Format == formatOverlay {
-			out = imgio.Overlay(im, labels, 255, 0, 0)
+	case formatSLBL, formatSLBLRLE, formatSLBLDelta:
+		wf, _ := wire.ParseFormat(opts.Format)
+		h.Set("Content-Type", wf.ContentType())
+		h.Set("X-Wire-Format", opts.Format)
+		if wf == wire.Delta {
+			err = s.writeDelta(w, opts.Stream, labels)
 		} else {
-			out = imgio.MeanColor(im, labels)
+			err = wire.Encode(w, wf, labels, nil)
 		}
-		cost.AddAlloc(int64(len(out.C0) + len(out.C1) + len(out.C2)))
+	case formatOverlay, formatMean:
+		// Both renders draw in place into the decode buffer (the
+		// encoders read it strictly behind the writes), so the render
+		// target costs no allocation at all.
+		if opts.Format == formatOverlay {
+			imgio.OverlayInto(im, im, labels, 255, 0, 0)
+		} else {
+			imgio.MeanColorInto(im, im, labels)
+		}
 		if opts.Encoding == encodingPNG {
 			h.Set("Content-Type", "image/png")
-			err = imgio.EncodePNG(w, out)
+			err = imgio.EncodePNG(w, im)
 		} else {
 			h.Set("Content-Type", "image/x-portable-pixmap")
-			err = imgio.EncodePPM(w, out)
+			err = imgio.EncodePPM(w, im)
 		}
 	}
 	cost.AddEncode(time.Since(t0))
@@ -627,6 +690,57 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 			// The status line is gone; all we can do is log the broken write.
 			s.cfg.Logger.Debug("response write failed", "err", err)
 		}
+	}
+}
+
+// writeDelta encodes labels in the slbl-delta framing against the
+// stream's cached previous response, declaring the base actually used
+// in X-Wire-Base ("prev" or "empty") so the response stays decodable
+// even when a concurrent request on the same stream holds the base.
+// Afterwards the stream's base becomes this response's labels.
+func (s *Server) writeDelta(w http.ResponseWriter, stream string, labels *imgio.LabelMap) error {
+	base := s.deltas.take(stream)
+	if base != nil && (base.W != labels.W || base.H != labels.H) {
+		// The stream changed frame geometry; the old base is useless.
+		s.putLabelBuf(base)
+		base = nil
+	}
+	if base != nil {
+		w.Header().Set("X-Wire-Base", "prev")
+	} else {
+		w.Header().Set("X-Wire-Base", "empty")
+	}
+	err := wire.EncodeDelta(w, labels, base)
+	if stream == "" {
+		return err
+	}
+	// Reuse the taken-out buffer as the new base when possible; labels
+	// itself is recycled by the caller, so the cache keeps a copy.
+	next := base
+	if next == nil {
+		next = s.newLabelBuf(labels.W, labels.H)
+	}
+	copy(next.Labels, labels.Labels)
+	if old := s.deltas.put(stream, next); old != nil {
+		s.putLabelBuf(old)
+	}
+	return err
+}
+
+// newLabelBuf and putLabelBuf wrap the buffer pool for internal label
+// buffers (the delta cache), falling back to plain allocation when
+// pooling is disabled.
+func (s *Server) newLabelBuf(w, h int) *imgio.LabelMap {
+	if s.bufs != nil {
+		lm, _ := s.bufs.GetLabelMap(w, h)
+		return lm
+	}
+	return &imgio.LabelMap{W: w, H: h, Labels: make([]int32, w*h)}
+}
+
+func (s *Server) putLabelBuf(lm *imgio.LabelMap) {
+	if s.bufs != nil {
+		s.bufs.PutLabelMap(lm)
 	}
 }
 

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"sync"
+
+	"sslic/internal/imgio"
+)
+
+// deltaCache holds each stream's previous slbl-delta response — the base
+// the next delta on that stream is encoded against. It is the serving
+// analogue of the paper's external-memory assignment copy: consecutive
+// frames of a stream share most labels, so shipping only the changed
+// runs approaches zero bytes for static scenes.
+//
+// Entries are taken OUT of the cache for the duration of an encode and
+// restored (updated) afterwards, so two concurrent requests on one
+// stream can never encode against — or mutate — the same base: the
+// second request simply finds no entry and falls back to the empty
+// base, declaring that via the X-Wire-Base response header. Either way
+// every response is independently decodable from what its headers say.
+//
+// The map is bounded: beyond max streams the least-recently-updated
+// entry is evicted and handed back to the caller for recycling.
+type deltaCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*imgio.LabelMap
+	order   []string // least- to most-recently-updated
+}
+
+func newDeltaCache(max int) *deltaCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &deltaCache{max: max, entries: make(map[string]*imgio.LabelMap)}
+}
+
+// take removes and returns the stream's base map, nil when absent (or
+// the stream is anonymous). The caller owns the returned buffer.
+func (c *deltaCache) take(id string) *imgio.LabelMap {
+	if id == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lm := c.entries[id]
+	if lm == nil {
+		return nil
+	}
+	delete(c.entries, id)
+	for i, sid := range c.order {
+		if sid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return lm
+}
+
+// put stores the stream's new base map, returning any buffer the caller
+// should recycle: the entry displaced on this id, or an evicted LRU
+// victim. Anonymous streams store nothing (lm itself is returned).
+func (c *deltaCache) put(id string, lm *imgio.LabelMap) *imgio.LabelMap {
+	if id == "" {
+		return lm
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.entries[id]; old != nil {
+		// A concurrent request restored an entry since our take; keep
+		// the newest.
+		for i, sid := range c.order {
+			if sid == id {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		c.entries[id] = lm
+		c.order = append(c.order, id)
+		return old
+	}
+	c.entries[id] = lm
+	c.order = append(c.order, id)
+	if len(c.order) > c.max {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		old := c.entries[victim]
+		delete(c.entries, victim)
+		return old
+	}
+	return nil
+}

@@ -293,6 +293,7 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 	settled := make([]bool, len(centers))
 
 	acc := make([]fxSigma, len(centers))
+	var scr passScratch[fxSigma]
 	for pass := 0; pass < totalPasses; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -307,7 +308,7 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 		for i := range acc {
 			acc[i] = fxSigma{}
 		}
-		calcs, skipped, saved, err := runPPAPassFixed(lp, ap, bp, im.W, im.H, tiling, centers, labels, acc, subset, k, dw, p, settled, tr, pass)
+		calcs, skipped, saved, err := runPPAPassFixed(lp, ap, bp, im.W, im.H, tiling, centers, labels, acc, subset, k, dw, &p, settled, tr, pass, &scr)
 		if err != nil {
 			return nil, err
 		}
@@ -359,31 +360,31 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 // merge is exact (integer adds), so output does not depend on the band
 // count at all.
 func runPPAPassFixed(lp, ap, bp []int32, w, h int, tiling *Tiling, centers []fxCenter, labels *imgio.LabelMap,
-	acc []fxSigma, subset, k int, dw fxWeights, p Params, settled []bool,
-	tr *telemetry.Trace, pass int) (calcs, skippedTiles, saved int64, err error) {
+	acc []fxSigma, subset, k int, dw fxWeights, p *Params, settled []bool,
+	tr *telemetry.Trace, pass int, scr *passScratch[fxSigma]) (calcs, skippedTiles, saved int64, err error) {
 
 	workers := tileBands(p.TileWorkers, tiling.NY)
 	if workers <= 1 {
-		band := []bandStat{{start: time.Now()}}
+		band := scr.bandsFor(1)
+		band[0].start = time.Now()
 		if err := faults.Fire(faults.PointTile); err != nil {
 			band[0].err = err
 			return 0, 0, 0, bandError(pass, band)
 		}
-		calcs, skippedTiles, saved = ppaPassRangeFixed(lp, ap, bp, w, h, tiling, centers, labels, acc, 0, tiling.NY, subset, k, dw, p, settled)
+		calcs, skippedTiles, saved = ppaPassRangeFixed(lp, ap, bp, w, h, tiling, centers, labels, acc, 0, tiling.NY, subset, k, dw, *p, settled)
 		band[0].calcs, band[0].skipped, band[0].saved = calcs, skippedTiles, saved
 		band[0].dur = time.Since(band[0].start)
 		observeBands(tr, p.Metrics, pass, band)
 		return calcs, skippedTiles, saved, nil
 	}
 
-	parts := make([]bandStat, workers)
-	accs := make([][]fxSigma, workers)
+	parts := scr.bandsFor(workers)
+	accs := scr.accsFor(workers, len(centers))
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wkr := wkr
 		ty0 := wkr * tiling.NY / workers
 		ty1 := (wkr + 1) * tiling.NY / workers
-		accs[wkr] = make([]fxSigma, len(centers))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -392,7 +393,7 @@ func runPPAPassFixed(lp, ap, bp []int32, w, h int, tiling *Tiling, centers []fxC
 				parts[wkr].err = err
 			} else {
 				parts[wkr].calcs, parts[wkr].skipped, parts[wkr].saved =
-					ppaPassRangeFixed(lp, ap, bp, w, h, tiling, centers, labels, accs[wkr], ty0, ty1, subset, k, dw, p, settled)
+					ppaPassRangeFixed(lp, ap, bp, w, h, tiling, centers, labels, accs[wkr], ty0, ty1, subset, k, dw, *p, settled)
 			}
 			parts[wkr].dur = time.Since(parts[wkr].start)
 		}()

@@ -389,6 +389,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	settled := make([]bool, len(centers))
 
 	acc := make([]sigma, len(centers))
+	var scr passScratch[sigma]
 	for pass := 0; pass < totalPasses; pass++ {
 		// Checked once per subset pass: a pass touches ~1/k of the image,
 		// so cancellation latency is bounded by one subset round. The
@@ -407,7 +408,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		for i := range acc {
 			acc[i] = sigma{}
 		}
-		calcs, skipped, saved, err := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, p, settled, tr, pass)
+		calcs, skipped, saved, err := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, &p, settled, tr, pass, &scr)
 		if err != nil {
 			return nil, err
 		}
@@ -493,6 +494,48 @@ type bandStat struct {
 	err                   error
 }
 
+// passScratch is the per-pass working state — band stats plus one sigma
+// accumulator slice per worker — hoisted out of the pass loop so a
+// request allocates it once instead of once per subset pass. S is the
+// datapath's accumulator type (sigma or fxSigma).
+type passScratch[S any] struct {
+	bands []bandStat
+	accs  [][]S
+}
+
+// bandsFor returns a zeroed band-stat slice for the given worker count.
+func (s *passScratch[S]) bandsFor(workers int) []bandStat {
+	if cap(s.bands) < workers {
+		s.bands = make([]bandStat, workers)
+	}
+	b := s.bands[:workers]
+	for i := range b {
+		b[i] = bandStat{}
+	}
+	return b
+}
+
+// accsFor returns zeroed per-worker accumulator slices of the given
+// center count.
+func (s *passScratch[S]) accsFor(workers, centers int) [][]S {
+	if cap(s.accs) < workers {
+		s.accs = make([][]S, workers)
+	}
+	a := s.accs[:workers]
+	var zero S
+	for i := range a {
+		if cap(a[i]) < centers {
+			a[i] = make([]S, centers)
+			continue
+		}
+		a[i] = a[i][:centers]
+		for j := range a[i] {
+			a[i][j] = zero
+		}
+	}
+	return a
+}
+
 // observeBands lands the band timings on the trace (one "tile" span per
 // band, emitted in band order from the merging goroutine so traces stay
 // single-writer) and on the tile gauges. Serial passes skip the trace
@@ -532,31 +575,31 @@ func bandError(pass int, bands []bandStat) error {
 // merged afterwards in band order so results match the serial path
 // exactly. Every band passes through the sslic.tile fault point.
 func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, labels *imgio.LabelMap,
-	acc []sigma, subset, k int, invS2 float64, quant func(float64) float64, p Params, settled []bool,
-	tr *telemetry.Trace, pass int) (calcs, skippedTiles, saved int64, err error) {
+	acc []sigma, subset, k int, invS2 float64, quant func(float64) float64, p *Params, settled []bool,
+	tr *telemetry.Trace, pass int, scr *passScratch[sigma]) (calcs, skippedTiles, saved int64, err error) {
 
 	workers := tileBands(p.TileWorkers, tiling.NY)
 	if workers <= 1 {
-		band := []bandStat{{start: time.Now()}}
+		band := scr.bandsFor(1)
+		band[0].start = time.Now()
 		if err := faults.Fire(faults.PointTile); err != nil {
 			band[0].err = err
 			return 0, 0, 0, bandError(pass, band)
 		}
-		calcs, skippedTiles, saved = ppaPassRange(lab, tiling, centers, labels, acc, 0, tiling.NY, subset, k, invS2, quant, p, settled)
+		calcs, skippedTiles, saved = ppaPassRange(lab, tiling, centers, labels, acc, 0, tiling.NY, subset, k, invS2, quant, *p, settled)
 		band[0].calcs, band[0].skipped, band[0].saved = calcs, skippedTiles, saved
 		band[0].dur = time.Since(band[0].start)
 		observeBands(tr, p.Metrics, pass, band)
 		return calcs, skippedTiles, saved, nil
 	}
 
-	parts := make([]bandStat, workers)
-	accs := make([][]sigma, workers)
+	parts := scr.bandsFor(workers)
+	accs := scr.accsFor(workers, len(centers))
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wkr := wkr
 		ty0 := wkr * tiling.NY / workers
 		ty1 := (wkr + 1) * tiling.NY / workers
-		accs[wkr] = make([]sigma, len(centers))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -565,7 +608,7 @@ func runPPAPass(lab *slic.LabImage, tiling *Tiling, centers []slic.Center, label
 				parts[wkr].err = err
 			} else {
 				parts[wkr].calcs, parts[wkr].skipped, parts[wkr].saved =
-					ppaPassRange(lab, tiling, centers, labels, accs[wkr], ty0, ty1, subset, k, invS2, quant, p, settled)
+					ppaPassRange(lab, tiling, centers, labels, accs[wkr], ty0, ty1, subset, k, invS2, quant, *p, settled)
 			}
 			parts[wkr].dur = time.Since(parts[wkr].start)
 		}()

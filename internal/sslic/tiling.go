@@ -22,19 +22,23 @@ type Tiling struct {
 func NewTiling(w, h, k int) *Tiling {
 	nx, ny := slic.CenterGridDims(w, h, k)
 	t := &Tiling{W: w, H: h, NX: nx, NY: ny, Candidates: make([][]int32, nx*ny)}
+	// All tile lists share one flat backing array: one allocation instead
+	// of nx*ny, matching the paper's single static candidate table in
+	// external memory. Lists never grow past their 9-slot reservation.
+	backing := make([]int32, 0, 9*nx*ny)
 	for gy := 0; gy < ny; gy++ {
 		for gx := 0; gx < nx; gx++ {
-			list := make([]int32, 0, 9)
+			start := len(backing)
 			for dy := -1; dy <= 1; dy++ {
 				for dx := -1; dx <= 1; dx++ {
 					cx, cy := gx+dx, gy+dy
 					if cx < 0 || cx >= nx || cy < 0 || cy >= ny {
 						continue
 					}
-					list = append(list, int32(cy*nx+cx))
+					backing = append(backing, int32(cy*nx+cx))
 				}
 			}
-			t.Candidates[gy*nx+gx] = list
+			t.Candidates[gy*nx+gx] = backing[start:len(backing):len(backing)]
 		}
 	}
 	return t

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sslic/internal/imgio"
+)
+
+// labelMapFromBytes deterministically builds a small label map from fuzz
+// input: two dimension bytes, then labels drawn from the remaining data
+// (zigzag so negatives appear, Unassigned included).
+func labelMapFromBytes(data []byte) *imgio.LabelMap {
+	w, h := 1, 1
+	if len(data) > 0 {
+		w = 1 + int(data[0])%64
+	}
+	if len(data) > 1 {
+		h = 1 + int(data[1])%64
+	}
+	data = data[min(len(data), 2):]
+	lm := &imgio.LabelMap{W: w, H: h, Labels: make([]int32, w*h)}
+	for i := range lm.Labels {
+		var b byte
+		if len(data) > 0 {
+			b = data[i%len(data)]
+		}
+		v := int32(b>>1) - 1 // [-1, 126]: Unassigned plus small positives
+		if b&1 == 1 && i > 0 {
+			v = lm.Labels[i-1] // bias toward runs, like real superpixels
+		}
+		lm.Labels[i] = v
+	}
+	return lm
+}
+
+// FuzzSLBLRLERoundTrip asserts that arbitrary label maps survive the
+// RLE framing byte-exactly: decode(encode(m)) == m, and re-encoding the
+// decode reproduces the stream byte-for-byte (canonical coding).
+func FuzzSLBLRLERoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 4, 0, 1, 2, 3})
+	f.Add([]byte{63, 63, 255, 255, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lm := labelMapFromBytes(data)
+		var buf bytes.Buffer
+		if err := EncodeRLE(&buf, lm); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		stream := append([]byte(nil), buf.Bytes()...)
+		got, err := Decode(&buf, lm.W*lm.H, nil)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.W != lm.W || got.H != lm.H {
+			t.Fatalf("dims %dx%d, want %dx%d", got.W, got.H, lm.W, lm.H)
+		}
+		for i := range lm.Labels {
+			if got.Labels[i] != lm.Labels[i] {
+				t.Fatalf("label[%d] = %d, want %d", i, got.Labels[i], lm.Labels[i])
+			}
+		}
+		var again bytes.Buffer
+		if err := EncodeRLE(&again, got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(stream, again.Bytes()) {
+			t.Fatal("re-encode not byte-identical: coding is not canonical")
+		}
+	})
+}
+
+// FuzzDeltaDecode drives the delta codec two ways: arbitrary maps and
+// bases must round-trip byte-exactly, and the raw fuzz bytes are also
+// fed straight into Decode as a hostile stream, which must either fail
+// cleanly or yield a map within the pixel budget — never panic or
+// allocate past it.
+func FuzzDeltaDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SLBD\x02\x00\x00\x00\x02\x00\x00\x00\x00\x04\x02"))
+	f.Add([]byte{8, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round-trip: derive frame and base from the same bytes so they
+		// mostly agree (realistic video deltas) but differ in spots.
+		lm := labelMapFromBytes(data)
+		base := labelMapFromBytes(data)
+		for i := 0; i < len(base.Labels); i += 7 {
+			base.Labels[i] ^= 1
+		}
+		for _, b := range []*imgio.LabelMap{nil, base, lm} {
+			var buf bytes.Buffer
+			if err := EncodeDelta(&buf, lm, b); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			stream := append([]byte(nil), buf.Bytes()...)
+			got, err := Decode(&buf, lm.W*lm.H, b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			for i := range lm.Labels {
+				if got.Labels[i] != lm.Labels[i] {
+					t.Fatalf("label[%d] = %d, want %d", i, got.Labels[i], lm.Labels[i])
+				}
+			}
+			var again bytes.Buffer
+			if err := EncodeDelta(&again, got, b); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(stream, again.Bytes()) {
+				t.Fatal("re-encode not byte-identical: coding is not canonical")
+			}
+		}
+
+		// Hostile: the input itself as a stream, tiny pixel budget.
+		const budget = 1 << 12
+		if got, err := Decode(bytes.NewReader(data), budget, nil); err == nil {
+			if got.W*got.H > budget {
+				t.Fatalf("decode exceeded budget: %dx%d > %d", got.W, got.H, budget)
+			}
+			if len(got.Labels) != got.W*got.H {
+				t.Fatalf("decode sized %d labels for %dx%d", len(got.Labels), got.W, got.H)
+			}
+		}
+	})
+}
