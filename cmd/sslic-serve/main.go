@@ -78,6 +78,9 @@ func main() {
 		profCPUDur   = flag.Duration("profile-cpu-duration", 250*time.Millisecond, "CPU sampling window per profile capture")
 		profCooldown = flag.Duration("profile-cooldown", 30*time.Second, "minimum spacing between burn-triggered captures (on-demand captures ignore it)")
 		noPool       = flag.Bool("no-buffer-pool", false, "disable the request buffer pool (every request allocates fresh frame and label buffers; for allocation A/B measurements)")
+		qMaxChurn    = flag.Float64("quality-max-churn", 0, "inter-frame label churn ratio above which a frame counts as quality-collapsed; collapse pins the degrade ladder at its current level (<=0 disables)")
+		qMaxEmpty    = flag.Float64("quality-max-empty", 0, "empty-cluster fraction above which a frame counts as quality-collapsed (<=0 disables)")
+		qMaxDecay    = flag.Float64("quality-max-residual-decay", 0, "final/first residual ratio above which a cold frame counts as non-converged (<=0 disables)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -130,32 +133,35 @@ func main() {
 	}
 
 	svc, err := server.New(server.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		SegWorkers:         *segWorkers,
-		Datapath:           dp,
-		DefaultK:           *k,
-		DefaultRatio:       *ratio,
-		DefaultIters:       *iters,
-		DefaultCompactness: *compactness,
-		WarmIters:          *warmIters,
-		MaxStreams:         *maxStreams,
-		MaxBodyBytes:       *maxBody,
-		MaxPixels:          *maxPixels,
-		RequestTimeout:     *reqTimeout,
-		MaxTimeout:         *maxTimeout,
-		NoBufferPool:       *noPool,
-		DegradeInterval:    *degradeEvery,
-		Registry:           reg,
-		Recorder:           recorder,
-		SLOObjectives:      objectives,
-		SLOFastWindow:      *sloFastWin,
-		SLOSlowWindow:      *sloSlowWin,
-		SLOBurnThreshold:   *sloBurn,
-		ProfileCapacity:    *profCap,
-		ProfileCPUDuration: *profCPUDur,
-		ProfileCooldown:    *profCooldown,
-		Logger:             logs.Component("server"),
+		Workers:                 *workers,
+		QueueDepth:              *queue,
+		SegWorkers:              *segWorkers,
+		Datapath:                dp,
+		DefaultK:                *k,
+		DefaultRatio:            *ratio,
+		DefaultIters:            *iters,
+		DefaultCompactness:      *compactness,
+		WarmIters:               *warmIters,
+		MaxStreams:              *maxStreams,
+		MaxBodyBytes:            *maxBody,
+		MaxPixels:               *maxPixels,
+		RequestTimeout:          *reqTimeout,
+		MaxTimeout:              *maxTimeout,
+		NoBufferPool:            *noPool,
+		DegradeInterval:         *degradeEvery,
+		QualityMaxChurn:         *qMaxChurn,
+		QualityMaxEmptyFrac:     *qMaxEmpty,
+		QualityMaxResidualDecay: *qMaxDecay,
+		Registry:                reg,
+		Recorder:                recorder,
+		SLOObjectives:           objectives,
+		SLOFastWindow:           *sloFastWin,
+		SLOSlowWindow:           *sloSlowWin,
+		SLOBurnThreshold:        *sloBurn,
+		ProfileCapacity:         *profCap,
+		ProfileCPUDuration:      *profCPUDur,
+		ProfileCooldown:         *profCooldown,
+		Logger:                  logs.Component("server"),
 	})
 	if err != nil {
 		fatal(err)
@@ -169,13 +175,14 @@ func main() {
 			Addr: *telAddr, Registry: reg, Logger: logs, Recorder: recorder,
 			SLO:      slo.Handler(svc.SLOEngine()),
 			Profiles: telemetry.ProfilesHandler(svc.Profiles()),
+			Streams:  svc.StreamsHandler(),
 		})
 		if err != nil {
 			fatal(err)
 		}
 		go tel.Serve()
 		defer tel.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace, /debug/slo, /debug/profiles)\n", tel.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace, /debug/slo, /debug/streams, /debug/profiles)\n", tel.Addr())
 	}
 
 	httpSrv := &http.Server{

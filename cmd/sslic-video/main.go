@@ -35,6 +35,7 @@ import (
 	"sslic/internal/imgio"
 	"sslic/internal/metrics"
 	"sslic/internal/pipeline"
+	"sslic/internal/quality"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 	"sslic/internal/video"
@@ -43,26 +44,27 @@ import (
 
 func main() {
 	var (
-		frames    = flag.Int("frames", 8, "number of frames")
-		k         = flag.Int("k", 900, "superpixel count")
-		speed     = flag.Int("speed", 3, "motion speed in px/frame")
-		motion    = flag.String("motion", "pan", "motion: pan, drift or shake")
-		seed      = flag.Int64("seed", 1, "scene seed")
-		cold      = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
-		warmIter  = flag.Int("warm-iters", 3, "iterations for warm-started frames")
-		outDir    = flag.String("out", "", "write per-frame overlays to this directory")
-		labelsFmt = flag.String("labels-format", "", "also write each frame's label map to -out as frame<N>.<fmt>: slbl, slbl-rle or slbl-delta (delta frames encode against the previous frame's labels)")
-		workers   = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
-		tileWork  = flag.Int("tile-workers", 0, "intra-frame row-band parallelism per frame (0/1 serial, -1 all CPUs)")
-		datapath  = flag.String("datapath", "float64", "hot-loop arithmetic: float64 or fixed (the integer LUT datapath)")
-		queue     = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
-		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
-		traceBuf  = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
-		traceAll  = flag.Bool("trace-all", false, "keep every frame trace (default keeps only slow or failed frames)")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
-		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-		faultSpec = flag.String("faults", "", "fault-injection schedule, e.g. 'pipeline.segment:error,every=5' (default off; see internal/faults)")
-		faultSeed = flag.Int64("faults-seed", 1, "seed for probabilistic fault schedules (deterministic per seed)")
+		frames     = flag.Int("frames", 8, "number of frames")
+		k          = flag.Int("k", 900, "superpixel count")
+		speed      = flag.Int("speed", 3, "motion speed in px/frame")
+		motion     = flag.String("motion", "pan", "motion: pan, drift or shake")
+		seed       = flag.Int64("seed", 1, "scene seed")
+		cold       = flag.Bool("cold", false, "disable warm starting (full iterations every frame)")
+		warmIter   = flag.Int("warm-iters", 3, "iterations for warm-started frames")
+		outDir     = flag.String("out", "", "write per-frame overlays to this directory")
+		labelsFmt  = flag.String("labels-format", "", "also write each frame's label map to -out as frame<N>.<fmt>: slbl, slbl-rle or slbl-delta (delta frames encode against the previous frame's labels)")
+		workers    = flag.Int("pipeline-workers", 1, "segment-stage worker count (<=0 uses all CPUs); warm streams shard frame f to worker f mod N")
+		tileWork   = flag.Int("tile-workers", 0, "intra-frame row-band parallelism per frame (0/1 serial, -1 all CPUs)")
+		datapath   = flag.String("datapath", "float64", "hot-loop arithmetic: float64 or fixed (the integer LUT datapath)")
+		queue      = flag.Int("queue", 0, "bounded inter-stage queue depth (<=0 selects 2x workers)")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof and /debug/trace on this address (e.g. :9090); empty disables")
+		traceBuf   = flag.Int("trace-buffer", 64, "finished frame traces the flight recorder retains")
+		traceAll   = flag.Bool("trace-all", false, "keep every frame trace (default keeps only slow or failed frames)")
+		qualityCol = flag.Bool("quality", false, "print the live quality proxies per frame (inter-frame label churn and boundary density — the online stand-ins for the exact USE/BR columns)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug adds per-frame span traces)")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		faultSpec  = flag.String("faults", "", "fault-injection schedule, e.g. 'pipeline.segment:error,every=5' (default off; see internal/faults)")
+		faultSeed  = flag.Int64("faults-seed", 1, "seed for probabilistic fault schedules (deterministic per seed)")
 	)
 	flag.Parse()
 
@@ -180,7 +182,11 @@ func main() {
 	}
 
 	fmt.Printf("stream: %s at %d px/frame, K=%d, %d frames\n", m, *speed, *k, *frames)
-	fmt.Printf("%5s %5s %9s %8s %8s %12s\n", "frame", "mode", "time", "USE", "BR", "consistency")
+	if *qualityCol {
+		fmt.Printf("%5s %5s %9s %8s %8s %12s %8s %8s\n", "frame", "mode", "time", "USE", "BR", "consistency", "churn", "bdens")
+	} else {
+		fmt.Printf("%5s %5s %9s %8s %8s %12s\n", "frame", "mode", "time", "USE", "BR", "consistency")
+	}
 
 	var pl *pipeline.Pipeline
 	var prev *pipeline.Result
@@ -214,8 +220,24 @@ func main() {
 		} else {
 			hwm.ObserveReportCtx(tctx, coldReport)
 		}
-		fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s\n",
-			r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc)
+		if *qualityCol {
+			// The online proxies, next to the exact offline metrics they
+			// stand in for: churn (vs the previous frame's labels, like
+			// the serving layer's delta-base compare) and boundary
+			// density (the live BR proxy).
+			churn := "-"
+			if prev != nil {
+				if changed, ok := quality.LabelChurn(r.Labels, prev.Labels); ok {
+					churn = fmt.Sprintf("%.4f", float64(changed)/float64(w*h))
+				}
+			}
+			fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s %8s %8.4f\n",
+				r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc,
+				churn, quality.BoundaryDensity(r.Labels))
+		} else {
+			fmt.Printf("%5d %5s %9s %8.4f %8.4f %12s\n",
+				r.Index, mode, r.SegLatency.Round(time.Millisecond), use, br, tc)
+		}
 
 		if *outDir != "" {
 			path := fmt.Sprintf("%s/frame%03d.ppm", *outDir, r.Index)

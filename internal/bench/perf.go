@@ -60,6 +60,29 @@ type PerfResult struct {
 	// same accounting the serving layer stamps on X-Cost-* headers,
 	// evaluated offline so benchdiff can gate on cost regressions.
 	Cost *PerfCost `json:"cost,omitempty"`
+	// Quality is the deterministic slice of the live quality proxies
+	// (the /debug/streams block), evaluated offline so benchdiff can
+	// gate on segmentation-quality regressions alongside perf and cost.
+	Quality *PerfQuality `json:"quality,omitempty"`
+}
+
+// PerfQuality mirrors the serving layer's per-frame quality proxies for
+// one benchmark configuration. All fields derive from the final
+// labeling, which is deterministic for a given codebase and config.
+type PerfQuality struct {
+	// EmptyClusters and ClusterSizeCV are gated (lower is better): a
+	// change that starves clusters or skews superpixel sizes is a
+	// quality regression even when it speeds the run up.
+	EmptyClusters int     `json:"empty_clusters"`
+	ClusterSizeCV float64 `json:"cluster_size_cv"`
+	// BoundaryPixels documents the labeling's boundary complexity. A
+	// shift signals behavioral change but has no better/worse
+	// direction, so it is reported, never gated.
+	BoundaryPixels int `json:"boundary_pixels"`
+	// FinalResidual is the last pass's mean center movement. Float
+	// summation makes it architecture-sensitive, so like wall time it
+	// is context, not a gate.
+	FinalResidual float64 `json:"final_residual"`
 }
 
 // PerfCost mirrors the service's per-request ledger for one benchmark
@@ -221,6 +244,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 			pr.BoundaryRecall = recall
 		}
 		pr.Cost = perfCost(cfg.W, cfg.H, k, p, stats)
+		pr.Quality = perfQuality(stats)
 		rep.Results = append(rep.Results, pr)
 	}
 	// The end-to-end pair measures the request core the serving layer
@@ -324,6 +348,7 @@ func runE2E(im *imgio.Image, k int, pooled bool) (PerfResult, error) {
 		Iterations:            br.N,
 	}
 	pr.Cost = perfCost(im.W, im.H, k, p, stats)
+	pr.Quality = perfQuality(stats)
 	// The ledger charge is measured, not estimated: the pool's fresh
 	// bytes for the steady-state iteration (zero once warm) versus the
 	// full three-plane + label-map footprint on the fresh path.
@@ -354,6 +379,18 @@ func perfCost(w, h, k int, p sslic.Params, stats sslic.Stats) *PerfCost {
 		pc.EstPJ = report.EnergyPerFrame * 1e12
 	}
 	return pc
+}
+
+// perfQuality extracts the deterministic quality-proxy block from one
+// measured run's stats — the same values the live tracker would fold in
+// for this frame.
+func perfQuality(stats sslic.Stats) *PerfQuality {
+	return &PerfQuality{
+		EmptyClusters:  stats.EmptyClusters,
+		ClusterSizeCV:  stats.ClusterSizeCV,
+		BoundaryPixels: stats.BoundaryPixels,
+		FinalResidual:  stats.FinalResidual(),
+	}
 }
 
 // speedups derives the headline wall-time ratios: the tiling sweep
@@ -466,6 +503,15 @@ func ComparePerf(base, cur *PerfReport, tol float64, skipTime bool) (all, regres
 				perfMetric{"cost.cpu_ns", float64(b.Cost.CPUNs), float64(c.Cost.CPUNs), true},
 				perfMetric{"cost.alloc_bytes", float64(b.Cost.AllocBytes), float64(c.Cost.AllocBytes), false},
 				perfMetric{"cost.est_pj", b.Cost.EstPJ, c.Cost.EstPJ, false},
+			)
+		}
+		// Same vintage rule for the quality block: only diff it when
+		// both reports carry it. BoundaryPixels and FinalResidual stay
+		// out of the gate — they have no regression direction.
+		if b.Quality != nil && c.Quality != nil {
+			metrics = append(metrics,
+				perfMetric{"quality.empty_clusters", float64(b.Quality.EmptyClusters), float64(c.Quality.EmptyClusters), false},
+				perfMetric{"quality.cluster_size_cv", b.Quality.ClusterSizeCV, c.Quality.ClusterSizeCV, false},
 			)
 		}
 		for _, m := range metrics {

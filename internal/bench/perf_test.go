@@ -147,6 +147,54 @@ func TestComparePerfCostLedger(t *testing.T) {
 	}
 }
 
+func withQuality(r *PerfReport, empty int, cv float64) *PerfReport {
+	r.Results[0].Quality = &PerfQuality{
+		EmptyClusters: empty, ClusterSizeCV: cv,
+		BoundaryPixels: 4000, FinalResidual: 0.02,
+	}
+	return r
+}
+
+func TestComparePerfQualityProxies(t *testing.T) {
+	base := withQuality(perfFixture(1_000_000, 100, 500_000), 0, 0.25)
+
+	// Identical proxies: clean.
+	_, reg, _, err := ComparePerf(base,
+		withQuality(perfFixture(1_000_000, 100, 500_000), 0, 0.25), 0.10, false)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("identical quality diff: %v err=%v", reg, err)
+	}
+
+	// A change that starves clusters regresses even with -skip-time —
+	// the gate exists so a speedup cannot silently buy its time with
+	// collapsed superpixels.
+	_, reg, _, err = ComparePerf(base,
+		withQuality(perfFixture(1_000_000, 100, 500_000), 2, 0.25), 0.10, true)
+	if err != nil || len(reg) != 1 || reg[0].Metric != "quality.empty_clusters" {
+		t.Fatalf("empty-cluster regression: %v err=%v", reg, err)
+	}
+
+	// Size-distribution skew beyond tolerance regresses too.
+	_, reg, _, err = ComparePerf(base,
+		withQuality(perfFixture(1_000_000, 100, 500_000), 0, 0.40), 0.10, true)
+	if err != nil || len(reg) != 1 || reg[0].Metric != "quality.cluster_size_cv" {
+		t.Fatalf("size-cv regression: %v err=%v", reg, err)
+	}
+
+	// A baseline from before the quality block diffs only the older
+	// metrics.
+	all, reg, _, err := ComparePerf(perfFixture(1_000_000, 100, 500_000),
+		withQuality(perfFixture(1_000_000, 100, 500_000), 3, 0.9), 0.10, false)
+	if err != nil || len(reg) != 0 {
+		t.Fatalf("legacy baseline diff: %v err=%v", reg, err)
+	}
+	for _, d := range all {
+		if d.Metric == "quality.empty_clusters" || d.Metric == "quality.cluster_size_cv" {
+			t.Fatalf("quality metric compared against legacy baseline: %v", d)
+		}
+	}
+}
+
 func TestRunPerfQuickEmitsCost(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick benchmark matrix")
@@ -163,6 +211,9 @@ func TestRunPerfQuickEmitsCost(t *testing.T) {
 		}
 		if r.Cost.CPUNs <= 0 || r.Cost.EstPJ <= 0 {
 			t.Fatalf("%s: cost = %+v, want positive cpu_ns and est_pj", r.Name, r.Cost)
+		}
+		if r.Quality == nil || r.Quality.BoundaryPixels <= 0 {
+			t.Fatalf("%s: quality = %+v, want proxies with boundary pixels", r.Name, r.Quality)
 		}
 		// The e2e pair carries measured buffer-pool bytes; the pure
 		// segmentation configs still charge the label-map estimate.

@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"sslic/internal/imgio"
+	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
 )
 
@@ -67,10 +68,11 @@ type Config struct {
 // value is not usable; construct with New. All methods are safe for
 // concurrent use.
 type Pool struct {
-	mu     sync.Mutex
-	images [numClasses][]*imgio.Image
-	labels [numClasses][]*imgio.LabelMap
-	max    int
+	mu      sync.Mutex
+	images  [numClasses][]*imgio.Image
+	labels  [numClasses][]*imgio.LabelMap
+	scratch []*sslic.Scratch
+	max     int
 
 	hits    *telemetry.Counter
 	misses  *telemetry.Counter

@@ -146,10 +146,21 @@ func ConvertImageToLab(r, g, b []uint8) (l, aa, bb []float64) {
 	l = make([]float64, n)
 	aa = make([]float64, n)
 	bb = make([]float64, n)
+	ConvertImageToLabInto(r, g, b, l, aa, bb)
+	return l, aa, bb
+}
+
+// ConvertImageToLabInto is ConvertImageToLab writing into caller-owned
+// planes, each at least len(r) long, so steady-state pipelines can
+// recycle the ~24 bytes/pixel of Lab planes instead of reallocating
+// them every frame. Every written element is fully overwritten; prior
+// contents never leak into the result.
+func ConvertImageToLabInto(r, g, b []uint8, l, aa, bb []float64) {
+	n := len(r)
+	l, aa, bb = l[:n], aa[:n], bb[:n]
 	for i := 0; i < n; i++ {
 		l[i], aa[i], bb[i] = SRGB8ToLab(r[i], g[i], b[i])
 	}
-	return l, aa, bb
 }
 
 func clamp8(v float64) uint8 {

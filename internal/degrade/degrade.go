@@ -128,6 +128,15 @@ type Signals struct {
 	// burn across objectives (1 = sustainable consumption); zero when
 	// no SLO engine is wired.
 	BurnRate float64
+	// QualityCollapsed reports that the window's segmentation-quality
+	// proxies (label churn, empty clusters, residual convergence) fell
+	// below the configured floor; QualityObserved reports whether the
+	// window carried any quality observation at all. Windows without
+	// observations (idle service, quality tracking disabled) move
+	// neither floor streak — the floor is a tri-state signal, not a
+	// boolean. See internal/quality.
+	QualityCollapsed bool
+	QualityObserved  bool
 }
 
 // Config tunes a Controller. The zero value selects the defaults
@@ -153,6 +162,16 @@ type Config struct {
 	// (the same high/low hysteresis band as the queue thresholds).
 	// 0 ignores the SLO signal.
 	BurnHigh float64
+	// FloorHold is the consecutive quality-collapsed ticks that pin the
+	// quality floor at the current level; FloorRelease the consecutive
+	// quality-good ticks that release it. 0 selects 2 and 5 — the same
+	// asymmetry as the load hysteresis, so the floor engages fast and
+	// releases cautiously. The floor is the ladder's two-sided control:
+	// while pinned, overload cannot step the level past it, so a blown
+	// latency budget stops trading away quality the proxies say is
+	// already gone. Ticks without a quality observation move neither
+	// streak.
+	FloorHold, FloorRelease int
 	// Registry receives the controller's metrics; nil selects a
 	// private one.
 	Registry *telemetry.Registry
@@ -176,6 +195,12 @@ func (c Config) withDefaults() Config {
 	if c.StepDownHold <= 0 {
 		c.StepDownHold = 5
 	}
+	if c.FloorHold <= 0 {
+		c.FloorHold = 2
+	}
+	if c.FloorRelease <= 0 {
+		c.FloorRelease = 5
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -194,9 +219,18 @@ type Controller struct {
 	downStreak int
 	pinned     bool
 
-	gauge *telemetry.Gauge
-	ups   *telemetry.Counter
-	downs *telemetry.Counter
+	// Quality-floor state: while floorPinned, step-up stops at floor.
+	floor       Level
+	floorPinned bool
+	badStreak   int
+	goodStreak  int
+
+	gauge      *telemetry.Gauge
+	floorGauge *telemetry.Gauge
+	ups        *telemetry.Counter
+	downs      *telemetry.Counter
+	floorPins  *telemetry.Counter
+	floorFrees *telemetry.Counter
 }
 
 // New returns a controller at level 0.
@@ -213,7 +247,16 @@ func New(cfg Config) *Controller {
 		downs: reg.Counter("sslic_degrade_transitions_total",
 			"Degradation level transitions, by direction.",
 			telemetry.Label{Name: "direction", Value: "down"}),
+		floorGauge: reg.Gauge("sslic_degrade_quality_floor",
+			"Quality-floor level escalation is capped at; -1 when unpinned."),
+		floorPins: reg.Counter("sslic_degrade_floor_events_total",
+			"Quality-floor transitions, by kind.",
+			telemetry.Label{Name: "kind", Value: "pin"}),
+		floorFrees: reg.Counter("sslic_degrade_floor_events_total",
+			"Quality-floor transitions, by kind.",
+			telemetry.Label{Name: "kind", Value: "release"}),
 	}
+	c.floorGauge.Set(-1)
 	return c
 }
 
@@ -247,6 +290,50 @@ func (c *Controller) Unpin() {
 	c.mu.Unlock()
 }
 
+// Floor returns the quality-floor level and whether it is currently
+// pinned. While pinned, Tick will not escalate past it.
+func (c *Controller) Floor() (Level, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.floor, c.floorPinned
+}
+
+// tickFloor advances the quality-floor hysteresis from one window's
+// quality signal. Ticks without an observation leave both streaks
+// untouched, so an idle service neither pins nor releases. Caller
+// holds mu.
+func (c *Controller) tickFloor(s Signals) {
+	if !s.QualityObserved {
+		return
+	}
+	if s.QualityCollapsed {
+		c.goodStreak = 0
+		c.badStreak++
+		if !c.floorPinned && c.badStreak >= c.cfg.FloorHold {
+			c.floorPinned = true
+			c.floor = c.level
+			c.floorGauge.Set(float64(c.floor))
+			c.floorPins.Inc()
+			if c.cfg.Logger != nil {
+				c.cfg.Logger.Warn("quality floor pinned",
+					"level", c.floor.String())
+			}
+		}
+		return
+	}
+	c.badStreak = 0
+	c.goodStreak++
+	if c.floorPinned && c.goodStreak >= c.cfg.FloorRelease {
+		c.floorPinned = false
+		c.goodStreak = 0
+		c.floorGauge.Set(-1)
+		c.floorFrees.Inc()
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("quality floor released")
+		}
+	}
+}
+
 // setLevel transitions and mirrors to telemetry. Caller holds mu.
 func (c *Controller) setLevel(l Level) {
 	if l == c.level {
@@ -274,6 +361,7 @@ func (c *Controller) setLevel(l Level) {
 func (c *Controller) Tick(s Signals) Level {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.tickFloor(s)
 	if c.pinned {
 		return c.level
 	}
@@ -290,7 +378,12 @@ func (c *Controller) Tick(s Signals) Level {
 	case overloaded:
 		c.downStreak = 0
 		c.upStreak++
-		if c.upStreak >= c.cfg.StepUpHold && c.level < c.cfg.Max {
+		// The quality floor is the ladder's second side: overload may
+		// escalate only while escalation still buys latency at a
+		// quality the proxies accept. A pinned floor caps step-up at
+		// the level the collapse was detected at.
+		atFloor := c.floorPinned && c.level >= c.floor
+		if c.upStreak >= c.cfg.StepUpHold && c.level < c.cfg.Max && !atFloor {
 			c.setLevel(c.level + 1)
 			c.upStreak = 0
 		}

@@ -1,0 +1,128 @@
+package degrade
+
+import (
+	"testing"
+)
+
+// collapsed and goodQuality decorate a load signal with the quality
+// tri-state; the bare signals (QualityObserved false) model ticks with
+// no traffic or no quality tracking.
+func collapsed(s Signals) Signals {
+	s.QualityCollapsed, s.QualityObserved = true, true
+	return s
+}
+
+func goodQuality(s Signals) Signals {
+	s.QualityCollapsed, s.QualityObserved = false, true
+	return s
+}
+
+func TestQualityFloorPinsAndBlocksStepUp(t *testing.T) {
+	c := New(Config{StepUpHold: 2, FloorHold: 2, FloorRelease: 3})
+
+	// Calm load but collapsing quality: FloorHold consecutive collapsed
+	// ticks pin the floor at the current level (Full).
+	c.Tick(collapsed(calmSignals()))
+	if _, pinned := c.Floor(); pinned {
+		t.Fatal("floor pinned after one collapsed tick, want hold of 2")
+	}
+	c.Tick(collapsed(calmSignals()))
+	if floor, pinned := c.Floor(); !pinned || floor != Full {
+		t.Fatalf("floor = %v pinned=%v, want pinned at full", floor, pinned)
+	}
+
+	// Overload while quality is collapsed: the pinned floor caps
+	// escalation — the ladder must not trade away quality the proxies
+	// say is already gone.
+	for i := 0; i < 6; i++ {
+		if l := c.Tick(collapsed(hotSignals())); l != Full {
+			t.Fatalf("overloaded tick %d stepped to %v past the pinned floor", i, l)
+		}
+	}
+
+	// Quality recovers: FloorRelease consecutive good ticks release the
+	// floor, after which overload escalates normally again.
+	for i := 0; i < 3; i++ {
+		c.Tick(goodQuality(hotSignals()))
+	}
+	if _, pinned := c.Floor(); pinned {
+		t.Fatal("floor still pinned after release streak")
+	}
+	c.Tick(goodQuality(hotSignals()))
+	c.Tick(goodQuality(hotSignals()))
+	if l := c.Level(); l == Full {
+		t.Fatal("overload no longer steps up after floor release")
+	}
+}
+
+func TestQualityFloorPinsAboveFull(t *testing.T) {
+	c := New(Config{StepUpHold: 1, FloorHold: 1})
+	// Escalate to level 2 on load alone, then collapse quality there:
+	// the floor pins at the level the collapse was detected at, and
+	// further overload holds rather than escalating.
+	c.Tick(goodQuality(hotSignals()))
+	c.Tick(goodQuality(hotSignals()))
+	if l := c.Level(); l != CoarseSubsample {
+		t.Fatalf("setup level = %v, want coarse-subsample", l)
+	}
+	c.Tick(collapsed(hotSignals()))
+	if floor, pinned := c.Floor(); !pinned || floor != CoarseSubsample {
+		t.Fatalf("floor = %v pinned=%v, want pinned at coarse-subsample", floor, pinned)
+	}
+	for i := 0; i < 4; i++ {
+		if l := c.Tick(collapsed(hotSignals())); l != CoarseSubsample {
+			t.Fatalf("tick %d escalated past the floor to %v", i, l)
+		}
+	}
+	// Step-down remains allowed: the floor caps escalation only.
+	for i := 0; i < 5; i++ {
+		c.Tick(collapsed(calmSignals()))
+	}
+	if l := c.Level(); l >= CoarseSubsample {
+		t.Fatalf("calm ticks did not step down below the floor: %v", l)
+	}
+}
+
+func TestQualityFloorTriState(t *testing.T) {
+	c := New(Config{FloorHold: 2, FloorRelease: 2})
+	// Unobserved ticks move neither streak: a collapsed streak survives
+	// an idle window in between.
+	c.Tick(collapsed(calmSignals()))
+	c.Tick(calmSignals()) // no quality observation
+	c.Tick(collapsed(calmSignals()))
+	if _, pinned := c.Floor(); !pinned {
+		t.Fatal("idle tick broke the collapsed streak; tri-state signal must hold it")
+	}
+	// Same on release: idle ticks do not count as recovery.
+	c.Tick(calmSignals())
+	c.Tick(calmSignals())
+	if _, pinned := c.Floor(); !pinned {
+		t.Fatal("idle ticks released the floor without observed recovery")
+	}
+	c.Tick(goodQuality(calmSignals()))
+	c.Tick(goodQuality(calmSignals()))
+	if _, pinned := c.Floor(); pinned {
+		t.Fatal("floor not released after two observed good ticks")
+	}
+}
+
+func TestQualityFloorMetrics(t *testing.T) {
+	c := New(Config{FloorHold: 1, FloorRelease: 1})
+	if v := c.floorGauge.Value(); v != -1 {
+		t.Fatalf("floor gauge starts at %g, want -1", v)
+	}
+	c.Tick(collapsed(calmSignals()))
+	if v := c.floorGauge.Value(); v != 0 {
+		t.Fatalf("floor gauge after pin = %g, want 0", v)
+	}
+	if v := c.floorPins.Value(); v != 1 {
+		t.Fatalf("pin counter = %g, want 1", v)
+	}
+	c.Tick(goodQuality(calmSignals()))
+	if v := c.floorGauge.Value(); v != -1 {
+		t.Fatalf("floor gauge after release = %g, want -1", v)
+	}
+	if v := c.floorFrees.Value(); v != 1 {
+		t.Fatalf("release counter = %g, want 1", v)
+	}
+}

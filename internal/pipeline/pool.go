@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslic/internal/bufpool"
 	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/slic"
@@ -102,6 +103,15 @@ type PoolConfig struct {
 	// is discarded. 0 disables (jobs without a deadline are never
 	// watched either way).
 	WatchdogGrace time.Duration
+	// Buffers, when set, hands every worker a reusable sslic.Scratch
+	// from the shared buffer pool for its lifetime, so steady-state
+	// frames segment without reallocating the Lab planes and
+	// accumulators (~32 bytes/pixel). Workers are single-threaded and
+	// streams shard stickily, so one scratch per worker is race-free; a
+	// watchdog-abandoned frame poisons its scratch (the orphaned
+	// attempt may still write into it) and the worker draws a fresh
+	// one. nil disables scratch reuse.
+	Buffers *bufpool.Pool
 	// Segment is the backend; nil selects sslic.SegmentContext.
 	Segment SegmentFunc
 	// Registry receives the pool's metrics; nil selects a private one.
@@ -374,6 +384,11 @@ func (p *Pool) worker(in chan *poolReq) {
 	defer p.wg.Done()
 	states := make(map[string]*warmState)
 	var order []string // least- to most-recently-used, for eviction
+	var scratch *sslic.Scratch
+	if p.cfg.Buffers != nil {
+		scratch = p.cfg.Buffers.GetScratch()
+		defer func() { p.cfg.Buffers.PutScratch(scratch) }()
+	}
 	for req := range in {
 		p.streamDone(req.job.StreamID)
 		p.queueDepth.Set(float64(p.depth.Add(-1)))
@@ -392,6 +407,9 @@ func (p *Pool) worker(in chan *poolReq) {
 		if req.job.LabelBuf != nil {
 			params.LabelBuf = req.job.LabelBuf
 		}
+		if scratch != nil {
+			params.Scratch = scratch
+		}
 		warm := false
 		if st := states[req.job.StreamID]; st != nil &&
 			st.w == req.job.Image.W && st.h == req.job.Image.H && st.k == params.K {
@@ -402,6 +420,12 @@ func (p *Pool) worker(in chan *poolReq) {
 		sp := p.spans.StartCtx(req.ctx, "stream", req.job.StreamID, "warm", warm)
 		r, err := p.runJob(req.ctx, req.job.Image, params)
 		if err != nil {
+			if scratch != nil && errors.Is(err, ErrWorkerStuck) {
+				// The abandoned attempt's goroutine may still be
+				// writing into the scratch; leak it and draw a clean
+				// one, exactly like the caller's poisoned LabelBuf.
+				scratch = p.cfg.Buffers.GetScratch()
+			}
 			sp.Abort()
 			req.reply <- poolReply{err: err}
 			continue

@@ -1,0 +1,374 @@
+// Package quality turns data the segmentation hot path already
+// produces into live quality observability. The paper's value claim is
+// a quality/speed/energy trade-off (boundary recall at real-time frame
+// rates), and the serving layer actively spends quality at runtime —
+// the degrade ladder halves iterations and coarsens subsampling under
+// load — so the quality axis must be observable per stream while the
+// service runs, not only in offline benchmarks.
+//
+// The proxies are deliberately cheap, deterministic and alloc-free in
+// the steady-state request path:
+//
+//   - residual convergence (final residual and first→last decay) from
+//     sslic.Stats.MoveHistory — the run already records it per pass;
+//   - inter-frame label churn, the fraction of pixels whose label
+//     changed against the previous frame, read off the slbl-delta base
+//     cache the wire layer already keeps;
+//   - empty-cluster count and cluster-size coefficient of variation
+//     from the final label scan (under-segmentation collapse);
+//   - boundary density (boundary pixels / frame pixels), the live
+//     stand-in for the paper's boundary-recall axis.
+//
+// A Tracker folds per-frame Samples into registry series (global
+// histograms plus capped per-stream gauges, mirroring the cost
+// accountant's cardinality rules), serves the /debug/streams
+// introspection JSON, and distills a two-sided control signal for the
+// degrade controller: TickSignal reports whether quality has collapsed
+// below configured floors, so a blown latency budget cannot walk the
+// ladder past the point where segmentations stop being worth serving.
+package quality
+
+import (
+	"sync"
+	"time"
+
+	"sslic/internal/imgio"
+	"sslic/internal/telemetry"
+)
+
+// LabelChurn counts pixels whose label differs between cur and prev —
+// the same comparison the delta wire format encodes as skip/run
+// records, evaluated without allocating. ok is false (and changed 0)
+// when the maps are missing or their geometries disagree, which is
+// exactly when the delta encoder would fall back to a full keyframe.
+func LabelChurn(cur, prev *imgio.LabelMap) (changed int, ok bool) {
+	if cur == nil || prev == nil || cur.W != prev.W || cur.H != prev.H {
+		return 0, false
+	}
+	a, b := cur.Labels, prev.Labels
+	if len(a) != len(b) {
+		return 0, false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			changed++
+		}
+	}
+	return changed, true
+}
+
+// BoundaryDensity recomputes the boundary-pixel fraction of a label
+// map — the same 4-neighbor scan the segmentation core folds into
+// Stats.BoundaryPixels — for offline tools that only hold labels, and
+// as the tests' reference implementation for the in-core scan.
+func BoundaryDensity(lm *imgio.LabelMap) float64 {
+	if lm == nil || lm.W <= 0 || lm.H <= 0 {
+		return 0
+	}
+	w, h := lm.W, lm.H
+	lb := lm.Labels
+	boundary := 0
+	for y := 0; y < h; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			v := lb[i]
+			if (x > 0 && lb[i-1] != v) || (x < w-1 && lb[i+1] != v) ||
+				(y > 0 && lb[i-w] != v) || (y < h-1 && lb[i+w] != v) {
+				boundary++
+			}
+		}
+	}
+	return float64(boundary) / float64(w*h)
+}
+
+// maxStreams caps both the introspection states and the per-stream
+// registry series, matching the cost accountant's cardinality rule:
+// registry series are never evicted, so minted stream labels must stay
+// bounded. Introspection states ARE evicted (least-recently-seen) so
+// /debug/streams always shows the live working set.
+const maxStreams = 32
+
+// ringLen is the per-stream history depth for churn trend, level
+// history and trace IDs.
+const ringLen = 16
+
+// Config tunes a Tracker.
+type Config struct {
+	// Registry receives the quality series; nil selects a private one.
+	Registry *telemetry.Registry
+	// MaxStreams caps per-stream introspection states and minted
+	// per-stream series; <= 0 selects 32.
+	MaxStreams int
+
+	// Floor thresholds: a frame trips the quality floor when any
+	// enabled check fails. <= 0 disables a check.
+	//
+	// MaxChurn is the inter-frame label churn ratio (changed pixels /
+	// frame pixels) above which a frame counts as collapsed.
+	MaxChurn float64
+	// MaxEmptyFrac is the empty-cluster fraction (empty / effective K)
+	// above which a frame counts as collapsed.
+	MaxEmptyFrac float64
+	// MaxResidualDecay flags non-convergence: a cold run whose final
+	// residual is above MaxResidualDecay × its first residual counts as
+	// collapsed (warm runs with fewer than two passes are exempt).
+	MaxResidualDecay float64
+
+	// FloorFunc, when set, lets /debug/streams report the degrade
+	// controller's current quality floor (level, pinned).
+	FloorFunc func() (level int, pinned bool)
+}
+
+// Sample is one successfully segmented frame's quality observation.
+// Everything in it is already computed by the hot path; the Tracker
+// only folds it into series and rings.
+type Sample struct {
+	Stream  string
+	TraceID string
+	W, H, K int
+	// Level is the degrade level the frame was served at.
+	Level int
+	Warm  bool
+	// WireFormat is the response label framing (labels, slbl-rle,
+	// slbl-delta, overlay, ...).
+	WireFormat string
+	// DeltaBase reports whether a delta base was found in the wire
+	// cache for this frame (a hit); only meaningful for streams.
+	DeltaBase bool
+	// Churn is the changed-pixel fraction vs the previous frame; < 0
+	// means unknown (no base to compare against).
+	Churn         float64
+	EmptyClusters int
+	// Clusters is the effective superpixel count (the tiling's K).
+	Clusters        int
+	ClusterSizeCV   float64
+	BoundaryDensity float64
+	// Residual is the final pass's mean center movement;
+	// ResidualDecay is final/first (1 = no convergence progress).
+	Residual      float64
+	ResidualDecay float64
+	Converged     bool
+	Passes        int
+}
+
+// streamState is one stream's introspection record. Gauges are cached
+// here so a steady-state Observe does no registry lookups (and so no
+// allocations).
+type streamState struct {
+	stream      string
+	firstSeen   time.Time
+	lastSeen    time.Time
+	frames      uint64
+	warmFrames  uint64
+	w, h, k     int
+	level       int
+	wireFormat  string
+	deltaHits   uint64
+	deltaMisses uint64
+	collapsed   bool // last frame tripped a floor check
+
+	churn   [ringLen]float64 // most recent last; -1 = unknown
+	levels  [ringLen]int32
+	traces  [4]string
+	nChurn  int // total observations, rings are [max(0,n-ringLen), n)
+	nTraces int
+
+	last Sample
+
+	churnG, emptyG, residualG, boundaryG *telemetry.Gauge
+}
+
+// Tracker folds frame Samples into live quality series and keeps the
+// per-stream introspection states behind /debug/streams.
+type Tracker struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	churnHist *telemetry.Histogram
+	frames    *telemetry.Counter
+	emptyFr   *telemetry.Counter
+	collapsed *telemetry.Counter
+
+	mu      sync.Mutex
+	streams map[string]*streamState
+	minted  int // per-stream series label sets created so far
+
+	// Tick window counters for the degrade floor signal.
+	tickFrames int
+	tickBad    int
+}
+
+// NewTracker builds a Tracker and registers its series.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = maxStreams
+	}
+	t := &Tracker{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		streams: make(map[string]*streamState),
+	}
+	t.churnHist = cfg.Registry.Histogram("sslic_quality_churn_ratio",
+		"Inter-frame label churn: changed pixels / frame pixels, per delta-capable frame.",
+		[]float64{.001, .0025, .005, .01, .025, .05, .1, .2, .35, .5, .75})
+	t.frames = cfg.Registry.Counter("sslic_quality_frames_total",
+		"Frames with a quality observation.")
+	t.emptyFr = cfg.Registry.Counter("sslic_quality_empty_cluster_frames_total",
+		"Frames with at least one empty cluster.")
+	t.collapsed = cfg.Registry.Counter("sslic_quality_collapsed_frames_total",
+		"Frames that tripped a quality-floor threshold.")
+	return t
+}
+
+// bad evaluates the floor thresholds against one sample.
+func (t *Tracker) bad(s Sample) bool {
+	if t.cfg.MaxChurn > 0 && s.Churn >= 0 && s.Churn > t.cfg.MaxChurn {
+		return true
+	}
+	if t.cfg.MaxEmptyFrac > 0 && s.Clusters > 0 &&
+		float64(s.EmptyClusters)/float64(s.Clusters) > t.cfg.MaxEmptyFrac {
+		return true
+	}
+	if t.cfg.MaxResidualDecay > 0 && s.Passes >= 2 && !s.Warm &&
+		s.ResidualDecay > t.cfg.MaxResidualDecay {
+		return true
+	}
+	return false
+}
+
+// Observe folds one frame into the tracker. Steady-state calls for an
+// already-known stream are allocation-free: rings and cached gauges
+// only.
+func (t *Tracker) Observe(s Sample) {
+	t.frames.Inc()
+	if s.EmptyClusters > 0 {
+		t.emptyFr.Inc()
+	}
+	if s.Churn >= 0 {
+		t.churnHist.Observe(s.Churn)
+	}
+	bad := t.bad(s)
+	if bad {
+		t.collapsed.Inc()
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tickFrames++
+	if bad {
+		t.tickBad++
+	}
+	st := t.streams[s.Stream]
+	if st == nil {
+		st = t.newStreamLocked(s.Stream)
+	}
+	now := time.Now()
+	st.lastSeen = now
+	st.frames++
+	if s.Warm {
+		st.warmFrames++
+	}
+	st.w, st.h, st.k = s.W, s.H, s.K
+	st.level = s.Level
+	st.wireFormat = s.WireFormat
+	if s.Stream != "" {
+		if s.DeltaBase {
+			st.deltaHits++
+		} else {
+			st.deltaMisses++
+		}
+	}
+	st.churn[st.nChurn%ringLen] = s.Churn
+	st.levels[st.nChurn%ringLen] = int32(s.Level)
+	st.nChurn++
+	if s.TraceID != "" {
+		st.traces[st.nTraces%len(st.traces)] = s.TraceID
+		st.nTraces++
+	}
+	st.collapsed = bad
+	st.last = s
+
+	if s.Churn >= 0 {
+		st.churnG.Set(s.Churn)
+	}
+	st.emptyG.Set(float64(s.EmptyClusters))
+	st.residualG.Set(s.Residual)
+	st.boundaryG.Set(s.BoundaryDensity)
+}
+
+// newStreamLocked creates (and possibly evicts for) a stream state,
+// minting its per-stream gauges under the cardinality cap.
+func (t *Tracker) newStreamLocked(stream string) *streamState {
+	if len(t.streams) >= t.cfg.MaxStreams {
+		var victim string
+		var oldest time.Time
+		for id, st := range t.streams {
+			if victim == "" || st.lastSeen.Before(oldest) {
+				victim, oldest = id, st.lastSeen
+			}
+		}
+		delete(t.streams, victim)
+	}
+	label := stream
+	if stream == "" {
+		label = "_anon"
+	} else if t.minted >= t.cfg.MaxStreams {
+		// Past the cap, recreated streams share the overflow series
+		// (their introspection state stays individual).
+		label = "_other"
+	} else {
+		t.minted++
+	}
+	lbl := telemetry.Label{Name: "stream", Value: label}
+	st := &streamState{
+		stream:    stream,
+		firstSeen: time.Now(),
+		churnG: t.reg.Gauge("sslic_quality_stream_churn",
+			"Latest inter-frame label churn ratio, by stream.", lbl),
+		emptyG: t.reg.Gauge("sslic_quality_stream_empty_clusters",
+			"Latest empty-cluster count, by stream.", lbl),
+		residualG: t.reg.Gauge("sslic_quality_stream_residual",
+			"Latest final center residual, by stream.", lbl),
+		boundaryG: t.reg.Gauge("sslic_quality_stream_boundary_density",
+			"Latest boundary-pixel density, by stream.", lbl),
+	}
+	for i := range st.churn {
+		st.churn[i] = -1
+	}
+	t.streams[stream] = st
+	return st
+}
+
+// TickSignal is the degrade controller's quality-floor input, called
+// once per controller tick. observed reports whether any frame landed
+// since the previous tick; collapsed reports whether a majority of
+// those frames tripped a floor threshold. Ticks with no traffic return
+// (false, false) so an idle service neither pins nor releases the
+// floor.
+func (t *Tracker) TickSignal() (collapsed, observed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	frames, bad := t.tickFrames, t.tickBad
+	t.tickFrames, t.tickBad = 0, 0
+	if frames == 0 {
+		return false, false
+	}
+	return bad*2 > frames, true
+}
+
+// ChurnSnapshot exposes the churn histogram for SLO windowing
+// (quality.churn p95 objectives).
+func (t *Tracker) ChurnSnapshot() telemetry.HistogramSnapshot {
+	return t.churnHist.Snapshot()
+}
+
+// FrameCounts is the SLO engine's cumulative empty-cluster
+// availability source: total observed frames and frames with at least
+// one empty cluster.
+func (t *Tracker) FrameCounts() (frames, emptyFrames float64) {
+	return t.frames.Value(), t.emptyFr.Value()
+}

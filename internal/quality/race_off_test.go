@@ -1,0 +1,8 @@
+//go:build !race
+
+package quality
+
+// raceEnabled reports whether the binary was built with -race; tests
+// that assert exact allocation counts skip under the detector, whose
+// instrumentation allocates on its own.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package quality
+
+// raceEnabled reports whether the binary was built with -race; see
+// race_off_test.go.
+const raceEnabled = true

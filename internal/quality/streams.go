@@ -1,0 +1,145 @@
+package quality
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// StreamStatus is one stream's row in the /debug/streams report.
+type StreamStatus struct {
+	Stream     string  `json:"stream"`
+	Frames     uint64  `json:"frames"`
+	WarmFrames uint64  `json:"warm_frames"`
+	AgeSec     float64 `json:"age_seconds"`
+	IdleSec    float64 `json:"idle_seconds"`
+
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	K      int `json:"k"`
+
+	Level        int     `json:"level"`
+	LevelHistory []int32 `json:"level_history"`
+
+	WireFormat  string  `json:"wire_format,omitempty"`
+	DeltaHits   uint64  `json:"delta_hits"`
+	DeltaMisses uint64  `json:"delta_misses"`
+	DeltaRatio  float64 `json:"delta_hit_ratio"`
+
+	LastTraces []string `json:"last_traces,omitempty"`
+
+	Quality StreamQuality `json:"quality"`
+}
+
+// StreamQuality is the quality-proxy block of a stream row: the latest
+// frame's values plus the recent churn trend.
+type StreamQuality struct {
+	Churn           float64   `json:"churn"`
+	ChurnTrend      []float64 `json:"churn_trend,omitempty"`
+	EmptyClusters   int       `json:"empty_clusters"`
+	Clusters        int       `json:"clusters"`
+	ClusterSizeCV   float64   `json:"cluster_size_cv"`
+	BoundaryDensity float64   `json:"boundary_density"`
+	Residual        float64   `json:"residual"`
+	ResidualDecay   float64   `json:"residual_decay"`
+	Converged       bool      `json:"converged"`
+	Passes          int       `json:"passes"`
+	Collapsed       bool      `json:"collapsed"`
+}
+
+// FloorStatus reports the degrade controller's quality floor.
+type FloorStatus struct {
+	Pinned bool `json:"pinned"`
+	Level  int  `json:"level"`
+}
+
+// Status is the whole /debug/streams document.
+type Status struct {
+	Streams []StreamStatus `json:"streams"`
+	// Floor is present when a degrade controller is wired in.
+	Floor *FloorStatus `json:"floor,omitempty"`
+	// Totals across all frames ever observed.
+	Frames          float64 `json:"frames_total"`
+	EmptyFrames     float64 `json:"empty_cluster_frames_total"`
+	CollapsedFrames float64 `json:"collapsed_frames_total"`
+}
+
+// Snapshot assembles the introspection document: one row per live
+// stream (sorted by ID for stable output), the degrade floor, and the
+// global counters.
+func (t *Tracker) Snapshot() Status {
+	now := time.Now()
+	t.mu.Lock()
+	rows := make([]StreamStatus, 0, len(t.streams))
+	for _, st := range t.streams {
+		row := StreamStatus{
+			Stream:     st.stream,
+			Frames:     st.frames,
+			WarmFrames: st.warmFrames,
+			AgeSec:     now.Sub(st.firstSeen).Seconds(),
+			IdleSec:    now.Sub(st.lastSeen).Seconds(),
+			Width:      st.w,
+			Height:     st.h,
+			K:          st.k,
+			Level:      st.level,
+			WireFormat: st.wireFormat,
+		}
+		row.DeltaHits, row.DeltaMisses = st.deltaHits, st.deltaMisses
+		if n := st.deltaHits + st.deltaMisses; n > 0 {
+			row.DeltaRatio = float64(st.deltaHits) / float64(n)
+		}
+		// Rings hold observations [max(0, n-ringLen), n), oldest first.
+		start := 0
+		if st.nChurn > ringLen {
+			start = st.nChurn - ringLen
+		}
+		for i := start; i < st.nChurn; i++ {
+			row.LevelHistory = append(row.LevelHistory, st.levels[i%ringLen])
+			row.Quality.ChurnTrend = append(row.Quality.ChurnTrend, st.churn[i%ringLen])
+		}
+		tStart := 0
+		if st.nTraces > len(st.traces) {
+			tStart = st.nTraces - len(st.traces)
+		}
+		for i := tStart; i < st.nTraces; i++ {
+			row.LastTraces = append(row.LastTraces, st.traces[i%len(st.traces)])
+		}
+		s := st.last
+		row.Quality.Churn = s.Churn
+		row.Quality.EmptyClusters = s.EmptyClusters
+		row.Quality.Clusters = s.Clusters
+		row.Quality.ClusterSizeCV = s.ClusterSizeCV
+		row.Quality.BoundaryDensity = s.BoundaryDensity
+		row.Quality.Residual = s.Residual
+		row.Quality.ResidualDecay = s.ResidualDecay
+		row.Quality.Converged = s.Converged
+		row.Quality.Passes = s.Passes
+		row.Quality.Collapsed = st.collapsed
+		rows = append(rows, row)
+	}
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Stream < rows[j].Stream })
+
+	out := Status{
+		Streams:         rows,
+		Frames:          t.frames.Value(),
+		EmptyFrames:     t.emptyFr.Value(),
+		CollapsedFrames: t.collapsed.Value(),
+	}
+	if t.cfg.FloorFunc != nil {
+		level, pinned := t.cfg.FloorFunc()
+		out.Floor = &FloorStatus{Pinned: pinned, Level: level}
+	}
+	return out
+}
+
+// Handler serves the introspection document as JSON at /debug/streams.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Snapshot())
+	})
+}

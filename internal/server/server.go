@@ -49,6 +49,7 @@ import (
 	"sslic/internal/faults"
 	"sslic/internal/imgio"
 	"sslic/internal/pipeline"
+	"sslic/internal/quality"
 	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
@@ -157,6 +158,16 @@ type Config struct {
 	// automatic profile capture and counts as a burn alert; <= 0
 	// disables alerting (budgets and burn rates are still tracked).
 	SLOBurnThreshold float64
+	// QualityMaxChurn, QualityMaxEmptyFrac and QualityMaxResidualDecay
+	// are the quality-floor thresholds (see quality.Config): a frame
+	// trips the floor when any enabled check fails, and a tick whose
+	// frames mostly tripped pins the degrade ladder at its current
+	// level until quality recovers. <= 0 disables a check; all three
+	// disabled means the ladder is governed by load signals alone.
+	// Quality proxies are tracked and exported either way.
+	QualityMaxChurn         float64
+	QualityMaxEmptyFrac     float64
+	QualityMaxResidualDecay float64
 	// ProfileCapacity, ProfileCPUDuration and ProfileCooldown tune the
 	// burn-triggered profile capturer (zero values select 8 bundles,
 	// 250ms CPU windows, 30s cooldown). The capturer always exists —
@@ -230,6 +241,7 @@ type Server struct {
 	degradeDone   chan struct{}
 
 	costs    *costAccountant
+	quality  *quality.Tracker
 	slo      *slo.Engine // nil when no objectives configured
 	capturer *telemetry.Capturer
 	runtime  *telemetry.RuntimeMetrics
@@ -251,6 +263,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: MaxTimeout %v below RequestTimeout %v", cfg.MaxTimeout, cfg.RequestTimeout)
 	}
 	s := &Server{cfg: cfg}
+	if !cfg.NoBufferPool {
+		s.bufs = bufpool.New(bufpool.Config{Registry: cfg.Registry})
+	}
 	s.pool = pipeline.NewPool(pipeline.PoolConfig{
 		Workers:       cfg.Workers,
 		QueueDepth:    cfg.QueueDepth,
@@ -259,14 +274,12 @@ func New(cfg Config) (*Server, error) {
 		Retries:       cfg.Retries,
 		RetryBackoff:  cfg.RetryBackoff,
 		WatchdogGrace: cfg.WatchdogGrace,
+		Buffers:       s.bufs,
 		Segment:       cfg.Segment,
 		Registry:      cfg.Registry,
 		Logger:        cfg.Logger,
 	})
-	if !cfg.NoBufferPool {
-		s.bufs = bufpool.New(bufpool.Config{Registry: cfg.Registry})
-	}
-	s.deltas = newDeltaCache(cfg.MaxStreams)
+	s.deltas = newDeltaCache(cfg.MaxStreams, cfg.Registry)
 	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
 		"Handler panics recovered by the middleware.")
 	s.inflightTraces = make(map[string]struct{})
@@ -290,6 +303,17 @@ func New(cfg Config) (*Server, error) {
 		dcfg.BurnHigh = cfg.SLOBurnThreshold
 	}
 	s.degrade = degrade.New(dcfg)
+	s.quality = quality.NewTracker(quality.Config{
+		Registry:         cfg.Registry,
+		MaxStreams:       cfg.MaxStreams,
+		MaxChurn:         cfg.QualityMaxChurn,
+		MaxEmptyFrac:     cfg.QualityMaxEmptyFrac,
+		MaxResidualDecay: cfg.QualityMaxResidualDecay,
+		FloorFunc: func() (int, bool) {
+			lvl, pinned := s.degrade.Floor()
+			return int(lvl), pinned
+		},
+	})
 	s.sampler = newSignalSampler(s.pool, cfg.Registry)
 	if len(cfg.SLOObjectives) > 0 {
 		eng, err := slo.New(slo.Config{
@@ -298,6 +322,8 @@ func New(cfg Config) (*Server, error) {
 				Latency:  s.sampler.hist.Snapshot,
 				Requests: s.costs.requestCounts,
 				Energy:   s.costs.energyCounts,
+				Churn:    s.quality.ChurnSnapshot,
+				Quality:  s.quality.FrameCounts,
 			},
 			FastWindow:    cfg.SLOFastWindow,
 			SlowWindow:    cfg.SLOSlowWindow,
@@ -346,6 +372,7 @@ func (s *Server) sampleSignals() degrade.Signals {
 	sig := s.sampler.sample()
 	s.runtime.Sample()
 	sig.BurnRate = s.slo.Tick()
+	sig.QualityCollapsed, sig.QualityObserved = s.quality.TickSignal()
 	return sig
 }
 
@@ -619,7 +646,13 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	s.costs.chargeEnergy(cost, im, params, res, tr)
 	snap := s.costs.finish(cost, opts.Stream, tr)
 	stampCostHeaders(w.Header(), snap)
-	s.writeResult(w, opts, im, res, tr, cost)
+	// The stream's delta base is taken out once, before any body byte:
+	// it is both the churn comparand for the quality proxies and (for
+	// the delta wire format) the encode base. Non-delta responses put
+	// it back untouched so the cache state is format-independent.
+	base := s.deltas.take(opts.Stream)
+	s.observeQuality(w.Header(), opts, im, res, base, tr, int(lvl))
+	s.writeResult(w, opts, im, res, tr, cost, base)
 	// Success path: the response is fully written, no goroutine can
 	// still touch these buffers — park them for the next request.
 	if s.bufs != nil {
@@ -641,8 +674,11 @@ func (s *Server) recordPanic() {
 	}
 }
 
-// writeResult renders the segmentation in the requested format.
-func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult, tr *telemetry.Trace, cost *telemetry.Cost) {
+// writeResult renders the segmentation in the requested format. base
+// is the stream's taken-out delta cache entry (nil when absent): the
+// delta format encodes against and then replaces it; every other
+// format restores it unchanged.
+func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Image, res *pipeline.JobResult, tr *telemetry.Trace, cost *telemetry.Cost, base *imgio.LabelMap) {
 	labels := res.Result.Labels
 	h := w.Header()
 	h.Set("X-Sslic-Warm", strconv.FormatBool(res.Warm))
@@ -658,7 +694,8 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 		h.Set("Content-Type", wf.ContentType())
 		h.Set("X-Wire-Format", opts.Format)
 		if wf == wire.Delta {
-			err = s.writeDelta(w, opts.Stream, labels)
+			err = s.writeDelta(w, opts.Stream, labels, base)
+			base = nil // consumed (or recycled) by writeDelta
 		} else {
 			err = wire.Encode(w, wf, labels, nil)
 		}
@@ -679,6 +716,13 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 			err = imgio.EncodePPM(w, im)
 		}
 	}
+	if base != nil {
+		// Non-delta format on a stream with a cached base: restore it so
+		// a later delta request still has its comparand.
+		if old := s.deltas.put(opts.Stream, base); old != nil {
+			s.putLabelBuf(old)
+		}
+	}
 	cost.AddEncode(time.Since(t0))
 	if tr != nil {
 		tr.Emit("encode", "server", t0, time.Since(t0),
@@ -694,12 +738,12 @@ func (s *Server) writeResult(w http.ResponseWriter, opts options, im *imgio.Imag
 }
 
 // writeDelta encodes labels in the slbl-delta framing against the
-// stream's cached previous response, declaring the base actually used
-// in X-Wire-Base ("prev" or "empty") so the response stays decodable
-// even when a concurrent request on the same stream holds the base.
-// Afterwards the stream's base becomes this response's labels.
-func (s *Server) writeDelta(w http.ResponseWriter, stream string, labels *imgio.LabelMap) error {
-	base := s.deltas.take(stream)
+// stream's cached previous response (already taken out by the caller),
+// declaring the base actually used in X-Wire-Base ("prev" or "empty")
+// so the response stays decodable even when a concurrent request on
+// the same stream holds the base. Afterwards the stream's base becomes
+// this response's labels.
+func (s *Server) writeDelta(w http.ResponseWriter, stream string, labels, base *imgio.LabelMap) error {
 	if base != nil && (base.W != labels.W || base.H != labels.H) {
 		// The stream changed frame geometry; the old base is useless.
 		s.putLabelBuf(base)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"sslic/internal/imgio"
+	"sslic/internal/telemetry"
 )
 
 // deltaCache holds each stream's previous slbl-delta response — the base
@@ -26,14 +27,37 @@ type deltaCache struct {
 	max     int
 	entries map[string]*imgio.LabelMap
 	order   []string // least- to most-recently-updated
+	bytes   int64    // resident label bytes behind the gauge
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	resident  *telemetry.Gauge
 }
 
-func newDeltaCache(max int) *deltaCache {
+func newDeltaCache(max int, reg *telemetry.Registry) *deltaCache {
 	if max <= 0 {
 		max = 64
 	}
-	return &deltaCache{max: max, entries: make(map[string]*imgio.LabelMap)}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &deltaCache{
+		max:     max,
+		entries: make(map[string]*imgio.LabelMap),
+		hits: reg.Counter("sslic_wirecache_hits_total",
+			"Delta-base lookups that found the stream's previous labels."),
+		misses: reg.Counter("sslic_wirecache_misses_total",
+			"Delta-base lookups on a named stream that found no entry."),
+		evictions: reg.Counter("sslic_wirecache_evictions_total",
+			"Delta bases evicted to respect the stream cap."),
+		resident: reg.Gauge("sslic_wirecache_resident_bytes",
+			"Label bytes currently held as delta bases."),
+	}
 }
+
+// entryBytes is a base's resident footprint for the gauge.
+func entryBytes(lm *imgio.LabelMap) int64 { return int64(len(lm.Labels)) * 4 }
 
 // take removes and returns the stream's base map, nil when absent (or
 // the stream is anonymous). The caller owns the returned buffer.
@@ -45,8 +69,10 @@ func (c *deltaCache) take(id string) *imgio.LabelMap {
 	defer c.mu.Unlock()
 	lm := c.entries[id]
 	if lm == nil {
+		c.misses.Inc()
 		return nil
 	}
+	c.hits.Inc()
 	delete(c.entries, id)
 	for i, sid := range c.order {
 		if sid == id {
@@ -54,6 +80,8 @@ func (c *deltaCache) take(id string) *imgio.LabelMap {
 			break
 		}
 	}
+	c.bytes -= entryBytes(lm)
+	c.resident.Set(float64(c.bytes))
 	return lm
 }
 
@@ -66,6 +94,7 @@ func (c *deltaCache) put(id string, lm *imgio.LabelMap) *imgio.LabelMap {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.bytes += entryBytes(lm)
 	if old := c.entries[id]; old != nil {
 		// A concurrent request restored an entry since our take; keep
 		// the newest.
@@ -77,6 +106,8 @@ func (c *deltaCache) put(id string, lm *imgio.LabelMap) *imgio.LabelMap {
 		}
 		c.entries[id] = lm
 		c.order = append(c.order, id)
+		c.bytes -= entryBytes(old)
+		c.resident.Set(float64(c.bytes))
 		return old
 	}
 	c.entries[id] = lm
@@ -86,7 +117,11 @@ func (c *deltaCache) put(id string, lm *imgio.LabelMap) *imgio.LabelMap {
 		c.order = c.order[1:]
 		old := c.entries[victim]
 		delete(c.entries, victim)
+		c.evictions.Inc()
+		c.bytes -= entryBytes(old)
+		c.resident.Set(float64(c.bytes))
 		return old
 	}
+	c.resident.Set(float64(c.bytes))
 	return nil
 }

@@ -8,17 +8,29 @@ import "math"
 // or a noisy pixel"). The returned slice length is the effective K — the
 // grid point count nearest to the requested K.
 func InitCenters(lab *LabImage, k int, perturb bool) []Center {
+	c, _ := InitCentersInto(lab, k, perturb, nil, nil)
+	return c
+}
+
+// InitCentersInto is InitCenters with caller-owned scratch: the centers
+// slice and the gradient buffer (only consulted when perturb is set)
+// are reused when their capacity suffices. It returns the filled center
+// slice and the gradient buffer so the caller can hand both back on the
+// next frame.
+func InitCentersInto(lab *LabImage, k int, perturb bool, centers []Center, grad []float64) ([]Center, []float64) {
 	w, h := lab.W, lab.H
 	s := GridInterval(w, h, k)
 	nx := max(1, int(float64(w)/s+0.5))
 	ny := max(1, int(float64(h)/s+0.5))
 
-	var grad []float64
 	if perturb {
-		grad = GradientMap(lab)
+		grad = GradientMapInto(lab, grad)
 	}
 
-	centers := make([]Center, 0, nx*ny)
+	if cap(centers) < nx*ny {
+		centers = make([]Center, 0, nx*ny)
+	}
+	centers = centers[:0]
 	for gy := 0; gy < ny; gy++ {
 		for gx := 0; gx < nx; gx++ {
 			// Cell-centered placement.
@@ -34,7 +46,7 @@ func InitCenters(lab *LabImage, k int, perturb bool) []Center {
 			})
 		}
 	}
-	return centers
+	return centers, grad
 }
 
 // CenterGridDims returns the (nx, ny) grid used by InitCenters for a w×h
@@ -52,8 +64,15 @@ func CenterGridDims(w, h, k int) (nx, ny int) {
 // Border pixels get +Inf so perturbation never moves a center onto the
 // image edge.
 func GradientMap(lab *LabImage) []float64 {
+	return GradientMapInto(lab, nil)
+}
+
+// GradientMapInto is GradientMap writing into a caller-owned buffer,
+// reallocating only when its capacity is below W*H. Every element is
+// overwritten, so a recycled buffer never leaks stale gradients.
+func GradientMapInto(lab *LabImage, grad []float64) []float64 {
 	w, h := lab.W, lab.H
-	grad := make([]float64, w*h)
+	grad = growFloats(grad, w*h)
 	for i := range grad {
 		grad[i] = math.Inf(1)
 	}

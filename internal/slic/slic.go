@@ -147,6 +147,29 @@ func ToLab(im *imgio.Image) *LabImage {
 	return &LabImage{W: im.W, H: im.H, L: l, A: a, B: b}
 }
 
+// ToLabInto is ToLab writing into dst, growing its planes only when the
+// frame outgrows their capacity. A stream of same-geometry frames
+// therefore converts with zero allocations after the first — the planes
+// are the largest per-frame buffers (24 bytes/pixel) the CPU pipeline
+// otherwise reallocates.
+func ToLabInto(dst *LabImage, im *imgio.Image) {
+	n := im.W * im.H
+	dst.W, dst.H = im.W, im.H
+	dst.L = growFloats(dst.L, n)
+	dst.A = growFloats(dst.A, n)
+	dst.B = growFloats(dst.B, n)
+	colorspace.ConvertImageToLabInto(im.C0, im.C1, im.C2, dst.L, dst.A, dst.B)
+}
+
+// growFloats returns s resliced to length n, reallocating only when the
+// capacity is insufficient.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Segment runs the full SLIC pipeline of Figure 1a on an RGB image.
 func Segment(im *imgio.Image, p Params) (*Result, error) {
 	if err := p.Validate(im.W, im.H); err != nil {

@@ -42,6 +42,12 @@ const (
 	// KindEnergy counts a window's frames as bad when the window's mean
 	// estimated energy per frame exceeds TargetPJ.
 	KindEnergy Kind = "energy"
+	// KindQualityChurn counts frames whose inter-frame label churn ratio
+	// exceeds Max as bad, from the quality tracker's churn histogram.
+	KindQualityChurn Kind = "quality.churn"
+	// KindQualityEmpty counts frames with at least one empty cluster as
+	// bad — an availability objective over segmentation usefulness.
+	KindQualityEmpty Kind = "quality.empty"
 )
 
 // Objective is one declarative SLO.
@@ -54,6 +60,8 @@ type Objective struct {
 	Threshold time.Duration `json:"threshold,omitempty"`
 	// TargetPJ is the per-frame energy budget for KindEnergy.
 	TargetPJ float64 `json:"target_pj,omitempty"`
+	// Max is the churn-ratio cut for KindQualityChurn.
+	Max float64 `json:"max,omitempty"`
 	// Budget is the allowed bad fraction (e.g. 0.01 → 99% objective).
 	Budget float64 `json:"budget"`
 }
@@ -72,6 +80,11 @@ func (o Objective) validate() error {
 		if o.TargetPJ <= 0 {
 			return fmt.Errorf("slo %q: energy objective needs target_pj > 0", o.Name)
 		}
+	case KindQualityChurn:
+		if o.Max <= 0 || o.Max >= 1 {
+			return fmt.Errorf("slo %q: quality.churn objective needs max in (0, 1)", o.Name)
+		}
+	case KindQualityEmpty:
 	default:
 		return fmt.Errorf("slo %q: unknown kind %q", o.Name, o.Kind)
 	}
@@ -89,6 +102,11 @@ type Sources struct {
 	Requests func() (total, bad float64)
 	// Energy returns cumulative (frames, picojoules) charged.
 	Energy func() (frames, pj float64)
+	// Churn returns the cumulative inter-frame label-churn histogram
+	// (ratio in [0, 1]) — windowed like Latency.
+	Churn func() telemetry.HistogramSnapshot
+	// Quality returns cumulative (frames, emptyClusterFrames) counts.
+	Quality func() (frames, emptyFrames float64)
 }
 
 // Config tunes an Engine.
@@ -313,6 +331,25 @@ func (e *Engine) observe(st *objState) (total, bad float64) {
 			return df, df // every frame in an over-budget window is bad
 		}
 		return df, 0
+	case KindQualityChurn:
+		if e.cfg.Sources.Churn == nil {
+			return 0, 0
+		}
+		cur := e.cfg.Sources.Churn()
+		win := cur.Sub(st.prevHist)
+		st.prevHist = cur
+		return float64(win.Count), badAbove(win, st.obj.Max)
+	case KindQualityEmpty:
+		if e.cfg.Sources.Quality == nil {
+			return 0, 0
+		}
+		f, ef := e.cfg.Sources.Quality()
+		df, def := f-st.prevTotal, ef-st.prevBad
+		st.prevTotal, st.prevBad = f, ef
+		if df < 0 || def < 0 { // counter reset
+			return 0, 0
+		}
+		return df, def
 	}
 	return 0, 0
 }
@@ -421,6 +458,10 @@ func (e *Engine) Status() Status {
 			target = fmt.Sprintf("%g pJ/frame", st.obj.TargetPJ)
 		case KindAvailability:
 			target = "non-error responses"
+		case KindQualityChurn:
+			target = fmt.Sprintf("churn <= %g", st.obj.Max)
+		case KindQualityEmpty:
+			target = "frames without empty clusters"
 		}
 		out.Objectives = append(out.Objectives, ObjectiveStatus{
 			Name:            st.obj.Name,
@@ -461,6 +502,8 @@ func Handler(e *Engine) http.Handler {
 //	latency,threshold=50ms,budget=0.01
 //	availability,budget=0.001,name=api-availability
 //	energy,target_pj=9e9,budget=0.05
+//	quality.churn,max=0.35,budget=0.05
+//	quality.empty,budget=0.02
 //
 // Budget defaults to 0.01 when omitted.
 func ParseObjectives(spec string) ([]Objective, error) {
@@ -485,6 +528,8 @@ func ParseObjectives(spec string) ([]Objective, error) {
 				o.Threshold, err = time.ParseDuration(v)
 			case "target_pj":
 				o.TargetPJ, err = strconv.ParseFloat(v, 64)
+			case "max":
+				o.Max, err = strconv.ParseFloat(v, 64)
 			case "budget":
 				o.Budget, err = strconv.ParseFloat(v, 64)
 			default:

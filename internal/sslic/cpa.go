@@ -26,13 +26,13 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	tr := telemetry.TraceFrom(ctx)
 
 	t0 := time.Now()
-	lab := slic.ToLab(im)
+	lab := p.Scratch.labFor(im)
 	p.Quantization.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
 	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
 
 	t0 = time.Now()
-	centers := slic.InitCenters(lab, p.K, p.PerturbCenters)
+	centers := p.Scratch.initCenters(lab, p.K, p.PerturbCenters)
 	labels := labelBufOrNew(p.LabelBuf, im.W, im.H, true)
 	st.InitTime = time.Since(t0)
 
@@ -44,7 +44,7 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	totalPasses := p.FullIters * k
 	w, h := im.W, im.H
 
-	dist := make([]float64, lab.Pixels())
+	dist := p.Scratch.distFor(lab.Pixels())
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -144,6 +144,7 @@ func segmentCPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		slic.EnforceConnectivity(labels, minSize)
 		tr.Emit("connectivity", "sslic", t0, time.Since(t0), nil)
 	}
+	qualityScan(labels, len(centers), p.Scratch, &st)
 	st.OtherTime = time.Since(t0)
 
 	return &Result{Labels: labels, Centers: centers, Tiling: tiling, Stats: st}, nil

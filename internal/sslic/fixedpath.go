@@ -121,11 +121,9 @@ func newFxWeights(invS2 float64) fxWeights {
 
 // convertLabCodes runs the LUT color conversion into int32 planes, the
 // width the distance loop multiplies without conversions.
-func convertLabCodes(conv *lut.Converter, im *imgio.Image) (l, a, b []int32) {
+func convertLabCodes(conv *lut.Converter, im *imgio.Image, scr *Scratch) (l, a, b []int32) {
 	n := im.Pixels()
-	l = make([]int32, n)
-	a = make([]int32, n)
-	b = make([]int32, n)
+	l, a, b = scr.codesFor(n)
 	for i := 0; i < n; i++ {
 		l8, a8, b8 := conv.Convert(im.C0[i], im.C1[i], im.C2[i])
 		l[i], a[i], b[i] = int32(l8), int32(a8), int32(b8)
@@ -136,10 +134,10 @@ func convertLabCodes(conv *lut.Converter, im *imgio.Image) (l, a, b []int32) {
 // initCentersFixed mirrors slic.InitCenters on the integer planes:
 // cell-centered grid placement with the optional 3×3 lowest-gradient
 // perturbation, evaluated on code-space gradients.
-func initCentersFixed(lp, ap, bp []int32, w, h int, tiling *Tiling, perturb bool, centers []fxCenter) {
+func initCentersFixed(lp, ap, bp []int32, w, h int, tiling *Tiling, perturb bool, centers []fxCenter, scr *Scratch) {
 	var grad []int64
 	if perturb {
-		grad = gradientMapFixed(lp, ap, bp, w, h)
+		grad = gradientMapFixed(lp, ap, bp, w, h, scr)
 	}
 	for gy := 0; gy < tiling.NY; gy++ {
 		for gx := 0; gx < tiling.NX; gx++ {
@@ -159,8 +157,8 @@ func initCentersFixed(lp, ap, bp []int32, w, h int, tiling *Tiling, perturb bool
 
 // gradientMapFixed is slic.GradientMap on the 8-bit code planes; border
 // pixels get MaxInt64 so perturbation never lands on the image edge.
-func gradientMapFixed(lp, ap, bp []int32, w, h int) []int64 {
-	grad := make([]int64, w*h)
+func gradientMapFixed(lp, ap, bp []int32, w, h int, scr *Scratch) []int64 {
+	grad := scr.fxGradFor(w * h)
 	for i := range grad {
 		grad[i] = math.MaxInt64
 	}
@@ -256,20 +254,20 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 	tr := telemetry.TraceFrom(ctx)
 
 	t0 := time.Now()
-	lp, ap, bp := convertLabCodes(fixedConverter(), im)
+	lp, ap, bp := convertLabCodes(fixedConverter(), im, p.Scratch)
 	st.ColorConvTime = time.Since(t0)
 	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, map[string]any{"datapath": "fixed"})
 
 	t0 = time.Now()
 	tiling := NewTiling(im.W, im.H, p.K)
-	centers := make([]fxCenter, tiling.NumTiles())
+	centers := p.Scratch.fxCentersFor(tiling.NumTiles())
 	if p.InitialCenters != nil {
 		if len(p.InitialCenters) != tiling.NumTiles() {
 			return nil, fmt.Errorf("sslic: %d initial centers, want %d", len(p.InitialCenters), tiling.NumTiles())
 		}
 		quantizeCenters(p.InitialCenters, centers, im.W, im.H)
 	} else {
-		initCentersFixed(lp, ap, bp, im.W, im.H, tiling, p.PerturbCenters, centers)
+		initCentersFixed(lp, ap, bp, im.W, im.H, tiling, p.PerturbCenters, centers, p.Scratch)
 	}
 	labels := labelBufOrNew(p.LabelBuf, im.W, im.H, false)
 	for y := 0; y < im.H; y++ {
@@ -290,10 +288,10 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 		preemptThresh = 0.5
 	}
 	preemptQ8 := int64(math.Round(preemptThresh * coordOne))
-	settled := make([]bool, len(centers))
+	settled := p.Scratch.boolsFor(len(centers))
 
-	acc := make([]fxSigma, len(centers))
-	var scr passScratch[fxSigma]
+	acc := p.Scratch.fxSigmasFor(len(centers))
+	scr := p.Scratch.passFixed()
 	for pass := 0; pass < totalPasses; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -308,7 +306,7 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 		for i := range acc {
 			acc[i] = fxSigma{}
 		}
-		calcs, skipped, saved, err := runPPAPassFixed(lp, ap, bp, im.W, im.H, tiling, centers, labels, acc, subset, k, dw, &p, settled, tr, pass, &scr)
+		calcs, skipped, saved, err := runPPAPassFixed(lp, ap, bp, im.W, im.H, tiling, centers, labels, acc, subset, k, dw, &p, settled, tr, pass, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +348,7 @@ func segmentPPAFixed(ctx context.Context, im *imgio.Image, p Params) (*Result, e
 		slic.EnforceConnectivity(labels, minSize)
 		tr.Emit("connectivity", "sslic", t0, time.Since(t0), nil)
 	}
+	qualityScan(labels, len(centers), p.Scratch, &st)
 	st.OtherTime = time.Since(t0)
 
 	return &Result{Labels: labels, Centers: floatCenters(centers), Tiling: tiling, Stats: st}, nil

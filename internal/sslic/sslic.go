@@ -176,6 +176,13 @@ type Params struct {
 	// per-pass latency and residual, distance-computation counters, and
 	// whole-run latency. See NewMetrics. nil disables recording.
 	Metrics *Metrics
+	// Scratch optionally supplies reusable working memory — Lab planes,
+	// gradient map, accumulators, quality-scan counts — so steady-state
+	// streams segment without per-frame buffer allocations (the Lab
+	// planes alone are 24 bytes/pixel). A Scratch must not be shared by
+	// concurrent runs: give each worker its own and reuse it across
+	// frames. nil allocates fresh buffers per run (the one-shot path).
+	Scratch *Scratch
 	// SoftwareCenterUpdate selects the paper's CPU software organization
 	// for the center update phase: after every subset pass, a separate
 	// full-image accumulation recomputes all centers from the current
@@ -254,6 +261,39 @@ type Stats struct {
 	// SavedDistanceCalcs counts Equation 5 evaluations avoided by
 	// preemption.
 	SavedDistanceCalcs int64
+
+	// Quality proxies, filled by a deterministic O(N) scan over the
+	// final labels (shared by every architecture and datapath). They
+	// are the live stand-ins for the paper's offline quality metrics:
+	// EmptyClusters and ClusterSizeCV track under-segmentation
+	// collapse, BoundaryPixels tracks boundary density (the BR proxy).
+	EmptyClusters int
+	// ClusterSizeCV is the coefficient of variation (stddev/mean) of
+	// per-cluster pixel counts across the effective K clusters.
+	ClusterSizeCV float64
+	// BoundaryPixels counts pixels with at least one 4-neighbor of a
+	// different label.
+	BoundaryPixels int
+}
+
+// FinalResidual returns the last pass's mean per-center movement, the
+// residual the convergence proxies read (0 before any pass runs).
+func (st Stats) FinalResidual() float64 {
+	if n := len(st.MoveHistory); n > 0 {
+		return st.MoveHistory[n-1]
+	}
+	return 0
+}
+
+// ResidualDecay returns the final residual over the first — the
+// convergence rate across the run's subset passes. 1 means no
+// improvement; values near 0 mean the centers settled. Returns 1 when
+// fewer than two passes ran or the first residual is 0.
+func (st Stats) ResidualDecay() float64 {
+	if len(st.MoveHistory) < 2 || st.MoveHistory[0] <= 0 {
+		return 1
+	}
+	return st.FinalResidual() / st.MoveHistory[0]
 }
 
 // Result is the output of an S-SLIC run.
@@ -344,7 +384,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	tr := telemetry.TraceFrom(ctx)
 
 	t0 := time.Now()
-	lab := slic.ToLab(im)
+	lab := p.Scratch.labFor(im)
 	p.Quantization.QuantizeLab(lab)
 	st.ColorConvTime = time.Since(t0)
 	tr.Emit("colorconv", "sslic", t0, st.ColorConvTime, nil)
@@ -358,7 +398,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		}
 		centers = append([]slic.Center(nil), p.InitialCenters...)
 	} else {
-		centers = slic.InitCenters(lab, p.K, p.PerturbCenters)
+		centers = p.Scratch.initCenters(lab, p.K, p.PerturbCenters)
 	}
 	if len(centers) != tiling.NumTiles() {
 		return nil, fmt.Errorf("sslic: internal: %d centers vs %d tiles", len(centers), tiling.NumTiles())
@@ -386,10 +426,10 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 	if preemptThresh == 0 {
 		preemptThresh = 0.5
 	}
-	settled := make([]bool, len(centers))
+	settled := p.Scratch.boolsFor(len(centers))
 
-	acc := make([]sigma, len(centers))
-	var scr passScratch[sigma]
+	acc := p.Scratch.sigmasFor(len(centers))
+	scr := p.Scratch.passFloat()
 	for pass := 0; pass < totalPasses; pass++ {
 		// Checked once per subset pass: a pass touches ~1/k of the image,
 		// so cancellation latency is bounded by one subset round. The
@@ -408,7 +448,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		for i := range acc {
 			acc[i] = sigma{}
 		}
-		calcs, skipped, saved, err := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, &p, settled, tr, pass, &scr)
+		calcs, skipped, saved, err := runPPAPass(lab, tiling, centers, labels, acc, subset, k, invS2, quant, &p, settled, tr, pass, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -463,6 +503,7 @@ func segmentPPA(ctx context.Context, im *imgio.Image, p Params) (*Result, error)
 		slic.EnforceConnectivity(labels, minSize)
 		tr.Emit("connectivity", "sslic", t0, time.Since(t0), nil)
 	}
+	qualityScan(labels, len(centers), p.Scratch, &st)
 	st.OtherTime = time.Since(t0)
 
 	return &Result{Labels: labels, Centers: centers, Tiling: tiling, Stats: st}, nil

@@ -26,6 +26,10 @@ type ServerConfig struct {
 	// Profiles, when set, is mounted at /debug/profiles
 	// (ProfilesHandler over a Capturer).
 	Profiles http.Handler
+	// Streams, when set, is mounted at /debug/streams (the quality
+	// tracker's per-stream introspection JSON; same import-direction
+	// trick as SLO).
+	Streams http.Handler
 	// Logger, when set, logs server lifecycle events under the
 	// "telemetry" component.
 	Logger *Logger
@@ -42,6 +46,9 @@ type ServerConfig struct {
 //	               (loadable in chrome://tracing / Perfetto) or ?format=json
 //	/debug/slo     SLO objectives, error budgets and burn rates (JSON),
 //	               when an engine is wired
+//	/debug/streams per-stream segmentation health: warm age, degrade
+//	               level history, delta hit ratio, live quality proxies
+//	               and the quality floor, when a tracker is wired
 //	/debug/profiles  captured pprof bundles (list / fetch / on-demand
 //	               capture), when a capturer is wired
 //
@@ -84,6 +91,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Profiles != nil {
 		mux.Handle("/debug/profiles", cfg.Profiles)
+	}
+	if cfg.Streams != nil {
+		mux.Handle("/debug/streams", cfg.Streams)
 	}
 	// The pprof handlers are registered explicitly: this mux is private,
 	// so nothing leaks onto http.DefaultServeMux.
