@@ -43,6 +43,7 @@ import (
 	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
+	"sslic/internal/tenant"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 		traceBuf     = flag.Int("trace-buffer", 256, "finished traces the flight recorder retains (oldest overwritten)")
 		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this latency are always kept in the flight recorder")
 		traceRate    = flag.Float64("trace-sample", 0.01, "fraction of ordinary requests kept (errors, slow requests and explicit X-Trace-Id requests are always kept)")
+		tenantSpec   = flag.String("tenants", "", "multi-tenant admission spec, e.g. 'acme:class=premium,rate=100,burst=20;free-tier:class=free,rate=5' (empty keeps the single-tenant path; see internal/tenant)")
 		sloSpec      = flag.String("slo", "", "SLO objectives, e.g. 'latency,threshold=50ms,budget=0.01;availability,budget=0.001;energy,target_pj=9e9,budget=0.05' (empty disables the engine; see internal/slo)")
 		sloBurn      = flag.Float64("slo-burn-threshold", 10, "fast-window burn rate that triggers an automatic profile capture and feeds the degrade ladder (<=0 disables alerting)")
 		sloFastWin   = flag.Int("slo-fast-window", 0, "fast burn window in degrade ticks (0 selects 20 — 5s at the default 250ms tick)")
@@ -132,6 +134,15 @@ func main() {
 		}
 	}
 
+	var tenants []tenant.Config
+	if *tenantSpec != "" {
+		tenants, err = tenant.ParseSpec(*tenantSpec)
+		if err != nil {
+			fatal(err)
+		}
+		mainLog.Info("multi-tenant admission enabled", "tenants", len(tenants))
+	}
+
 	svc, err := server.New(server.Config{
 		Workers:                 *workers,
 		QueueDepth:              *queue,
@@ -154,6 +165,7 @@ func main() {
 		QualityMaxResidualDecay: *qMaxDecay,
 		Registry:                reg,
 		Recorder:                recorder,
+		Tenants:                 tenants,
 		SLOObjectives:           objectives,
 		SLOFastWindow:           *sloFastWin,
 		SLOSlowWindow:           *sloSlowWin,
@@ -176,13 +188,14 @@ func main() {
 			SLO:      slo.Handler(svc.SLOEngine()),
 			Profiles: telemetry.ProfilesHandler(svc.Profiles()),
 			Streams:  svc.StreamsHandler(),
+			Tenants:  svc.TenantsHandler(),
 		})
 		if err != nil {
 			fatal(err)
 		}
 		go tel.Serve()
 		defer tel.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace, /debug/slo, /debug/streams, /debug/profiles)\n", tel.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/trace, /debug/slo, /debug/streams, /debug/tenants, /debug/profiles)\n", tel.Addr())
 	}
 
 	httpSrv := &http.Server{

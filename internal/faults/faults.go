@@ -70,6 +70,11 @@ const (
 	// PointDRAM fires in the DRAM model's transfer accounting. Record
 	// returns no error, so only the latency and panic actions apply.
 	PointDRAM = "hw.dram"
+	// PointTenantAdmit fires at the top of the multi-tenant fair
+	// admission queue, before any quota is checked or slot reserved —
+	// a failing or slow admission control plane. An error action is
+	// reported to the client as a transient 503.
+	PointTenantAdmit = "tenant.admit"
 )
 
 // KnownPoints lists every planted point, sorted, for spec validation
@@ -78,7 +83,7 @@ func KnownPoints() []string {
 	pts := []string{
 		PointDecode, PointPoolSubmit, PointPoolRun,
 		PointPipelineSource, PointPipelineSegment, PointPipelineSink,
-		PointSubsetPass, PointTile, PointDRAM,
+		PointSubsetPass, PointTile, PointDRAM, PointTenantAdmit,
 	}
 	sort.Strings(pts)
 	return pts

@@ -159,7 +159,11 @@ type Job struct {
 	// available for the stream.
 	Params sslic.Params
 	// StreamID identifies a client stream for warm-start stickiness.
-	// Empty runs cold and spreads round-robin across shards.
+	// Empty runs cold and spreads round-robin across shards. The ID is
+	// an opaque key: callers multiplexing several principals over one
+	// pool (the server's multi-tenant mode) must namespace it
+	// ("tenant/stream"), because two jobs with equal StreamIDs share
+	// warm centers.
 	StreamID string
 	// LabelBuf, when set, is the caller-owned label buffer the backend
 	// segments into (sslic.Params.LabelBuf): the result's Labels alias
@@ -281,6 +285,11 @@ func (p *Pool) Queued() int {
 func (p *Pool) QueueCapacity() int {
 	return p.cfg.Workers * p.cfg.QueueDepth
 }
+
+// Workers reports the resolved worker count — with QueueCapacity, the
+// total number of jobs the pool can hold (queued plus running), which
+// is what an upstream admission gate should size itself to.
+func (p *Pool) Workers() int { return p.cfg.Workers }
 
 // shardFor maps a stream ID onto a shard. Jobs without a stream spread
 // round-robin; streams stick by FNV-1a hash.

@@ -100,6 +100,13 @@ type Config struct {
 	// MaxStreams caps per-stream introspection states and minted
 	// per-stream series; <= 0 selects 32.
 	MaxStreams int
+	// TenantSlice, when > 0, makes the minted-series cap tenant-fair:
+	// each tenant (Sample.Tenant) may mint at most TenantSlice
+	// per-stream label sets, overflowing into its own
+	// "<tenant>/_other" series — so one tenant churning stream IDs
+	// cannot exhaust the label budget for everyone. 0 keeps the
+	// single global MaxStreams cap.
+	TenantSlice int
 
 	// Floor thresholds: a frame trips the quality floor when any
 	// enabled check fails. <= 0 disables a check.
@@ -124,7 +131,11 @@ type Config struct {
 // Everything in it is already computed by the hot path; the Tracker
 // only folds it into series and rings.
 type Sample struct {
-	Stream  string
+	Stream string
+	// Tenant is the owning tenant's ID ("" in single-tenant mode).
+	// Stream is expected to already be tenant-scoped by the caller;
+	// Tenant only drives the per-tenant metric label budget.
+	Tenant  string
 	TraceID string
 	W, H, K int
 	// Level is the degrade level the frame was served at.
@@ -190,9 +201,10 @@ type Tracker struct {
 	emptyFr   *telemetry.Counter
 	collapsed *telemetry.Counter
 
-	mu      sync.Mutex
-	streams map[string]*streamState
-	minted  int // per-stream series label sets created so far
+	mu       sync.Mutex
+	streams  map[string]*streamState
+	minted   int            // per-stream series label sets created so far
+	mintedBy map[string]int // label sets minted per tenant (tenancy mode)
 
 	// Tick window counters for the degrade floor signal.
 	tickFrames int
@@ -208,9 +220,10 @@ func NewTracker(cfg Config) *Tracker {
 		cfg.MaxStreams = maxStreams
 	}
 	t := &Tracker{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		streams: make(map[string]*streamState),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		streams:  make(map[string]*streamState),
+		mintedBy: make(map[string]int),
 	}
 	t.churnHist = cfg.Registry.Histogram("sslic_quality_churn_ratio",
 		"Inter-frame label churn: changed pixels / frame pixels, per delta-capable frame.",
@@ -264,7 +277,7 @@ func (t *Tracker) Observe(s Sample) {
 	}
 	st := t.streams[s.Stream]
 	if st == nil {
-		st = t.newStreamLocked(s.Stream)
+		st = t.newStreamLocked(s.Stream, s.Tenant)
 	}
 	now := time.Now()
 	st.lastSeen = now
@@ -301,8 +314,9 @@ func (t *Tracker) Observe(s Sample) {
 }
 
 // newStreamLocked creates (and possibly evicts for) a stream state,
-// minting its per-stream gauges under the cardinality cap.
-func (t *Tracker) newStreamLocked(stream string) *streamState {
+// minting its per-stream gauges under the cardinality cap. tenant
+// selects the per-tenant budget slice when TenantSlice is configured.
+func (t *Tracker) newStreamLocked(stream, tenant string) *streamState {
 	if len(t.streams) >= t.cfg.MaxStreams {
 		var victim string
 		var oldest time.Time
@@ -314,13 +328,24 @@ func (t *Tracker) newStreamLocked(stream string) *streamState {
 		delete(t.streams, victim)
 	}
 	label := stream
-	if stream == "" {
+	switch {
+	case stream == "" && tenant == "":
 		label = "_anon"
-	} else if t.minted >= t.cfg.MaxStreams {
+	case stream == "":
+		label = tenant + "/_anon"
+	case tenant != "" && t.cfg.TenantSlice > 0:
+		// Tenant-fair budget: each tenant mints from its own slice and
+		// overflows into its own series, never the shared pool's.
+		if t.mintedBy[tenant] >= t.cfg.TenantSlice {
+			label = tenant + "/_other"
+		} else {
+			t.mintedBy[tenant]++
+		}
+	case t.minted >= t.cfg.MaxStreams:
 		// Past the cap, recreated streams share the overflow series
 		// (their introspection state stays individual).
 		label = "_other"
-	} else {
+	default:
 		t.minted++
 	}
 	lbl := telemetry.Label{Name: "stream", Value: label}

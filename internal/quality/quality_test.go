@@ -243,3 +243,48 @@ func TestStreamLabelCapping(t *testing.T) {
 		t.Fatal("stream s3 minted its own series past the cap")
 	}
 }
+
+// TestStreamLabelTenantSliced: with TenantSlice set, each tenant gets
+// its own fair slice of the minted-series budget — one greedy tenant
+// overflows into its own <tenant>/_other, never into another tenant's
+// slice or the global pool.
+func TestStreamLabelTenantSliced(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := NewTracker(Config{Registry: reg, MaxStreams: 8, TenantSlice: 2})
+	// Mirror the server contract: Sample.Stream arrives already
+	// tenant-namespaced; Sample.Tenant only selects the budget slice.
+	post := func(tenant, stream string) {
+		scoped := stream
+		if stream != "" {
+			scoped = tenant + "/" + stream
+		}
+		s := sampleFor(scoped, 0.1)
+		s.Tenant = tenant
+		tr.Observe(s)
+	}
+	post("acme", "s0") // minted: acme/s0
+	post("acme", "s1") // minted: acme/s1 (slice of 2 exhausted)
+	post("acme", "s2") // over acme's slice → acme/_other
+	post("beta", "s2") // beta's slice untouched by acme → beta/s2
+	post("acme", "")   // keyless stream under a tenant → acme/_anon
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`sslic_quality_stream_churn{stream="acme/s0"}`,
+		`sslic_quality_stream_churn{stream="acme/s1"}`,
+		`sslic_quality_stream_churn{stream="acme/_other"}`,
+		`sslic_quality_stream_churn{stream="beta/s2"}`,
+		`sslic_quality_stream_churn{stream="acme/_anon"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing series %s", want)
+		}
+	}
+	if strings.Contains(text, `sslic_quality_stream_churn{stream="acme/s2"}`) {
+		t.Fatal("acme/s2 minted past acme's tenant slice")
+	}
+}

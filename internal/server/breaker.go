@@ -42,8 +42,12 @@ type breaker struct {
 }
 
 // newBreaker wires a breaker onto the registry. now == nil selects the
-// wall clock.
-func newBreaker(threshold int, window, cooldown time.Duration, reg *telemetry.Registry, now func() time.Time) *breaker {
+// wall clock. labels distinguish multiple breakers on one registry —
+// the multi-tenant server runs one breaker per tenant
+// (tenant=<key>), so one tenant's poisoned frames can never fast-fail
+// another tenant's traffic; the single-tenant server registers one
+// unlabeled breaker.
+func newBreaker(threshold int, window, cooldown time.Duration, reg *telemetry.Registry, now func() time.Time, labels ...telemetry.Label) *breaker {
 	if now == nil {
 		now = time.Now
 	}
@@ -53,11 +57,11 @@ func newBreaker(threshold int, window, cooldown time.Duration, reg *telemetry.Re
 		cooldown:  cooldown,
 		now:       now,
 		stateGauge: reg.Gauge("sslic_server_breaker_state",
-			"Panic circuit breaker state (0 closed, 1 open, 2 half-open)."),
+			"Panic circuit breaker state (0 closed, 1 open, 2 half-open).", labels...),
 		opens: reg.Counter("sslic_server_breaker_opens_total",
-			"Times the panic circuit breaker opened."),
+			"Times the panic circuit breaker opened.", labels...),
 		fastFails: reg.Counter("sslic_server_breaker_fast_fails_total",
-			"Requests refused by the open circuit breaker."),
+			"Requests refused by the open circuit breaker.", labels...),
 	}
 }
 

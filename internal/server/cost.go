@@ -34,14 +34,24 @@ type costAccountant struct {
 	frames    *telemetry.Counter
 	estPJ     *telemetry.Counter
 
-	mu      sync.Mutex
-	streams map[string]struct{} // stream labels already minted
+	// tenantSlice is each tenant's share of the stream label budget
+	// (0: tenancy off, the global maxCostStreams cap applies). With
+	// tenancy on, one tenant minting stream IDs exhausts only its own
+	// slice — its streams overflow into "<tenant>/_other" while other
+	// tenants keep minting from theirs.
+	tenantSlice int
+
+	mu        sync.Mutex
+	streams   map[string]struct{} // stream labels already minted
+	perTenant map[string]int      // labels minted per tenant
 }
 
-func newCostAccountant(reg *telemetry.Registry) *costAccountant {
+func newCostAccountant(reg *telemetry.Registry, tenantSlice int) *costAccountant {
 	return &costAccountant{
-		reg: reg,
-		hwm: hw.NewMetrics(reg),
+		reg:         reg,
+		hwm:         hw.NewMetrics(reg),
+		tenantSlice: tenantSlice,
+		perTenant:   make(map[string]int),
 		reqTotal: reg.Counter("sslic_server_requests_total",
 			"Segment requests answered (any status)."),
 		reqFailed: reg.Counter("sslic_server_requests_failed_total",
@@ -101,12 +111,12 @@ func (a *costAccountant) chargeEnergy(cost *telemetry.Cost, im *imgio.Image,
 // capped per-stream series, and a "cost" instant on the trace so the
 // ledger is readable from /debug/trace?id= next to the timeline it
 // prices.
-func (a *costAccountant) finish(cost *telemetry.Cost, stream string, tr *telemetry.Trace) telemetry.CostSnapshot {
+func (a *costAccountant) finish(cost *telemetry.Cost, tenant, stream string, tr *telemetry.Trace) telemetry.CostSnapshot {
 	snap := cost.Snapshot()
 	a.frames.Inc()
 	a.estPJ.Add(snap.EstPJ)
 
-	lbl := telemetry.Label{Name: "stream", Value: a.streamLabel(stream)}
+	lbl := telemetry.Label{Name: "stream", Value: a.streamLabel(tenant, stream)}
 	a.reg.Counter("sslic_server_stream_cost_cpu_seconds_total",
 		"CPU time charged to requests, by stream.", lbl).Add(float64(snap.CPUNs) / 1e9)
 	a.reg.Counter("sslic_server_stream_cost_alloc_bytes_total",
@@ -128,21 +138,43 @@ func (a *costAccountant) finish(cost *telemetry.Cost, stream string, tr *telemet
 	return snap
 }
 
-// streamLabel maps a request's stream ID onto a bounded label set.
-func (a *costAccountant) streamLabel(stream string) string {
-	if stream == "" {
-		return "_anon"
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.streams[stream]; ok {
+// streamLabel maps a request's (tenant, stream) onto a bounded label
+// set. Single-tenant mode keeps the original rule: named streams mint
+// up to maxCostStreams labels, then aggregate under "_other". With a
+// tenant, labels are "<tenant>/<stream>" drawn from the tenant's own
+// slice of the budget, overflowing into "<tenant>/_other" — so one
+// tenant's ID churn can never consume another tenant's labels.
+func (a *costAccountant) streamLabel(tenant, stream string) string {
+	if tenant == "" {
+		if stream == "" {
+			return "_anon"
+		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if _, ok := a.streams[stream]; ok {
+			return stream
+		}
+		if len(a.streams) >= maxCostStreams {
+			return "_other"
+		}
+		a.streams[stream] = struct{}{}
 		return stream
 	}
-	if len(a.streams) >= maxCostStreams {
-		return "_other"
+	if stream == "" {
+		return tenant + "/_anon"
 	}
-	a.streams[stream] = struct{}{}
-	return stream
+	key := tenant + "/" + stream
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.streams[key]; ok {
+		return key
+	}
+	if a.perTenant[tenant] >= a.tenantSlice {
+		return tenant + "/_other"
+	}
+	a.perTenant[tenant]++
+	a.streams[key] = struct{}{}
+	return key
 }
 
 // stampCostHeaders writes the ledger's computable fields as X-Cost-*

@@ -19,7 +19,10 @@ import (
 // the caller before the response is written — the same buffer the
 // delta wire format would encode against, so churn costs one extra
 // O(N) compare and no allocation.
-func (s *Server) observeQuality(h http.Header, opts options, im *imgio.Image, res *pipeline.JobResult, base *imgio.LabelMap, tr *telemetry.Trace, lvl int) {
+// tenantID is the owning tenant's key ("" in single-tenant mode);
+// opts.Stream is already tenant-scoped by the handler, so tenantID
+// only drives the tracker's per-tenant label budget.
+func (s *Server) observeQuality(h http.Header, opts options, tenantID string, im *imgio.Image, res *pipeline.JobResult, base *imgio.LabelMap, tr *telemetry.Trace, lvl int) {
 	st := res.Result.Stats
 	pixels := im.W * im.H
 	churn := -1.0
@@ -34,6 +37,7 @@ func (s *Server) observeQuality(h http.Header, opts options, im *imgio.Image, re
 	}
 	sample := quality.Sample{
 		Stream:          opts.Stream,
+		Tenant:          tenantID,
 		TraceID:         tr.ID(),
 		W:               im.W,
 		H:               im.H,

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"sync"
@@ -53,6 +54,7 @@ import (
 	"sslic/internal/slo"
 	"sslic/internal/sslic"
 	"sslic/internal/telemetry"
+	"sslic/internal/tenant"
 	"sslic/internal/wire"
 )
 
@@ -168,6 +170,19 @@ type Config struct {
 	QualityMaxChurn         float64
 	QualityMaxEmptyFrac     float64
 	QualityMaxResidualDecay float64
+	// Tenants, when non-empty, turns on multi-tenant fairness: requests
+	// resolve to a tenant by API key (X-API-Key header, ?tenant= query
+	// fallback; keyless requests are "_anon", unknown keys "_other"),
+	// pass that tenant's token bucket and in-flight quota, and enter a
+	// weighted-fair (deficit-round-robin) admission queue in front of
+	// the pool, so one tenant's storm cannot starve another. Tenant
+	// classes bias the degrade ladder per request (free +1 level,
+	// premium -1 and never ladder-shed), panics feed per-tenant circuit
+	// breakers, and per-stream cost/quality series get per-tenant label
+	// budgets. Empty (the default) keeps the single-tenant behavior:
+	// one shared FIFO, one breaker, global stream namespaces.
+	// Typically built with tenant.ParseSpec (the -tenants flag).
+	Tenants []tenant.Config
 	// ProfileCapacity, ProfileCPUDuration and ProfileCooldown tune the
 	// burn-triggered profile capturer (zero values select 8 bundles,
 	// 250ms CPU windows, 30s cooldown). The capturer always exists —
@@ -236,7 +251,10 @@ type Server struct {
 
 	degrade       *degrade.Controller
 	sampler       *signalSampler
-	brk           *breaker // nil when disabled
+	brk           *breaker            // single-tenant breaker; nil when disabled or tenancy on
+	tenants       *tenant.Registry    // nil when tenancy disabled
+	brks          map[string]*breaker // per-tenant breakers; nil unless tenancy on and breakers enabled
+	retrySeq      atomic.Uint64       // deterministic Retry-After jitter sequence
 	degradeCancel context.CancelFunc
 	degradeDone   chan struct{}
 
@@ -283,7 +301,24 @@ func New(cfg Config) (*Server, error) {
 	s.panics = cfg.Registry.Counter("sslic_server_panics_total",
 		"Handler panics recovered by the middleware.")
 	s.inflightTraces = make(map[string]struct{})
-	s.costs = newCostAccountant(cfg.Registry)
+	// With tenancy on, each tenant gets a fair slice of the per-stream
+	// metric label budget (with its own _other overflow), so one tenant
+	// minting stream IDs cannot exhaust the cardinality cap for everyone.
+	tenantSlice := 0
+	if len(cfg.Tenants) > 0 {
+		// The fair queue sits in front of the pool and holds exactly as
+		// many requests as the pool can: every admitted request either
+		// runs or occupies pool queue space, so pool saturation (429
+		// from a full shard) becomes rare — contention surfaces as fair
+		// queue wait instead.
+		capacity := s.pool.Workers() + s.pool.QueueCapacity()
+		s.tenants = tenant.NewRegistry(cfg.Tenants, capacity, cfg.Registry, nil)
+		tenantSlice = maxCostStreams / s.tenants.Len()
+		if tenantSlice < 1 {
+			tenantSlice = 1
+		}
+	}
+	s.costs = newCostAccountant(cfg.Registry, tenantSlice)
 	s.runtime = telemetry.NewRuntimeMetrics(cfg.Registry)
 	s.capturer = telemetry.NewCapturer(telemetry.CaptureConfig{
 		Capacity:    cfg.ProfileCapacity,
@@ -306,6 +341,7 @@ func New(cfg Config) (*Server, error) {
 	s.quality = quality.NewTracker(quality.Config{
 		Registry:         cfg.Registry,
 		MaxStreams:       cfg.MaxStreams,
+		TenantSlice:      tenantSlice,
 		MaxChurn:         cfg.QualityMaxChurn,
 		MaxEmptyFrac:     cfg.QualityMaxEmptyFrac,
 		MaxResidualDecay: cfg.QualityMaxResidualDecay,
@@ -341,7 +377,18 @@ func New(cfg Config) (*Server, error) {
 		s.slo = eng
 	}
 	if cfg.BreakerThreshold > 0 {
-		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, cfg.Registry, nil)
+		if s.tenants != nil {
+			// One breaker per tenant: tenant A's poisoned frames open
+			// A's circuit only — B's traffic never fast-fails for them.
+			s.brks = make(map[string]*breaker, s.tenants.Len())
+			for _, tn := range s.tenants.Tenants() {
+				s.brks[tn.ID()] = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow,
+					cfg.BreakerCooldown, cfg.Registry, nil,
+					telemetry.Label{Name: "tenant", Value: tn.ID()})
+			}
+		} else {
+			s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, cfg.Registry, nil)
+		}
 	}
 	if cfg.DegradeInterval > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -488,13 +535,30 @@ func (s *Server) endTrace(tr *telemetry.Trace) {
 	tr.Finish()
 }
 
-// handleSegment is the core endpoint: decode → admit → segment → render.
+// handleSegment is the core endpoint: resolve tenant → admit →
+// decode → segment → render.
 func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	// Tenant identity resolves before anything else: the degrade level
+	// offered, the breaker consulted and the admission queue entered
+	// are all tenant-scoped. tn stays nil in single-tenant mode.
+	var tn *tenant.Tenant
+	if s.tenants != nil {
+		tn = s.tenants.Resolve(tenantKey(r, q))
+		w.Header().Set("X-Tenant", tn.ID())
+		w.Header().Set("X-Tenant-Class", tn.Class().String())
+	}
 	// The degradation level is read once and governs the whole request:
 	// every response — drain and breaker fast-fails included — names
 	// the level it was served at, the invariant the chaos suite and
-	// clients rely on.
+	// clients rely on. With tenancy on, the global level is biased by
+	// the tenant's class (free +1 and sheds at global level 3 already;
+	// premium -1 and never ladder-shed) — X-Degradation-Level always
+	// carries the effective, per-request level.
 	lvl := s.degrade.Level()
+	if tn != nil {
+		lvl = degrade.Level(tn.EffectiveLevel(int(lvl)))
+	}
 	w.Header().Set("X-Degradation-Level", strconv.Itoa(int(lvl)))
 	// The trace opens before any rejection path — drain included — so
 	// every response carries X-Trace-Id: failures are the requests an
@@ -511,21 +575,27 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, reason, code, msg)
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		s.setRetryAfter(w.Header(), 5)
 		fail("draining", http.StatusServiceUnavailable, "service draining")
 		return
 	}
 	// Shedding is decided before the breaker so a shed request never
 	// consumes the half-open probe slot.
 	if lvl >= degrade.Shed {
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w.Header(), 1)
 		fail("shed", http.StatusServiceUnavailable, "service shedding load (degradation level 4)")
 		return
 	}
-	if s.brk != nil {
-		ok, probeDone := s.brk.allow()
+	brk := s.breakerFor(tn)
+	if sr, ok := w.(*statusRecorder); ok {
+		// Route panics the middleware recovers to this request's (per-
+		// tenant) breaker instead of the global one.
+		sr.brk = brk
+	}
+	if brk != nil {
+		ok, probeDone := brk.allow()
 		if !ok {
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w.Header(), 1)
 			fail("breaker", http.StatusServiceUnavailable, "backend circuit breaker open")
 			return
 		}
@@ -537,10 +607,40 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 			defer probeDone()
 		}
 	}
-	opts, err := parseOptions(s.cfg, r.URL.Query())
+	opts, err := parseOptions(s.cfg, q)
 	if err != nil {
 		fail("bad_request", http.StatusBadRequest, err.Error())
 		return
+	}
+	// Stream IDs are namespaced by tenant from here on: warm-start
+	// centers in the pool and delta bases in the wire cache key off
+	// opts.Stream, and two tenants both naming "cam0" must never share
+	// either. The bare ID survives only as the tenant-relative metric
+	// label.
+	bareStream := opts.Stream
+	if tn != nil && opts.Stream != "" {
+		opts.Stream = tn.ID() + "/" + opts.Stream
+	}
+	// The request deadline starts before fair-queue admission: time
+	// parked behind other tenants is request latency the client's
+	// timeout budget must cover, exactly like pool queue wait.
+	ctx, cancel := context.WithTimeout(
+		telemetry.WithCost(telemetry.WithTrace(r.Context(), tr), cost), opts.Timeout)
+	defer cancel()
+	if tn != nil {
+		t0 := time.Now()
+		wait, err := s.tenants.Admit(ctx, tn)
+		if err != nil {
+			s.failAdmit(w, fail, err)
+			return
+		}
+		defer s.tenants.Release(tn)
+		if wait > 0 {
+			cost.AddQueueWait(wait)
+			if tr != nil {
+				tr.Emit("admit", "server", t0, wait, map[string]any{"tenant": tn.ID()})
+			}
+		}
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	t0 := time.Now()
@@ -565,7 +665,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		case faults.IsTransient(err):
 			// An injected decode fault is a backend problem, not a bad
 			// request: 503 keeps chaos responses retriable.
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w.Header(), 1)
 			fail("fault", http.StatusServiceUnavailable, "transient decode fault")
 		default:
 			fail("bad_request", http.StatusBadRequest, err.Error())
@@ -597,9 +697,6 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		cost.AddAlloc(fresh)
 	}
 
-	ctx, cancel := context.WithTimeout(
-		telemetry.WithCost(telemetry.WithTrace(r.Context(), tr), cost), opts.Timeout)
-	defer cancel()
 	res, err := s.pool.Submit(ctx, pipeline.Job{Image: im, Params: params, StreamID: opts.Stream, LabelBuf: lbuf})
 	if err != nil {
 		// The buffers are NOT recycled on any post-submit failure: a
@@ -608,16 +705,18 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		// collector rather than handed to the next request.
 		switch {
 		case errors.Is(err, pipeline.ErrSaturated):
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w.Header(), 1)
 			fail("saturated", http.StatusTooManyRequests, "segmentation queue full")
 		case errors.Is(err, pipeline.ErrPoolClosed):
-			w.Header().Set("Retry-After", "5")
+			s.setRetryAfter(w.Header(), 5)
 			fail("draining", http.StatusServiceUnavailable, "service draining")
 		case errors.Is(err, pipeline.ErrWorkerStuck):
 			fail("stuck", http.StatusGatewayTimeout, "backend abandoned past deadline")
 		case errors.Is(err, pipeline.ErrSegmentPanic):
-			s.recordPanic()
-			w.Header().Set("Retry-After", "1")
+			if brk != nil {
+				brk.recordPanic()
+			}
+			s.setRetryAfter(w.Header(), 1)
 			fail("backend_panic", http.StatusServiceUnavailable, "segmentation backend crashed on this frame")
 		case errors.Is(err, context.DeadlineExceeded):
 			fail("deadline", http.StatusGatewayTimeout, "request deadline exceeded")
@@ -628,15 +727,15 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		case faults.IsTransient(err):
 			// An injected fault that survived the pool's retries:
 			// transient by construction, so tell the client to try again.
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w.Header(), 1)
 			fail("fault", http.StatusServiceUnavailable, "transient backend fault")
 		default:
 			fail("internal", http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
-	if s.brk != nil {
-		s.brk.recordSuccess()
+	if brk != nil {
+		brk.recordSuccess()
 	}
 	// Close the ledger before any body bytes: the energy estimate runs
 	// the hw analytic model for this exact workload, then the X-Cost-*
@@ -644,14 +743,16 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	// Encode time is charged afterwards and lands in the trace and the
 	// registry only — headers are immutable once the body starts.
 	s.costs.chargeEnergy(cost, im, params, res, tr)
-	snap := s.costs.finish(cost, opts.Stream, tr)
+	snap := s.costs.finish(cost, tenantID(tn), bareStream, tr)
 	stampCostHeaders(w.Header(), snap)
 	// The stream's delta base is taken out once, before any body byte:
 	// it is both the churn comparand for the quality proxies and (for
 	// the delta wire format) the encode base. Non-delta responses put
 	// it back untouched so the cache state is format-independent.
+	// opts.Stream is tenant-scoped here, so the base can only ever be
+	// this tenant's own previous frame.
 	base := s.deltas.take(opts.Stream)
-	s.observeQuality(w.Header(), opts, im, res, base, tr, int(lvl))
+	s.observeQuality(w.Header(), opts, tenantID(tn), im, res, base, tr, int(lvl))
 	s.writeResult(w, opts, im, res, tr, cost, base)
 	// Success path: the response is fully written, no goroutine can
 	// still touch these buffers — park them for the next request.
@@ -671,6 +772,86 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 func (s *Server) recordPanic() {
 	if s.brk != nil {
 		s.brk.recordPanic()
+	}
+}
+
+// tenantKey extracts the request's API key: the X-API-Key header, or
+// the ?tenant= query fallback for clients that cannot set headers.
+// Empty means anonymous.
+func tenantKey(r *http.Request, q url.Values) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return q.Get("tenant")
+}
+
+// tenantID is tn.ID() with a nil guard for single-tenant mode.
+func tenantID(tn *tenant.Tenant) string {
+	if tn == nil {
+		return ""
+	}
+	return tn.ID()
+}
+
+// breakerFor selects the request's circuit breaker: the tenant's own
+// in multi-tenant mode, the shared one otherwise, nil when disabled.
+func (s *Server) breakerFor(tn *tenant.Tenant) *breaker {
+	if tn != nil {
+		return s.brks[tn.ID()] // nil map → nil: breakers disabled
+	}
+	return s.brk
+}
+
+// setRetryAfter stamps an adaptive Retry-After hint: a base by cause,
+// raised by the current degrade level and pool queue fill, plus a
+// deterministic 0-2s jitter from a rotating sequence so a burst of
+// synchronized clients gets spread over three retry instants instead
+// of re-converging into the same thundering herd. Clamped to [1, 30].
+func (s *Server) setRetryAfter(h http.Header, base int) {
+	secs := base + int(s.degrade.Level())
+	if cap := s.pool.QueueCapacity(); cap > 0 {
+		fill := float64(s.pool.Queued()) / float64(cap)
+		secs += int(fill*3 + 0.5)
+	}
+	secs += int(s.retrySeq.Add(1) % 3)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	h.Set("Retry-After", strconv.Itoa(secs))
+}
+
+// failAdmit maps a fair-queue admission error onto a response. Rate
+// refusals carry the token bucket's actual refill time as Retry-After
+// — the one hint that is exactly right — while quota and queue
+// refusals use the adaptive load-derived hint.
+func (s *Server) failAdmit(w http.ResponseWriter, fail func(string, int, string), err error) {
+	var rl *tenant.RateLimitedError
+	switch {
+	case errors.As(err, &rl):
+		secs := int(rl.RetryAfter/time.Second) + 1
+		if secs > 30 {
+			secs = 30
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		fail("rate_limited", http.StatusTooManyRequests, "tenant rate limit exceeded")
+	case errors.Is(err, tenant.ErrInFlightLimit):
+		s.setRetryAfter(w.Header(), 1)
+		fail("tenant_inflight", http.StatusTooManyRequests, "tenant in-flight quota exceeded")
+	case errors.Is(err, tenant.ErrQueueFull):
+		s.setRetryAfter(w.Header(), 1)
+		fail("tenant_queue_full", http.StatusTooManyRequests, "tenant admission queue full")
+	case errors.Is(err, context.DeadlineExceeded):
+		fail("deadline", http.StatusGatewayTimeout, "request deadline exceeded while queued")
+	case errors.Is(err, context.Canceled):
+		fail("canceled", 499, "client canceled request")
+	case faults.IsTransient(err):
+		s.setRetryAfter(w.Header(), 1)
+		fail("fault", http.StatusServiceUnavailable, "transient admission fault")
+	default:
+		fail("internal", http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -816,10 +997,17 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			if p := recover(); p != nil {
 				s.panics.Inc()
 				// Only segment-path panics feed the segment endpoint's
-				// circuit breaker: a bug in /metrics or /healthz must
-				// not fast-fail segmentation traffic.
+				// circuit breaker — a bug in /metrics or /healthz must
+				// not fast-fail segmentation traffic. The handler
+				// parks its (per-tenant) breaker on the recorder; a
+				// panic before tenant resolution has no breaker to
+				// blame, so only the global counter sees it.
 				if endpoint == "segment" {
-					s.recordPanic()
+					if sr.brk != nil {
+						sr.brk.recordPanic()
+					} else if s.tenants == nil {
+						s.recordPanic()
+					}
 				}
 				sp.Abort()
 				if s.cfg.Logger != nil {
@@ -849,10 +1037,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// statusRecorder captures the response code for the metrics middleware.
+// statusRecorder captures the response code for the metrics middleware
+// and carries the request's breaker back to it, so a panic recovered
+// by the middleware is charged to the tenant whose request it was.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
+	brk  *breaker
 }
 
 func (s *statusRecorder) WriteHeader(code int) {

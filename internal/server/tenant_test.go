@@ -1,0 +1,526 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sslic/internal/degrade"
+	"sslic/internal/imgio"
+	"sslic/internal/sslic"
+	"sslic/internal/telemetry/testutil"
+	"sslic/internal/tenant"
+)
+
+// tenantPost posts one frame under an API key and drains the body.
+func tenantPost(t *testing.T, client *http.Client, url, key string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "image/x-portable-pixmap")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func threeClassConfig() []tenant.Config {
+	return []tenant.Config{
+		{Key: "free1", Class: tenant.Free},
+		{Key: "std1", Class: tenant.Standard},
+		{Key: "prem1", Class: tenant.Premium},
+	}
+}
+
+// TestTenantHeadersAndClassLevels pins the controller at each rung and
+// checks the class bias end to end: every response names its tenant,
+// class and the effective level; free sheds one global level early,
+// standard sheds at Shed, premium is never ladder-shed (its ceiling is
+// below Shed).
+func TestTenantHeadersAndClassLevels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DegradeInterval: -1,
+		Tenants: threeClassConfig(),
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(32, 24))
+	url := ts.URL + "/v1/segment?k=8"
+
+	post := func(key string) (*http.Response, []byte) {
+		t.Helper()
+		return tenantPost(t, client, url, key, body)
+	}
+
+	// Identity resolution: configured key, unknown key, no key.
+	resp, _ := post("free1")
+	if got := resp.Header.Get("X-Tenant"); got != "free1" {
+		t.Fatalf("X-Tenant = %q, want free1", got)
+	}
+	if got := resp.Header.Get("X-Tenant-Class"); got != "free" {
+		t.Fatalf("X-Tenant-Class = %q, want free", got)
+	}
+	resp, _ = post("never-configured")
+	if got := resp.Header.Get("X-Tenant"); got != tenant.OtherID {
+		t.Fatalf("unknown key X-Tenant = %q, want %q", got, tenant.OtherID)
+	}
+	resp, _ = post("")
+	if got := resp.Header.Get("X-Tenant"); got != tenant.AnonID {
+		t.Fatalf("keyless X-Tenant = %q, want %q", got, tenant.AnonID)
+	}
+
+	// Effective level per class at each pinned global level. -1 marks a
+	// shed (503): the class's biased level reached Shed.
+	cases := []struct {
+		global          degrade.Level
+		free, std, prem int
+	}{
+		{degrade.Full, 1, 0, 0},
+		{degrade.HalfIters, 2, 1, 0},
+		{degrade.FewerSuperpixels, -1, 3, 2},
+		{degrade.Shed, -1, -1, 3},
+	}
+	for _, tc := range cases {
+		s.Degrade().Pin(tc.global)
+		for _, kc := range []struct {
+			key  string
+			want int
+		}{{"free1", tc.free}, {"std1", tc.std}, {"prem1", tc.prem}} {
+			resp, data := post(kc.key)
+			lvl, err := strconv.Atoi(resp.Header.Get("X-Degradation-Level"))
+			if err != nil {
+				t.Fatalf("global %d %s: bad X-Degradation-Level %q", tc.global, kc.key, resp.Header.Get("X-Degradation-Level"))
+			}
+			if kc.want < 0 {
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("global %d %s: status %d, want 503 shed (%s)", tc.global, kc.key, resp.StatusCode, data)
+				}
+				if lvl != int(degrade.Shed) {
+					t.Fatalf("global %d %s: shed at level %d, want %d", tc.global, kc.key, lvl, int(degrade.Shed))
+				}
+				if ra := resp.Header.Get("Retry-After"); ra == "" {
+					t.Fatalf("global %d %s: shed response missing Retry-After", tc.global, kc.key)
+				}
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("global %d %s: status %d, want 200 (%s)", tc.global, kc.key, resp.StatusCode, data)
+			}
+			if lvl != kc.want {
+				t.Fatalf("global %d %s: effective level %d, want %d", tc.global, kc.key, lvl, kc.want)
+			}
+		}
+	}
+}
+
+// TestTenantWarmAndDeltaIsolation is the cross-tenant state-bleed
+// regression: two tenants naming the same stream ID must never share
+// warm-start centers or slbl-delta bases. Before stream IDs were
+// tenant-namespaced, tenant B's first frame warm-started from tenant
+// A's centers and B's first delta was encoded against A's labels.
+func TestTenantWarmAndDeltaIsolation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// One worker: both tenants land on the same shard, so a bare stream
+	// key would collide in the worker's warm-state map.
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DegradeInterval: -1,
+		Tenants: []tenant.Config{{Key: "acme"}, {Key: "beta"}},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(64, 48))
+
+	// Warm-start isolation on stream "cam0".
+	warmURL := ts.URL + "/v1/segment?k=24&stream=cam0"
+	r1, _ := tenantPost(t, client, warmURL, "acme", body)
+	if got := r1.Header.Get("X-Sslic-Warm"); got != "false" {
+		t.Fatalf("acme frame 1 warm = %q, want false", got)
+	}
+	r2, _ := tenantPost(t, client, warmURL, "acme", body)
+	if got := r2.Header.Get("X-Sslic-Warm"); got != "true" {
+		t.Fatalf("acme frame 2 warm = %q, want true", got)
+	}
+	rb, _ := tenantPost(t, client, warmURL, "beta", body)
+	if got := rb.Header.Get("X-Sslic-Warm"); got != "false" {
+		t.Fatalf("beta's first cam0 frame warm = %q, want false — warm state bled across tenants", got)
+	}
+
+	// Delta-base isolation on stream "cam1".
+	deltaURL := ts.URL + "/v1/segment?k=24&format=slbl-delta&stream=cam1"
+	d1, _ := tenantPost(t, client, deltaURL, "acme", body)
+	if got := d1.Header.Get("X-Wire-Base"); got != "empty" {
+		t.Fatalf("acme delta 1 base = %q, want empty", got)
+	}
+	d2, _ := tenantPost(t, client, deltaURL, "acme", body)
+	if got := d2.Header.Get("X-Wire-Base"); got != "prev" {
+		t.Fatalf("acme delta 2 base = %q, want prev", got)
+	}
+	db, _ := tenantPost(t, client, deltaURL, "beta", body)
+	if got := db.Header.Get("X-Wire-Base"); got != "empty" {
+		t.Fatalf("beta's first cam1 delta base = %q, want empty — delta base bled across tenants", got)
+	}
+}
+
+// widthPanicBackend panics on frames of one width and segments every
+// other frame normally — a per-tenant poison pill.
+func widthPanicBackend(poisonWidth int) func(context.Context, *imgio.Image, sslic.Params) (*sslic.Result, error) {
+	return func(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error) {
+		if im.W == poisonWidth {
+			panic("poisoned frame")
+		}
+		return sslic.SegmentContext(ctx, im, p)
+	}
+}
+
+// TestTenantBreakerIsolation: one tenant's panics open only that
+// tenant's breaker; the other tenant keeps being served through it.
+func TestTenantBreakerIsolation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DegradeInterval: -1,
+		Segment:          widthPanicBackend(32),
+		BreakerThreshold: 2, BreakerWindow: time.Minute, BreakerCooldown: time.Minute,
+		Tenants: []tenant.Config{{Key: "acme"}, {Key: "beta"}},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	poison := ppmBody(t, testFrame(32, 24))
+	clean := ppmBody(t, testFrame(48, 40))
+	url := ts.URL + "/v1/segment?k=8"
+
+	for i := 0; i < 2; i++ {
+		resp, _ := tenantPost(t, client, url, "acme", poison)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("acme panic %d: status %d, want 503", i, resp.StatusCode)
+		}
+	}
+	// acme's breaker is open: even a clean frame fast-fails.
+	resp, data := tenantPost(t, client, url, "acme", clean)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("acme post-open status %d, want 503 (%s)", resp.StatusCode, data)
+	}
+	// beta sails through the same backend while acme's circuit is open.
+	for i := 0; i < 3; i++ {
+		resp, data := tenantPost(t, client, url, "beta", clean)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("beta request %d: status %d, want 200 (%s) — acme's breaker leaked", i, resp.StatusCode, data)
+		}
+	}
+
+	// /debug/tenants agrees: acme open (1), beta closed (0).
+	rec := httptest.NewRecorder()
+	s.TenantsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/tenants", nil))
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Tenants []struct {
+			Key            string `json:"key"`
+			BreakerState   int    `json:"breaker_state"`
+			EffectiveLevel int    `json:"effective_level"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/tenants: %v", err)
+	}
+	if !doc.Enabled {
+		t.Fatal("/debug/tenants reports tenancy disabled")
+	}
+	states := map[string]int{}
+	for _, row := range doc.Tenants {
+		states[row.Key] = row.BreakerState
+	}
+	if states["acme"] != breakerOpen {
+		t.Fatalf("acme breaker state %d, want open (%d)", states["acme"], breakerOpen)
+	}
+	if states["beta"] != breakerClosed {
+		t.Fatalf("beta breaker state %d, want closed (%d)", states["beta"], breakerClosed)
+	}
+	if _, ok := states[tenant.AnonID]; !ok {
+		t.Fatalf("/debug/tenants missing reserved tenant %q", tenant.AnonID)
+	}
+}
+
+// TestTenantRateLimitRetryAfter: a drained token bucket answers 429
+// with a Retry-After derived from the bucket's actual refill rate.
+func TestTenantRateLimitRetryAfter(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DegradeInterval: -1,
+		Tenants: []tenant.Config{{Key: "metered", Rate: 0.25, Burst: 1}},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(32, 24))
+	url := ts.URL + "/v1/segment?k=8"
+
+	resp, data := tenantPost(t, client, url, "metered", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status %d, want 200 (%s)", resp.StatusCode, data)
+	}
+	resp, data = tenantPost(t, client, url, "metered", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained-bucket status %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("rate")) {
+		t.Fatalf("429 body %q does not name the rate limit", data)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q not an integer", resp.Header.Get("Retry-After"))
+	}
+	// One token at 0.25/s refills in 4s; the hint must reflect that
+	// (ceil of the true wait, capped at 30), not a hard-coded constant.
+	if ra < 3 || ra > 5 {
+		t.Fatalf("Retry-After = %d, want ~4s for a 0.25/s bucket", ra)
+	}
+}
+
+// TestAdaptiveRetryAfter: shed responses carry a Retry-After derived
+// from degrade level plus deterministic jitter — not the old hard-coded
+// 1 — so synchronized clients desynchronize their retries.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, DegradeInterval: -1})
+	s.Degrade().Pin(degrade.Shed)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(32, 24))
+
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		resp, _ := tenantPost(t, client, ts.URL+"/v1/segment?k=8", "", body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("pinned-shed status %d, want 503", resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("shed Retry-After %q not an integer", resp.Header.Get("Retry-After"))
+		}
+		if ra < 1 || ra > 30 {
+			t.Fatalf("Retry-After = %d outside [1, 30]", ra)
+		}
+		// Base 1 + level 4 + jitter {0,1,2} on an idle queue.
+		if ra < 5 || ra > 7 {
+			t.Fatalf("shed Retry-After = %d, want 5..7 (base+level+jitter)", ra)
+		}
+		seen[ra] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("6 shed responses all carried Retry-After %v — jitter is not spreading retries", seen)
+	}
+}
+
+// TestTenantFairnessStorm is the seeded fairness chaos test: a noisy
+// free-class tenant floods the service while a premium tenant sends a
+// steady trickle. With fair queuing the premium tenant rides through
+// the storm (≥90% 2xx, bounded queue wait, never served above its
+// class ceiling) while the noisy tenant absorbs the rejections; the
+// control run with tenancy disabled shows the same storm starving the
+// steady client — the difference is the fairness layer, not the load.
+func TestTenantFairnessStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload timing test")
+	}
+	testutil.VerifyNoLeaks(t)
+
+	// Service time is fixed per request so both runs see the same
+	// offered-vs-service ratio.
+	slow := func(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error) {
+		select {
+		case <-time.After(12 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return sslic.SegmentContext(ctx, im, p)
+	}
+	const (
+		floodWorkers  = 10
+		victimPosts   = 25
+		victimFloor   = 23 // ≥90% of 25
+		ctrlCeiling   = 15 // <60%: the control run must demonstrably starve
+		victimWaitP99 = 2.0
+	)
+	body := ppmBody(t, testFrame(16, 16))
+
+	run := func(fair bool) (victimOK int, victimLevels []int, snaps []tenant.Snapshot) {
+		cfg := Config{
+			Workers: 2, QueueDepth: 2, Segment: slow, DegradeInterval: -1,
+		}
+		if fair {
+			cfg.Tenants = []tenant.Config{
+				{Key: "noisy", Class: tenant.Free, Weight: 1, MaxQueue: 4},
+				{Key: "victim", Class: tenant.Premium},
+			}
+		}
+		s, ts := newTestServer(t, cfg)
+		client := &http.Client{Timeout: 30 * time.Second}
+		url := ts.URL + "/v1/segment?k=8"
+
+		// The flood: closed-loop goroutines that re-post immediately,
+		// with a short backoff after rejections so the control run
+		// doesn't degenerate into a pure spin.
+		var stop atomic.Bool
+		var floodRejected atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < floodWorkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					resp, _ := tenantPost(t, client, url, "noisy", body)
+					if resp.StatusCode != http.StatusOK {
+						floodRejected.Add(1)
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+			}()
+		}
+		// Let the flood saturate the slots before the victim starts.
+		time.Sleep(50 * time.Millisecond)
+
+		for i := 0; i < victimPosts; i++ {
+			resp, _ := tenantPost(t, client, url, "victim", body)
+			if resp.StatusCode == http.StatusOK {
+				victimOK++
+				lvl, _ := strconv.Atoi(resp.Header.Get("X-Degradation-Level"))
+				victimLevels = append(victimLevels, lvl)
+			}
+		}
+		stop.Store(true)
+		wg.Wait()
+
+		if fair {
+			if floodRejected.Load() == 0 {
+				t.Fatal("flood saw no rejections — storm too weak to test fairness")
+			}
+			snaps = s.Tenants().SnapshotAll()
+		}
+		return victimOK, victimLevels, snaps
+	}
+
+	fairOK, fairLevels, snaps := run(true)
+	t.Logf("fair: victim %d/%d ok", fairOK, victimPosts)
+	if fairOK < victimFloor {
+		t.Fatalf("fair queue: victim served %d/%d, want >= %d", fairOK, victimPosts, victimFloor)
+	}
+	for _, lvl := range fairLevels {
+		if lvl > tenant.Premium.Ceiling() {
+			t.Fatalf("victim served at level %d above its class ceiling %d", lvl, tenant.Premium.Ceiling())
+		}
+	}
+	for _, snap := range snaps {
+		if snap.Key != "victim" {
+			continue
+		}
+		if snap.QueueWaitP99 > victimWaitP99 {
+			t.Fatalf("victim queue-wait p99 %.3fs exceeds %.1fs — fair queue not prioritizing premium", snap.QueueWaitP99, victimWaitP99)
+		}
+	}
+
+	ctrlOK, _, _ := run(false)
+	t.Logf("control: victim %d/%d ok", ctrlOK, victimPosts)
+	if ctrlOK > ctrlCeiling {
+		t.Fatalf("control (fairness off) served the victim %d/%d — storm too weak to show starvation", ctrlOK, victimPosts)
+	}
+	if ctrlOK >= fairOK {
+		t.Fatalf("fairness bought nothing: %d ok with, %d ok without", fairOK, ctrlOK)
+	}
+
+	// CI artifact: the per-tenant admission state after the storm.
+	if path := os.Getenv("TENANT_METRICS_OUT"); path != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snaps); err == nil {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Errorf("writing tenant metrics artifact: %v", err)
+			}
+		}
+	}
+}
+
+// TestTenantShedOrdering: at global Shed, free-class flood traffic is
+// refused by the ladder while premium traffic is still served — the
+// class bias orders who sheds first.
+func TestTenantShedOrdering(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DegradeInterval: -1,
+		Tenants: []tenant.Config{
+			{Key: "noisy", Class: tenant.Free},
+			{Key: "victim", Class: tenant.Premium},
+		},
+	})
+	s.Degrade().Pin(degrade.Shed)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(32, 24))
+	url := ts.URL + "/v1/segment?k=8"
+
+	resp, _ := tenantPost(t, client, url, "noisy", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("free tenant at global shed: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = tenantPost(t, client, url, "victim", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("premium tenant at global shed: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Degradation-Level"); got != "3" {
+		t.Fatalf("premium at global shed served at level %q, want 3 (ceiling)", got)
+	}
+}
+
+// TestTenantAdmitCancelNoLeaks parks requests behind a saturated fair
+// queue until their deadlines fire, then tears the server down: every
+// parked waiter must unwind — no goroutine may outlive its request.
+func TestTenantAdmitCancelNoLeaks(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	slow := func(ctx context.Context, im *imgio.Image, p sslic.Params) (*sslic.Result, error) {
+		select {
+		case <-time.After(80 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return sslic.SegmentContext(ctx, im, p)
+	}
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 1, Segment: slow, DegradeInterval: -1,
+		Tenants: []tenant.Config{{Key: "acme"}},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := ppmBody(t, testFrame(16, 16))
+	url := ts.URL + "/v1/segment?k=8&timeout_ms=40"
+
+	var deadlined atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := tenantPost(t, client, url, "acme", body)
+			if resp.StatusCode == http.StatusGatewayTimeout {
+				deadlined.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if deadlined.Load() == 0 {
+		t.Fatal("no request deadlined while parked — queue never saturated")
+	}
+	// Cleanup (ts.Close + s.Close) runs before VerifyNoLeaks's final
+	// sweep; any waiter still parked in the fair queue shows up there.
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"sslic/internal/tenant"
+)
+
+// tenantsDoc is the /debug/tenants introspection document: one row per
+// tenant with its quotas, live admission state, breaker state and the
+// degrade level its class would be offered right now.
+type tenantsDoc struct {
+	Enabled bool `json:"enabled"`
+	// GlobalLevel is the controller's current degradation level;
+	// each tenant row carries the class-biased level derived from it.
+	GlobalLevel int             `json:"global_level"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Tenants     []tenantsRowDoc `json:"tenants,omitempty"`
+}
+
+type tenantsRowDoc struct {
+	tenant.Snapshot
+	// EffectiveLevel is the degrade level this tenant's class maps the
+	// current global level onto.
+	EffectiveLevel int `json:"effective_level"`
+	// BreakerState is the tenant's panic breaker (0 closed, 1 open,
+	// 2 half-open); -1 when breakers are disabled.
+	BreakerState int `json:"breaker_state"`
+}
+
+// Tenants returns the tenant registry, nil in single-tenant mode —
+// the chaos suite's window into per-tenant admission state.
+func (s *Server) Tenants() *tenant.Registry { return s.tenants }
+
+// TenantsHandler serves the per-tenant health document. Mount it at
+// /debug/tenants on a telemetry server, beside /debug/streams.
+func (s *Server) TenantsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := tenantsDoc{
+			Enabled:     s.tenants != nil,
+			GlobalLevel: int(s.degrade.Level()),
+			GeneratedAt: time.Now().UTC(),
+		}
+		if s.tenants != nil {
+			for _, snap := range s.tenants.SnapshotAll() {
+				tn := s.tenants.Resolve(snap.Key)
+				row := tenantsRowDoc{
+					Snapshot:       snap,
+					EffectiveLevel: tn.EffectiveLevel(doc.GlobalLevel),
+					BreakerState:   -1,
+				}
+				if b := s.brks[snap.Key]; b != nil {
+					b.mu.Lock()
+					row.BreakerState = b.state
+					b.mu.Unlock()
+				}
+				doc.Tenants = append(doc.Tenants, row)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}

@@ -30,6 +30,9 @@ type ServerConfig struct {
 	// tracker's per-stream introspection JSON; same import-direction
 	// trick as SLO).
 	Streams http.Handler
+	// Tenants, when set, is mounted at /debug/tenants (the server's
+	// per-tenant admission/quota/breaker health JSON).
+	Tenants http.Handler
 	// Logger, when set, logs server lifecycle events under the
 	// "telemetry" component.
 	Logger *Logger
@@ -94,6 +97,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Streams != nil {
 		mux.Handle("/debug/streams", cfg.Streams)
+	}
+	if cfg.Tenants != nil {
+		mux.Handle("/debug/tenants", cfg.Tenants)
 	}
 	// The pprof handlers are registered explicitly: this mux is private,
 	// so nothing leaks onto http.DefaultServeMux.

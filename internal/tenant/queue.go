@@ -1,0 +1,315 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sslic/internal/faults"
+)
+
+// Admission errors. The server maps rate/quota refusals to 429 with a
+// Retry-After hint and fault-injected failures to 503.
+var (
+	// ErrRateLimited: the tenant's token bucket is empty. The concrete
+	// error is a *RateLimitedError carrying the refill hint.
+	ErrRateLimited = errors.New("tenant: rate limited")
+	// ErrQueueFull: the tenant's private fair-queue segment is at its
+	// queue= cap.
+	ErrQueueFull = errors.New("tenant: admission queue full")
+	// ErrInFlightLimit: the tenant is at its inflight= concurrency cap.
+	ErrInFlightLimit = errors.New("tenant: in-flight quota exceeded")
+)
+
+// RateLimitedError is the concrete ErrRateLimited, carrying how long
+// until the tenant's bucket refills one token — the honest Retry-After.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("tenant: rate limited (retry in %s)", e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrRateLimited) match.
+func (e *RateLimitedError) Is(target error) bool { return target == ErrRateLimited }
+
+// waiter is one parked admission. Waiters are freelisted so the
+// contended path does not allocate per request; the channel is buffered
+// and reused across parks.
+type waiter struct {
+	t     *Tenant
+	ch    chan struct{}
+	next  *waiter
+	state int8
+}
+
+const (
+	wWaiting int8 = iota
+	wGranted
+	wCanceled
+)
+
+// FairQueue is the weighted-fair admission gate in front of the
+// segmentation pool: a fixed budget of concurrency slots handed out by
+// deficit round robin across the tenants that have waiters.
+//
+// Invariants:
+//   - used ≤ cap; a request holds exactly one slot from grant (or
+//     fast-path admit) until Release.
+//   - waiters exist only while all slots are taken (the fast path
+//     admits immediately whenever nobody is parked), so FCFS applies
+//     under light load and DRR only under contention.
+//   - no background goroutines: grants happen inline on Release (and
+//     on Admit, for the cancel-undo race), so the leak checker has
+//     nothing to wait for.
+//
+// DRR: the scheduler visits parked tenants in a round-robin ring; a
+// visit either tops up the tenant's deficit by its weight (and moves
+// on) or spends one deficit to grant one request. A tenant therefore
+// drains up to `weight` requests per rotation — tenant A flooding its
+// own segment cannot take more than its weighted share of slots from
+// tenant B.
+type FairQueue struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters int // parked, still-live waiters across all tenants
+
+	active []*Tenant // tenants with (possibly) non-empty segments, ring order
+	rr     int       // next ring index to visit
+
+	free *waiter // waiter freelist
+
+	now func() time.Time
+}
+
+// NewFairQueue returns a gate with the given slot budget (the server
+// passes the pool's worker count plus queue capacity, so the gate
+// saturates exactly when the pool would have).
+func NewFairQueue(capacity int, now func() time.Time) *FairQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &FairQueue{cap: capacity, now: now}
+}
+
+// Capacity returns the slot budget.
+func (q *FairQueue) Capacity() int { return q.cap }
+
+// Admit reserves one concurrency slot for tenant t, blocking in t's
+// fair-queue segment when the gate is saturated. On success the caller
+// owns one slot and must call Release(t) exactly once. wait is how
+// long the request was parked (0 on the fast path).
+//
+// Refusals are immediate, never queued: an empty token bucket, a full
+// per-tenant queue, or an exhausted in-flight quota returns the
+// matching error without touching the ring. Context cancellation while
+// parked returns ctx.Err() and releases nothing.
+func (q *FairQueue) Admit(ctx context.Context, t *Tenant) (wait time.Duration, err error) {
+	if err := faults.Fire(faults.PointTenantAdmit); err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	start := q.now()
+	if t.bucket != nil {
+		if ok, retry := t.bucket.allow(start); !ok {
+			t.rejectedRate.Inc()
+			q.mu.Unlock()
+			return 0, &RateLimitedError{RetryAfter: retry}
+		}
+	}
+	if t.inflight >= t.cfg.MaxInFlight {
+		t.rejectedInFlight.Inc()
+		q.mu.Unlock()
+		return 0, ErrInFlightLimit
+	}
+	if q.waiters == 0 && q.used < q.cap {
+		q.used++
+		t.inflight++
+		t.admitted.Inc()
+		q.mu.Unlock()
+		return 0, nil
+	}
+	if t.qlen >= t.cfg.MaxQueue {
+		t.rejectedQueue.Inc()
+		q.mu.Unlock()
+		return 0, ErrQueueFull
+	}
+	w := q.getWaiterLocked(t)
+	t.pushLocked(w)
+	q.waiters++
+	q.activateLocked(t)
+	q.grantLocked() // a slot may be free (e.g. freed by a cancel undo)
+	q.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		wait = q.now().Sub(start)
+		t.queueWait.Observe(wait.Seconds())
+		t.admitted.Inc()
+		q.mu.Lock()
+		q.putWaiterLocked(w)
+		q.mu.Unlock()
+		return wait, nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w.state == wGranted {
+			// Grant raced the cancel: the slot is ours, hand it on.
+			q.used--
+			t.inflight--
+			q.grantLocked()
+		} else {
+			t.unlinkLocked(w)
+			q.waiters--
+			if t.qlen == 0 {
+				q.deactivateLocked(t)
+			}
+		}
+		t.canceled.Inc()
+		q.putWaiterLocked(w)
+		q.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Release returns tenant t's slot to the gate and hands it to the next
+// waiter in DRR order, inline.
+func (q *FairQueue) Release(t *Tenant) {
+	q.mu.Lock()
+	q.used--
+	t.inflight--
+	q.grantLocked()
+	q.mu.Unlock()
+}
+
+// grantLocked hands free slots to parked waiters in DRR order.
+func (q *FairQueue) grantLocked() {
+	for q.used < q.cap && q.waiters > 0 {
+		if q.rr >= len(q.active) {
+			q.rr = 0
+		}
+		t := q.active[q.rr]
+		if t.qlen == 0 {
+			q.deactivateLocked(t)
+			continue
+		}
+		if t.deficit < 1 {
+			t.deficit += float64(t.cfg.Weight)
+			q.rr++
+			continue
+		}
+		t.deficit--
+		w := t.popLocked()
+		q.waiters--
+		q.used++
+		t.inflight++
+		w.state = wGranted
+		w.ch <- struct{}{}
+		if t.qlen == 0 {
+			q.deactivateLocked(t)
+		}
+	}
+}
+
+// activateLocked adds t to the scheduling ring (idempotent).
+func (q *FairQueue) activateLocked(t *Tenant) {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.deficit = 0
+	q.active = append(q.active, t)
+}
+
+// deactivateLocked removes t from the ring and resets its deficit, so
+// an idle tenant cannot bank credit across quiet periods.
+func (q *FairQueue) deactivateLocked(t *Tenant) {
+	for i, a := range q.active {
+		if a == t {
+			copy(q.active[i:], q.active[i+1:])
+			q.active[len(q.active)-1] = nil
+			q.active = q.active[:len(q.active)-1]
+			if q.rr > i {
+				q.rr--
+			}
+			break
+		}
+	}
+	t.active = false
+	t.deficit = 0
+}
+
+func (q *FairQueue) getWaiterLocked(t *Tenant) *waiter {
+	w := q.free
+	if w != nil {
+		q.free = w.next
+		w.next = nil
+	} else {
+		w = &waiter{ch: make(chan struct{}, 1)}
+	}
+	w.t = t
+	w.state = wWaiting
+	return w
+}
+
+func (q *FairQueue) putWaiterLocked(w *waiter) {
+	select { // drain a grant that lost the cancel race
+	case <-w.ch:
+	default:
+	}
+	w.t = nil
+	w.state = wWaiting
+	w.next = q.free
+	q.free = w
+}
+
+// Per-tenant FIFO segment (intrusive singly-linked list, guarded by
+// the queue mutex).
+
+func (t *Tenant) pushLocked(w *waiter) {
+	if t.qtail != nil {
+		t.qtail.next = w
+	} else {
+		t.qhead = w
+	}
+	t.qtail = w
+	t.qlen++
+}
+
+func (t *Tenant) popLocked() *waiter {
+	w := t.qhead
+	t.qhead = w.next
+	if t.qhead == nil {
+		t.qtail = nil
+	}
+	w.next = nil
+	t.qlen--
+	return w
+}
+
+// unlinkLocked removes w from t's segment (cancel path; O(qlen), cold).
+func (t *Tenant) unlinkLocked(w *waiter) {
+	var prev *waiter
+	for n := t.qhead; n != nil; n = n.next {
+		if n == w {
+			if prev == nil {
+				t.qhead = n.next
+			} else {
+				prev.next = n.next
+			}
+			if t.qtail == n {
+				t.qtail = prev
+			}
+			n.next = nil
+			t.qlen--
+			return
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,216 @@
+package tenant
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"sslic/internal/telemetry"
+)
+
+// Tenant is one resolved identity: its parsed quota configuration plus
+// the live admission state the FairQueue schedules over. All mutable
+// fields are guarded by the owning FairQueue's mutex.
+type Tenant struct {
+	cfg Config
+
+	// Admission state (guarded by FairQueue.mu).
+	bucket   *bucket
+	inflight int
+	qlen     int
+	qhead    *waiter
+	qtail    *waiter
+	deficit  float64
+	active   bool
+
+	// Telemetry (atomic; safe without the lock).
+	admitted         *telemetry.Counter
+	rejectedRate     *telemetry.Counter
+	rejectedQueue    *telemetry.Counter
+	rejectedInFlight *telemetry.Counter
+	canceled         *telemetry.Counter
+	queueWait        *telemetry.Histogram
+}
+
+// ID returns the tenant's key (API key / metric label).
+func (t *Tenant) ID() string { return t.cfg.Key }
+
+// Class returns the tenant's priority tier.
+func (t *Tenant) Class() Class { return t.cfg.Class }
+
+// Config returns the tenant's effective (defaults-applied) config.
+func (t *Tenant) Config() Config { return t.cfg }
+
+// EffectiveLevel maps the global degradation level onto this tenant's
+// class: free is offered global+1 (sheds first), premium global-1
+// capped below shed (the ladder never refuses it).
+func (t *Tenant) EffectiveLevel(global int) int {
+	return t.cfg.Class.EffectiveLevel(global)
+}
+
+// Registry resolves API keys to tenants and owns the shared fair
+// queue. The tenant set is fixed at construction: unknown keys all
+// collapse onto the reserved "_other" tenant and keyless requests onto
+// "_anon", so the set of tenants (and thus metric series and queue
+// segments) is bounded by the -tenants spec, never by traffic.
+type Registry struct {
+	byKey map[string]*Tenant
+	anon  *Tenant
+	other *Tenant
+	all   []*Tenant // spec order; reserved identities appended if implicit
+	queue *FairQueue
+}
+
+// NewRegistry builds the tenant set from parsed configs and a fair
+// queue with the given slot capacity. The reserved identities are
+// always present: a spec entry named "_anon" or "_other" configures
+// them, otherwise they default to the free class (unauthenticated and
+// unknown-key traffic is lowest-priority by default). treg may be nil
+// to discard telemetry; now may be nil for time.Now.
+func NewRegistry(cfgs []Config, capacity int, treg *telemetry.Registry, now func() time.Time) *Registry {
+	if treg == nil {
+		treg = telemetry.NewRegistry()
+	}
+	r := &Registry{
+		byKey: make(map[string]*Tenant, len(cfgs)+2),
+		queue: NewFairQueue(capacity, now),
+	}
+	for _, cfg := range cfgs {
+		if _, dup := r.byKey[cfg.Key]; dup {
+			continue // ParseSpec rejects duplicates; be lenient on hand-built slices
+		}
+		t := newTenant(cfg, treg)
+		r.byKey[cfg.Key] = t
+		r.all = append(r.all, t)
+	}
+	if r.byKey[AnonID] == nil {
+		t := newTenant(Config{Key: AnonID, Class: Free}, treg)
+		r.byKey[AnonID] = t
+		r.all = append(r.all, t)
+	}
+	if r.byKey[OtherID] == nil {
+		t := newTenant(Config{Key: OtherID, Class: Free}, treg)
+		r.byKey[OtherID] = t
+		r.all = append(r.all, t)
+	}
+	r.anon = r.byKey[AnonID]
+	r.other = r.byKey[OtherID]
+	return r
+}
+
+func newTenant(cfg Config, treg *telemetry.Registry) *Tenant {
+	cfg = cfg.withDefaults()
+	t := &Tenant{cfg: cfg}
+	if cfg.Rate > 0 {
+		t.bucket = newBucket(cfg.Rate, cfg.Burst)
+	}
+	lbl := telemetry.Label{Name: "tenant", Value: cfg.Key}
+	t.admitted = treg.Counter("sslic_tenant_admitted_total",
+		"Requests admitted through the fair queue, by tenant.", lbl)
+	t.rejectedRate = treg.Counter("sslic_tenant_rejected_total",
+		"Requests refused at admission, by tenant and reason.",
+		lbl, telemetry.Label{Name: "reason", Value: "rate"})
+	t.rejectedQueue = treg.Counter("sslic_tenant_rejected_total",
+		"Requests refused at admission, by tenant and reason.",
+		lbl, telemetry.Label{Name: "reason", Value: "queue"})
+	t.rejectedInFlight = treg.Counter("sslic_tenant_rejected_total",
+		"Requests refused at admission, by tenant and reason.",
+		lbl, telemetry.Label{Name: "reason", Value: "inflight"})
+	t.canceled = treg.Counter("sslic_tenant_canceled_total",
+		"Admissions abandoned while parked (context canceled), by tenant.", lbl)
+	t.queueWait = treg.Histogram("sslic_tenant_queue_wait_seconds",
+		"Fair-queue park time before admission, by tenant.", nil, lbl)
+	return t
+}
+
+// Resolve maps an API key to its tenant: "" is the anonymous tenant,
+// configured keys their own, and everything else — including hostile
+// or oversized keys — the shared "_other" tenant. Resolution never
+// mints state, so key-guessing cannot grow memory or metric series.
+func (r *Registry) Resolve(key string) *Tenant {
+	if key == "" {
+		return r.anon
+	}
+	if len(key) <= MaxKeyLen {
+		if t, ok := r.byKey[key]; ok {
+			return t
+		}
+	}
+	return r.other
+}
+
+// Queue returns the shared fair queue.
+func (r *Registry) Queue() *FairQueue { return r.queue }
+
+// Admit and Release delegate to the shared fair queue.
+func (r *Registry) Admit(ctx context.Context, t *Tenant) (time.Duration, error) {
+	return r.queue.Admit(ctx, t)
+}
+
+// Release returns t's slot.
+func (r *Registry) Release(t *Tenant) { r.queue.Release(t) }
+
+// Tenants returns the configured tenants in spec order (reserved
+// identities last when implicit).
+func (r *Registry) Tenants() []*Tenant { return r.all }
+
+// Len returns the number of distinct tenants (including _anon/_other).
+func (r *Registry) Len() int { return len(r.all) }
+
+// Snapshot is one tenant's point-in-time state for /debug/tenants.
+type Snapshot struct {
+	Key         string  `json:"key"`
+	Class       string  `json:"class"`
+	Weight      int     `json:"weight"`
+	Rate        float64 `json:"rate,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+	MaxInFlight int     `json:"max_inflight"`
+	MaxQueue    int     `json:"max_queue"`
+
+	InFlight int `json:"inflight"`
+	Queued   int `json:"queued"`
+
+	Admitted         float64 `json:"admitted"`
+	RejectedRate     float64 `json:"rejected_rate"`
+	RejectedQueue    float64 `json:"rejected_queue"`
+	RejectedInFlight float64 `json:"rejected_inflight"`
+	Canceled         float64 `json:"canceled"`
+
+	QueueWaitP50 float64 `json:"queue_wait_p50_seconds"`
+	QueueWaitP99 float64 `json:"queue_wait_p99_seconds"`
+}
+
+// SnapshotAll captures every tenant, sorted by key.
+func (r *Registry) SnapshotAll() []Snapshot {
+	out := make([]Snapshot, 0, len(r.all))
+	r.queue.mu.Lock()
+	type live struct{ inflight, queued int }
+	states := make([]live, len(r.all))
+	for i, t := range r.all {
+		states[i] = live{t.inflight, t.qlen}
+	}
+	r.queue.mu.Unlock()
+	for i, t := range r.all {
+		hs := t.queueWait.Snapshot()
+		out = append(out, Snapshot{
+			Key:              t.cfg.Key,
+			Class:            t.cfg.Class.String(),
+			Weight:           t.cfg.Weight,
+			Rate:             t.cfg.Rate,
+			Burst:            t.cfg.Burst,
+			MaxInFlight:      t.cfg.MaxInFlight,
+			MaxQueue:         t.cfg.MaxQueue,
+			InFlight:         states[i].inflight,
+			Queued:           states[i].queued,
+			Admitted:         t.admitted.Value(),
+			RejectedRate:     t.rejectedRate.Value(),
+			RejectedQueue:    t.rejectedQueue.Value(),
+			RejectedInFlight: t.rejectedInFlight.Value(),
+			Canceled:         t.canceled.Value(),
+			QueueWaitP50:     hs.Quantile(0.5),
+			QueueWaitP99:     hs.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

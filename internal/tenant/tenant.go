@@ -1,0 +1,383 @@
+// Package tenant is the service's multi-tenant fairness layer: API-key
+// scoped identity, per-tenant rate limits and in-flight quotas, and a
+// weighted-fair (deficit-round-robin) admission queue in front of the
+// segmentation pool.
+//
+// The motivating failure is starvation: the pool's admission queue is
+// a shared FIFO, so one hot client can keep it permanently full and
+// every other caller sees nothing but 429s. A real-time superpixel
+// engine is pitched as shared infrastructure — gSLICr's 250 Hz exists
+// so many downstream vision consumers can ride one segmenter — which
+// makes fairness under contention a correctness property, not a
+// nicety. The layer enforces it at three rings:
+//
+//   - Rate: each tenant owns a token bucket (rate= tokens/sec, burst=
+//     bucket depth). A tenant past its refill rate is refused before
+//     any work is done, with a Retry-After hint derived from the
+//     bucket's actual refill time.
+//   - Concurrency: each tenant has an in-flight quota (inflight=) and
+//     a bounded private wait queue (queue=); both refuse fast instead
+//     of queueing unboundedly, preserving the service's bounded-memory
+//     guarantee per tenant.
+//   - Order: admitted work is dispatched by deficit round robin across
+//     the tenants with waiters, weighted by class (or an explicit
+//     weight=), so a storm from one tenant costs the others at most
+//     one round of service, never the whole queue.
+//
+// Identity is deliberately simple: the tenant name in the -tenants
+// spec IS the API key (X-API-Key header, or ?tenant= for clients that
+// cannot set headers). Unknown keys all collapse onto one shared
+// "_other" tenant and keyless requests onto "_anon", so hostile key
+// minting can neither grow state nor mint metric series.
+//
+// Classes map onto the degrade ladder (internal/degrade): under
+// pressure free-tier requests are offered a more degraded level (and
+// shed a level earlier), while premium requests are offered a less
+// degraded level and are never shed by the ladder at all — the
+// serving translation of partitioning the paper's fixed per-frame
+// cycle/energy budget across consumers by priority.
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class is a tenant's priority tier. It decides the default DRR
+// weight and how the global degradation level is offered to the
+// tenant's requests.
+type Class int
+
+const (
+	// Standard is the default tier: the global level applies as-is.
+	Standard Class = iota
+	// Free degrades first: requests are offered one level past the
+	// global one, so free traffic sheds while paid traffic still runs.
+	Free
+	// Premium sheds last: requests are offered one level below the
+	// global one and are capped below the shed level — the ladder never
+	// refuses premium work (drain and breakers still can).
+	Premium
+)
+
+func (c Class) String() string {
+	switch c {
+	case Free:
+		return "free"
+	case Standard:
+		return "standard"
+	case Premium:
+		return "premium"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass reads a class name from the spec grammar.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "free":
+		return Free, nil
+	case "standard":
+		return Standard, nil
+	case "premium":
+		return Premium, nil
+	default:
+		return Standard, fmt.Errorf("tenant: unknown class %q (want free, standard or premium)", s)
+	}
+}
+
+// shedLevel mirrors degrade.Shed without importing the package (tenant
+// is below degrade in the dependency order; the mapping is asserted
+// against the real constants in the server tests).
+const shedLevel = 4
+
+// Offset is the class's level bias: how many levels past (positive) or
+// before (negative) the global degradation level this class is offered.
+func (c Class) Offset() int {
+	switch c {
+	case Free:
+		return 1
+	case Premium:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Ceiling is the most degraded level the class may ever be offered.
+// Free and Standard may be shed (level 4); Premium is capped at level
+// 3, so the ladder itself never refuses premium work.
+func (c Class) Ceiling() int {
+	if c == Premium {
+		return shedLevel - 1
+	}
+	return shedLevel
+}
+
+// DefaultWeight is the class's DRR quantum when the spec does not set
+// weight= explicitly: premium tenants drain 4× standard and 16× free
+// per fairness round.
+func (c Class) DefaultWeight() int {
+	switch c {
+	case Free:
+		return 1
+	case Premium:
+		return 16
+	default:
+		return 4
+	}
+}
+
+// EffectiveLevel maps the global degradation level onto the level this
+// class is offered: global + Offset, clamped to [0, Ceiling]. A free
+// request sheds at global level 3 already; a premium request at global
+// level 4 is still served (at level 3).
+func (c Class) EffectiveLevel(global int) int {
+	l := global + c.Offset()
+	if l < 0 {
+		l = 0
+	}
+	if ceil := c.Ceiling(); l > ceil {
+		l = ceil
+	}
+	return l
+}
+
+// Reserved tenant IDs: AnonID identifies keyless requests, OtherID the
+// shared identity every unknown API key collapses onto. Both are
+// configurable in the spec (as template entries) but cannot be used as
+// ordinary tenant names beyond that.
+const (
+	AnonID  = "_anon"
+	OtherID = "_other"
+)
+
+// Bounds on the spec grammar. Every parsed quota is finite and within
+// these ranges — the fuzz target's invariant: hostile input can make
+// Parse fail, never make it admit an unlimited or negative quota.
+const (
+	// MaxTenants bounds the configured tenant count: tenants mint
+	// telemetry series and fair-queue state, so the spec itself must
+	// not be a cardinality amplifier.
+	MaxTenants = 64
+	// MaxKeyLen bounds tenant names / API keys.
+	MaxKeyLen = 64
+	// MaxWeight bounds the DRR quantum.
+	MaxWeight = 256
+	// MaxRate bounds the token refill rate (tokens/sec).
+	MaxRate = 1e9
+	// MaxBurst bounds the token bucket depth.
+	MaxBurst = 1 << 20
+	// MaxInFlightBound and MaxQueueBound cap the per-tenant concurrency
+	// and wait-queue quotas.
+	MaxInFlightBound = 4096
+	MaxQueueBound    = 4096
+)
+
+// Config is one tenant's parsed configuration.
+type Config struct {
+	// Key is the tenant's identity: the X-API-Key value that selects
+	// it (and its metric label). The reserved keys AnonID and OtherID
+	// configure keyless and unknown-key traffic respectively.
+	Key string
+	// Class is the priority tier; it decides degrade-level mapping and
+	// the default Weight.
+	Class Class
+	// Weight is the DRR quantum in requests per fairness round; 0
+	// selects the class default.
+	Weight int
+	// Rate is the token-bucket refill in requests/sec; 0 disables rate
+	// limiting for this tenant.
+	Rate float64
+	// Burst is the bucket depth; 0 selects max(1, ceil(Rate)).
+	Burst int
+	// MaxInFlight caps the tenant's concurrently admitted requests;
+	// 0 selects DefaultInFlight.
+	MaxInFlight int
+	// MaxQueue caps the tenant's fair-queue waiters; 0 selects
+	// DefaultQueue.
+	MaxQueue int
+}
+
+// Default per-tenant quotas when the spec leaves them unset. Both are
+// deliberately finite: an absent field must never mean "unlimited".
+const (
+	DefaultInFlight = 64
+	DefaultQueue    = 128
+)
+
+// withDefaults fills the derived fields.
+func (c Config) withDefaults() Config {
+	if c.Weight <= 0 {
+		c.Weight = c.Class.DefaultWeight()
+	}
+	if c.Burst <= 0 && c.Rate > 0 {
+		c.Burst = int(math.Ceil(c.Rate))
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+		if c.Burst > MaxBurst {
+			c.Burst = MaxBurst
+		}
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultInFlight
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultQueue
+	}
+	return c
+}
+
+// ValidKey reports whether id is acceptable as a tenant key: short and
+// over the stream-ID alphabet, so tenant-scoped stream keys
+// ("tenant/stream") stay unambiguous ('/' is in neither half).
+func ValidKey(id string) bool {
+	if id == "" || len(id) > MaxKeyLen {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSpec reads a tenant spec of the form
+//
+//	key:field=value[,field=value...][;key:...]
+//
+// where key is the tenant's API key (or the reserved _anon/_other
+// identities) and each field is one of
+//
+//	class=free|standard|premium   priority tier (default standard)
+//	weight=N                      DRR quantum, [1, 256] (default per class)
+//	rate=F                        token refill, requests/sec (default unlimited)
+//	burst=N                       bucket depth, [1, 1048576] (default ceil(rate))
+//	inflight=N                    concurrent-request quota, [1, 4096] (default 64)
+//	queue=N                       fair-queue waiter cap, [1, 4096] (default 128)
+//
+// Example:
+//
+//	acme:class=premium,rate=200,burst=50;hobby:class=free,rate=5,inflight=4
+//
+// Duplicate keys, unknown fields, out-of-range values and non-finite
+// rates are errors — a malformed spec must fail at startup, never
+// silently become an unlimited quota.
+func ParseSpec(spec string) ([]Config, error) {
+	seen := map[string]bool{}
+	var out []Config
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, fields, ok := strings.Cut(entry, ":")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("tenant: entry %q: want key:field=value[,...]", entry)
+		}
+		if !ValidKey(key) {
+			return nil, fmt.Errorf("tenant: invalid key %q (want 1-%d chars of [A-Za-z0-9._:-])", key, MaxKeyLen)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("tenant: duplicate key %q", key)
+		}
+		seen[key] = true
+		cfg := Config{Key: key}
+		for _, f := range strings.Split(fields, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			name, val, _ := strings.Cut(f, "=")
+			var err error
+			switch name {
+			case "class":
+				cfg.Class, err = ParseClass(val)
+			case "weight":
+				cfg.Weight, err = boundedInt(val, 1, MaxWeight)
+			case "rate":
+				cfg.Rate, err = strconv.ParseFloat(val, 64)
+				if err == nil && (math.IsNaN(cfg.Rate) || math.IsInf(cfg.Rate, 0) ||
+					cfg.Rate <= 0 || cfg.Rate > MaxRate) {
+					err = fmt.Errorf("out of (0, %g]", float64(MaxRate))
+				}
+			case "burst":
+				cfg.Burst, err = boundedInt(val, 1, MaxBurst)
+			case "inflight":
+				cfg.MaxInFlight, err = boundedInt(val, 1, MaxInFlightBound)
+			case "queue":
+				cfg.MaxQueue, err = boundedInt(val, 1, MaxQueueBound)
+			default:
+				err = fmt.Errorf("unknown field")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("tenant: key %s: field %q: %v", key, f, err)
+			}
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tenant: empty spec")
+	}
+	if len(out) > MaxTenants {
+		return nil, fmt.Errorf("tenant: %d tenants exceeds the %d cap", len(out), MaxTenants)
+	}
+	return out, nil
+}
+
+func boundedInt(val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer %q", val)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("%d out of [%d, %d]", n, lo, hi)
+	}
+	return n, nil
+}
+
+// bucket is a token-bucket rate limiter. Tokens refill continuously at
+// rate/sec up to burst; each admission spends one. It is small and
+// lock-based — one bucket per tenant, touched once per request.
+type bucket struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	// Guarded by the owning FairQueue's mutex (the bucket is only
+	// touched inside Admit, which already holds it).
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow spends one token when available. When refused, retry is how
+// long until one token will have refilled — the honest Retry-After
+// hint.
+func (b *bucket) allow(now time.Time) (ok bool, retry time.Duration) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,521 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sslic/internal/telemetry"
+	"sslic/internal/telemetry/testutil"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfgs, err := ParseSpec("acme:class=premium,rate=200,burst=50;hobby:class=free,rate=5,inflight=4,queue=8;plain:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(cfgs))
+	}
+	acme := cfgs[0]
+	if acme.Key != "acme" || acme.Class != Premium || acme.Rate != 200 || acme.Burst != 50 {
+		t.Errorf("acme parsed wrong: %+v", acme)
+	}
+	hobby := cfgs[1]
+	if hobby.Class != Free || hobby.MaxInFlight != 4 || hobby.MaxQueue != 8 {
+		t.Errorf("hobby parsed wrong: %+v", hobby)
+	}
+	if cfgs[2].Class != Standard {
+		t.Errorf("bare entry should default to standard, got %v", cfgs[2].Class)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",                            // empty
+		"a",                           // no colon
+		":class=free",                 // empty key
+		"a:class=gold",                // unknown class
+		"a:speed=9",                   // unknown field
+		"a:rate=0",                    // non-positive rate
+		"a:rate=-3",                   // negative rate
+		"a:rate=nan",                  // NaN
+		"a:rate=+inf",                 // infinite
+		"a:rate=2e12",                 // over MaxRate
+		"a:weight=0",                  // below range
+		"a:weight=999",                // above range
+		"a:burst=0",                   // below range
+		"a:inflight=5000",             // above range
+		"a:queue=-1",                  // below range
+		"a:;a:",                       // duplicate key
+		"bad/key:class=free",          // '/' not in key alphabet
+		strings.Repeat("k", 65) + ":", // key too long
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want failure", spec)
+		}
+	}
+}
+
+func TestParseSpecTenantCap(t *testing.T) {
+	var entries []string
+	for i := 0; i <= MaxTenants; i++ {
+		entries = append(entries, fmt.Sprintf("t%d:", i))
+	}
+	if _, err := ParseSpec(strings.Join(entries, ";")); err == nil {
+		t.Fatalf("spec with %d tenants should exceed the %d cap", MaxTenants+1, MaxTenants)
+	}
+}
+
+// Defaults must always be finite: an absent field can never mean an
+// unlimited quota.
+func TestDefaultsAreFinite(t *testing.T) {
+	cfg := Config{Key: "x"}.withDefaults()
+	if cfg.MaxInFlight <= 0 || cfg.MaxInFlight > MaxInFlightBound {
+		t.Errorf("default inflight %d not in (0, %d]", cfg.MaxInFlight, MaxInFlightBound)
+	}
+	if cfg.MaxQueue <= 0 || cfg.MaxQueue > MaxQueueBound {
+		t.Errorf("default queue %d not in (0, %d]", cfg.MaxQueue, MaxQueueBound)
+	}
+	if cfg.Weight < 1 || cfg.Weight > MaxWeight {
+		t.Errorf("default weight %d not in [1, %d]", cfg.Weight, MaxWeight)
+	}
+}
+
+func TestClassLevelMapping(t *testing.T) {
+	cases := []struct {
+		class  Class
+		global int
+		want   int
+	}{
+		{Free, 0, 1}, {Free, 3, 4}, {Free, 4, 4},
+		{Standard, 0, 0}, {Standard, 4, 4},
+		{Premium, 0, 0}, {Premium, 3, 2}, {Premium, 4, 3}, // never shed by the ladder
+	}
+	for _, c := range cases {
+		if got := c.class.EffectiveLevel(c.global); got != c.want {
+			t.Errorf("%v.EffectiveLevel(%d) = %d, want %d", c.class, c.global, got, c.want)
+		}
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b := newBucket(10, 2) // 10/sec, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := b.allow(now)
+	if ok {
+		t.Fatal("third token granted from a burst-2 bucket")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want (0, 100ms] at 10 tokens/sec", retry)
+	}
+	if ok, _ := b.allow(now.Add(retry)); !ok {
+		t.Fatal("token refused after the hinted refill time")
+	}
+}
+
+func newTestRegistry(t *testing.T, spec string, capacity int) *Registry {
+	t.Helper()
+	cfgs, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRegistry(cfgs, capacity, telemetry.NewRegistry(), nil)
+}
+
+func TestResolve(t *testing.T) {
+	r := newTestRegistry(t, "acme:class=premium", 4)
+	if got := r.Resolve("acme").ID(); got != "acme" {
+		t.Errorf("Resolve(acme) = %s", got)
+	}
+	if got := r.Resolve("").ID(); got != AnonID {
+		t.Errorf("Resolve(\"\") = %s, want %s", got, AnonID)
+	}
+	if got := r.Resolve("never-configured").ID(); got != OtherID {
+		t.Errorf("Resolve(unknown) = %s, want %s", got, OtherID)
+	}
+	if got := r.Resolve(strings.Repeat("x", 4096)).ID(); got != OtherID {
+		t.Errorf("Resolve(huge key) = %s, want %s", got, OtherID)
+	}
+	// Unknown keys collapse onto ONE tenant: no state growth per key.
+	if r.Resolve("k1") != r.Resolve("k2") {
+		t.Error("distinct unknown keys resolved to distinct tenants")
+	}
+}
+
+// TestDRRWeightedShare drives two tenants through a saturated gate and
+// checks the admission ratio tracks their weights.
+func TestDRRWeightedShare(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := newTestRegistry(t, "heavy:weight=4,queue=500;light:weight=1,queue=500", 1)
+	q := r.Queue()
+	heavy, light := r.Resolve("heavy"), r.Resolve("light")
+
+	// Occupy the only slot so everything below parks.
+	if _, err := q.Admit(context.Background(), light); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 100
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	admit := func(tn *Tenant) {
+		defer wg.Done()
+		if _, err := q.Admit(context.Background(), tn); err != nil {
+			t.Errorf("admit %s: %v", tn.ID(), err)
+			return
+		}
+		mu.Lock()
+		order = append(order, tn.ID())
+		mu.Unlock()
+		q.Release(tn)
+	}
+	wg.Add(2 * n)
+	for i := 0; i < n; i++ {
+		go admit(heavy)
+		go admit(light)
+	}
+	// Let every goroutine park before starting the drain, so the DRR
+	// schedule (not arrival order) decides service order.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		parked := q.waiters
+		q.mu.Unlock()
+		if parked == 2*n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters parked", parked, 2*n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.Release(light) // open the floodgate; grants chain via Release
+	wg.Wait()
+
+	// In the first 50 grants, heavy (weight 4) should get ~4× light's
+	// share. Allow slack for the serve-order boundary.
+	hw := 0
+	for _, id := range order[:50] {
+		if id == "heavy" {
+			hw++
+		}
+	}
+	if hw < 35 || hw > 45 {
+		t.Errorf("heavy got %d of first 50 grants, want ~40 (weight 4:1)", hw)
+	}
+}
+
+// TestFastPathNoContention: with free slots and nobody parked,
+// admission must be immediate and FIFO-free.
+func TestFastPathNoContention(t *testing.T) {
+	r := newTestRegistry(t, "a:", 8)
+	a := r.Resolve("a")
+	for i := 0; i < 8; i++ {
+		wait, err := r.Admit(context.Background(), a)
+		if err != nil || wait != 0 {
+			t.Fatalf("fast-path admit %d: wait=%v err=%v", i, wait, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		r.Release(a)
+	}
+}
+
+// TestAdmitFastPathAllocs: the uncontended admit/release cycle must
+// not allocate — it sits on the request hot path under the repo's
+// steady-state alloc gate.
+func TestAdmitFastPathAllocs(t *testing.T) {
+	r := newTestRegistry(t, "a:rate=1000000,burst=1000000", 4)
+	a := r.Resolve("a")
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Admit(ctx, a); err != nil {
+			t.Fatal(err)
+		}
+		r.Release(a)
+	})
+	if allocs > 0 {
+		t.Errorf("fast-path admit/release allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestContendedAdmitSteadyStateAllocs: after warm-up, parked
+// admissions reuse freelisted waiters — the contended path settles to
+// zero allocations per cycle too.
+func TestContendedAdmitSteadyStateAllocs(t *testing.T) {
+	r := newTestRegistry(t, "a:", 1)
+	a := r.Resolve("a")
+	ctx := context.Background()
+	if _, err := r.Admit(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	cycle := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Admit(ctx, a); err == nil {
+				r.Release(a)
+			}
+		}()
+		time.Sleep(2 * time.Millisecond) // parks behind the held slot
+		r.Release(a)
+		wg.Wait()
+		if _, err := r.Admit(ctx, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the freelist
+	allocs := testing.AllocsPerRun(20, cycle)
+	r.Release(a)
+	// The spawned goroutine itself may cost a stack allocation; the
+	// queue machinery (waiter, channel, list nodes) must not add to it.
+	if allocs > 4 {
+		t.Errorf("contended admit cycle allocates %.1f/op, want <=4 (goroutine overhead only)", allocs)
+	}
+}
+
+func TestRateLimitRefusal(t *testing.T) {
+	r := newTestRegistry(t, "a:rate=1,burst=1", 8)
+	a := r.Resolve("a")
+	if _, err := r.Admit(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	r.Release(a)
+	_, err := r.Admit(context.Background(), a)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("got %v, want ErrRateLimited", err)
+	}
+	var rl *RateLimitedError
+	if !errors.As(err, &rl) || rl.RetryAfter <= 0 {
+		t.Fatalf("rate refusal carries no positive retry hint: %v", err)
+	}
+}
+
+func TestInFlightQuota(t *testing.T) {
+	r := newTestRegistry(t, "a:inflight=2", 8)
+	a := r.Resolve("a")
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Admit(ctx, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Admit(ctx, a); !errors.Is(err, ErrInFlightLimit) {
+		t.Fatalf("got %v, want ErrInFlightLimit", err)
+	}
+	r.Release(a)
+	if _, err := r.Admit(ctx, a); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r.Release(a)
+	r.Release(a)
+}
+
+func TestQueueCapRefusal(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := newTestRegistry(t, "a:queue=2", 1)
+	a := r.Resolve("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := r.Admit(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Admit(ctx, a) // parks until cancel
+		}()
+	}
+	waitParked(t, r.Queue(), 2)
+	if _, err := r.Admit(ctx, a); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	cancel()
+	wg.Wait()
+	r.Release(a)
+}
+
+func waitParked(t *testing.T, q *FairQueue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		parked := q.waiters
+		q.mu.Unlock()
+		if parked >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters parked", parked, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelWhileParked: canceled waiters leave no goroutines, no
+// slots, and no queue residue; subsequent admissions proceed.
+func TestCancelWhileParked(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := newTestRegistry(t, "a:;b:", 2)
+	a, b := r.Resolve("a"), r.Resolve("b")
+	bg := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Admit(bg, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(bg)
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := r.Admit(ctx, b)
+			errs <- err
+		}()
+	}
+	waitParked(t, r.Queue(), 3)
+	cancel()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Fatalf("parked admit returned %v, want context.Canceled", err)
+		}
+	}
+	// The canceled waiters must not have consumed slots or queue cap.
+	r.Release(a)
+	r.Release(a)
+	if wait, err := r.Admit(bg, b); err != nil || wait != 0 {
+		t.Fatalf("admit after cancels: wait=%v err=%v", wait, err)
+	}
+	r.Release(b)
+
+	q := r.Queue()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used != 0 || q.waiters != 0 || b.qlen != 0 || b.qhead != nil || len(q.active) != 0 {
+		t.Errorf("queue residue after cancel/drain: used=%d waiters=%d qlen=%d active=%d",
+			q.used, q.waiters, b.qlen, len(q.active))
+	}
+}
+
+// TestCancelGrantRace hammers the cancel/grant race: a context that
+// expires at the same moment the slot frees. Whatever side wins, slots
+// must be conserved.
+func TestCancelGrantRace(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := newTestRegistry(t, "a:queue=64", 1)
+	a := r.Resolve("a")
+	bg := context.Background()
+	for i := 0; i < 200; i++ {
+		if _, err := r.Admit(bg, a); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(bg)
+		done := make(chan error, 1)
+		go func() {
+			_, err := r.Admit(ctx, a)
+			done <- err
+		}()
+		waitParked(t, r.Queue(), 1)
+		go cancel()
+		r.Release(a) // races the cancel
+		if err := <-done; err == nil {
+			r.Release(a) // waiter won: it owns a slot
+		}
+		cancel()
+	}
+	q := r.Queue()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used != 0 || q.waiters != 0 {
+		t.Fatalf("slot leak after race hammer: used=%d waiters=%d", q.used, q.waiters)
+	}
+}
+
+// TestDeficitResetOnIdle: a tenant that goes idle must not bank DRR
+// credit for later — its deficit resets when its segment empties.
+func TestDeficitResetOnIdle(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := newTestRegistry(t, "a:weight=256", 1)
+	a := r.Resolve("a")
+	bg := context.Background()
+	if _, err := r.Admit(bg, a); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Admit(bg, a)
+		close(done)
+	}()
+	waitParked(t, r.Queue(), 1)
+	r.Release(a)
+	<-done
+	r.Release(a)
+	q := r.Queue()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if a.active || a.deficit != 0 {
+		t.Errorf("idle tenant kept scheduler state: active=%v deficit=%v", a.active, a.deficit)
+	}
+}
+
+// FuzzParseSpec: hostile spec input must neither panic nor produce a
+// config with unlimited or out-of-range quotas.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("acme:class=premium,rate=200,burst=50;hobby:class=free,rate=5")
+	f.Add("a:weight=1;b:weight=256")
+	f.Add("_anon:class=standard;_other:rate=0.5")
+	f.Add(";;;:::,,,===")
+	f.Add("a:rate=1e308")
+	f.Add("a:rate=-0;b:burst=+99")
+	f.Add(strings.Repeat("x:;", 80))
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfgs, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if len(cfgs) == 0 || len(cfgs) > MaxTenants {
+			t.Fatalf("accepted spec with %d tenants", len(cfgs))
+		}
+		seen := map[string]bool{}
+		for _, raw := range cfgs {
+			if !ValidKey(raw.Key) {
+				t.Fatalf("accepted invalid key %q", raw.Key)
+			}
+			if seen[raw.Key] {
+				t.Fatalf("accepted duplicate key %q", raw.Key)
+			}
+			seen[raw.Key] = true
+			cfg := raw.withDefaults()
+			if cfg.Weight < 1 || cfg.Weight > MaxWeight {
+				t.Fatalf("weight %d out of bounds for %q", cfg.Weight, cfg.Key)
+			}
+			if math.IsNaN(cfg.Rate) || math.IsInf(cfg.Rate, 0) || cfg.Rate < 0 || cfg.Rate > MaxRate {
+				t.Fatalf("rate %v out of bounds for %q", cfg.Rate, cfg.Key)
+			}
+			if cfg.Rate > 0 && (cfg.Burst < 1 || cfg.Burst > MaxBurst) {
+				t.Fatalf("burst %d out of bounds for %q", cfg.Burst, cfg.Key)
+			}
+			if cfg.MaxInFlight < 1 || cfg.MaxInFlight > MaxInFlightBound {
+				t.Fatalf("inflight %d out of bounds for %q", cfg.MaxInFlight, cfg.Key)
+			}
+			if cfg.MaxQueue < 1 || cfg.MaxQueue > MaxQueueBound {
+				t.Fatalf("queue %d out of bounds for %q", cfg.MaxQueue, cfg.Key)
+			}
+		}
+	})
+}
